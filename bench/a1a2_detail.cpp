@@ -1,0 +1,106 @@
+// Section 4.3 (first analysis) — what directives change about a repeated
+// diagnosis of the same version.
+//
+// The paper ran version A cold (a1: 81 pairs tested true), harvested
+// directives, and re-ran the same version (a2: 103 true pairs): 78 were
+// seeded high-priority pairs from a1; of the remaining 25, 3 had been set
+// to low priority (false in a1), 6 were intermediate-level pairs a1 never
+// tested, and 16 were more refined answers a1 never reached before the
+// program ended under its cost limits. The directed run produces a *more
+// detailed* diagnosis than the cold run ever could.
+#include "bench_common.h"
+
+using namespace histpc;
+
+int main() {
+  bench::print_header("a1 -> a2: a directed re-diagnosis is more detailed",
+                      "Karavanic & Miller SC'99, Section 4.3 (runs a1 and a2)");
+
+  // a1: cold diagnosis, deliberately cost-limited relative to the program
+  // length so refined pairs remain untested at program end. a1 and a2 are
+  // separate executions of the same program (distinct jitter seeds), as in
+  // the paper.
+  apps::AppParams params = bench::params_for_version('A');
+  params.target_duration = 1600.0;
+  params.compute_jitter = 0.02;
+  params.seed = 1;
+  core::DiagnosisSession a1_session("poisson_a", params);
+  const pc::DiagnosisResult a1 = a1_session.diagnose();
+  const auto record = a1_session.make_record(a1, "A");
+
+  std::size_t a1_never_ran = 0;
+  for (const auto& n : a1.nodes)
+    if (n.status == pc::NodeStatus::NeverRan) ++a1_never_ran;
+  std::printf("a1: %zu pairs tested true, %zu tested, %zu never ran (program ended)\n",
+              a1.stats.bottlenecks, a1.stats.pairs_tested, a1_never_ran);
+
+  // a2: the same version again, with a1's directives.
+  const pc::DirectiveSet directives = history::DirectiveGenerator().from_record(record);
+  std::size_t high = 0;
+  for (const auto& p : directives.priorities)
+    if (p.priority == pc::Priority::High) ++high;
+  std::printf("directives: %zu high priority, %zu low priority, %zu prunes\n\n", high,
+              directives.priorities.size() - high, directives.prunes.size());
+
+  params.seed = 2;  // a different execution of the same program
+  core::DiagnosisSession a2_session("poisson_a", params);
+  const pc::DiagnosisResult a2 = a2_session.diagnose(directives);
+
+  // a1 trues in the universe a2 actually searches (its directives prune
+  // the redundant /Machine hierarchy, whose pairs merely duplicate the
+  // process view).
+  const auto a1_comparable = history::filter_pruned(a1.bottlenecks, directives,
+                                                    a2_session.view().resources());
+  std::printf("a1 true pairs comparable under a2's prunes: %zu of %zu\n\n",
+              a1_comparable.size(), a1.bottlenecks.size());
+
+  // Categorize a2's true pairs against a1's outcomes, as the paper did.
+  enum Category { SeededTrue, WasLowPriority, Intermediate, MoreRefined };
+  std::size_t counts[4] = {0, 0, 0, 0};
+  const auto& db = a2_session.view().resources();
+  for (const auto& b : a2.bottlenecks) {
+    const pc::NodeSnapshot* in_a1 = nullptr;
+    for (const auto& n : a1.nodes)
+      if (n.hypothesis == b.hypothesis && n.focus == b.focus) in_a1 = &n;
+    if (in_a1 && in_a1->status == pc::NodeStatus::True) {
+      ++counts[SeededTrue];
+      continue;
+    }
+    if (in_a1 && in_a1->status == pc::NodeStatus::False) {
+      ++counts[WasLowPriority];
+      continue;
+    }
+    // Never tested in a1: intermediate if some a1 true pair refines it
+    // further, otherwise a more detailed answer a1 never reached.
+    const auto focus = resources::Focus::parse(b.focus, db, false);
+    bool intermediate = false;
+    for (const auto& t : a1.bottlenecks) {
+      const auto other = resources::Focus::parse(t.focus, db, false);
+      if (focus && other && t.hypothesis == b.hypothesis && focus->contains(*other) &&
+          !(*focus == *other)) {
+        intermediate = true;
+        break;
+      }
+    }
+    ++counts[intermediate ? Intermediate : MoreRefined];
+  }
+
+  util::TablePrinter table({"a2 true pairs", "count"});
+  table.add_row({"a1 (comparable set, for reference)", std::to_string(a1_comparable.size())});
+  table.add_row({"total", std::to_string(a2.stats.bottlenecks)});
+  table.add_row({"seeded high priority (true in a1)", std::to_string(counts[SeededTrue])});
+  table.add_row({"had been set low priority (false in a1)",
+                 std::to_string(counts[WasLowPriority])});
+  table.add_row({"intermediate pairs a1 never tested", std::to_string(counts[Intermediate])});
+  table.add_row({"more refined answers a1 never reached",
+                 std::to_string(counts[MoreRefined])});
+  std::printf("measured (this reproduction):\n%s\n", table.to_string().c_str());
+
+  std::printf(
+      "paper reported: a1 found 81 true pairs; a2 found 103 — 78 seeded,\n"
+      "3 previously low priority, 6 intermediate, 16 refined answers a1\n"
+      "never tested due to cost limits. Expected shape: the directed run\n"
+      "reports a strict superset dominated by the seeded pairs, plus\n"
+      "refined answers the cold run ran out of program to test.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation — the instrumentation cost ceiling.
+//
+// The Performance Consultant halts expansion when the predicted cost of
+// enabled instrumentation crosses a threshold (Section 2). This sweep
+// shows the trade the ceiling makes on the undirected search of version C:
+// a tight budget stretches the diagnosis (waves of a few pairs at a time);
+// a loose one finds everything quickly but at perturbation levels that
+// would make the data meaningless on a real machine.
+#include "bench_common.h"
+
+using namespace histpc;
+
+int main() {
+  bench::print_header("Ablation: instrumentation cost ceiling vs diagnosis speed",
+                      "design choice from Section 2 (search expansion throttling)");
+
+  apps::AppParams params = bench::params_for_version('C');
+  params.target_duration = 9000.0;  // room for even the slowest setting
+
+  util::TablePrinter table({"Cost limit", "Pairs Tested", "Bottlenecks", "Peak Cost",
+                            "Search End (s)", "Time to 100% (s)"});
+  std::vector<pc::BottleneckReport> reference;
+  for (double limit : {0.01, 0.02, 0.05, 0.10, 0.20, 0.50}) {
+    core::DiagnosisSession session("poisson_c", params);
+    session.config().cost_limit = limit;
+    const pc::DiagnosisResult r = session.diagnose();
+    if (reference.empty())
+      reference = history::significant_bottlenecks(r.bottlenecks, 0.22);
+    const double t100 = r.time_to_find(reference, 100.0);
+    table.add_row({util::fmt_percent(limit, 0), std::to_string(r.stats.pairs_tested),
+                   std::to_string(r.stats.bottlenecks),
+                   util::fmt_percent(r.stats.peak_cost, 1),
+                   util::fmt_double(r.stats.end_time, 1),
+                   t100 < 1e300 ? util::fmt_double(t100, 1) : "not found"});
+  }
+  std::printf("measured:\n%s\n", table.to_string().c_str());
+
+  // Why the ceiling exists: with the perturbation model on (CPU readings
+  // inflated by the enabled instrumentation), a loose budget starts
+  // reporting CPU bottlenecks that are artifacts of the measurement.
+  util::TablePrinter noise_table(
+      {"Cost limit", "CPU bottlenecks (ideal)", "CPU bottlenecks (perturbed)"});
+  for (double limit : {0.05, 0.50}) {
+    std::size_t counts[2] = {0, 0};
+    for (int perturbed = 0; perturbed < 2; ++perturbed) {
+      core::DiagnosisSession session("poisson_c", params);
+      session.config().cost_limit = limit;
+      session.config().perturbation_factor = perturbed ? 1.0 : 0.0;
+      const pc::DiagnosisResult r = session.diagnose();
+      for (const auto& b : r.bottlenecks)
+        if (b.hypothesis == pc::kCpuBoundName) ++counts[perturbed];
+    }
+    noise_table.add_row({util::fmt_percent(limit, 0), std::to_string(counts[0]),
+                         std::to_string(counts[1])});
+  }
+  std::printf("measurement accuracy under perturbation (factor 1.0):\n%s\n",
+              noise_table.to_string().c_str());
+
+  std::printf(
+      "expected shape: diagnosis time falls steeply as the budget loosens;\n"
+      "peak instrumentation cost (perturbation) rises in exchange, and with\n"
+      "the perturbation model enabled a loose budget inflates the CPU\n"
+      "bottleneck count — the inaccuracy the ceiling bounds. The 5%% default\n"
+      "used throughout the reproduction trades a ~2000s undirected search\n"
+      "for trustworthy data, the regime in which historical directives pay\n"
+      "off most.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared support for the table/figure regeneration benches.
+//
+// Every bench binary reproduces one table or figure from Karavanic &
+// Miller (SC'99), printing the measured values next to the paper's
+// reported ones. Absolute seconds differ (our substrate is a simulator,
+// not the authors' SP/2); the comparisons of interest are the shapes —
+// reduction percentages, orderings, and crossover points.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "history/analysis.h"
+#include "history/generator.h"
+#include "history/mapper.h"
+#include "pc/consultant.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace histpc::bench {
+
+/// Run parameters per Poisson version. Durations are generous enough for
+/// the undirected base searches to complete ("allowed to run to
+/// completion", Section 4.1); distinct node numbering between versions
+/// reproduces the differently-named-machine-resources mapping problem.
+inline apps::AppParams params_for_version(char version) {
+  apps::AppParams p;
+  switch (version) {
+    case 'A': p.target_duration = 2600.0; p.node_base = 1; break;
+    case 'B': p.target_duration = 3000.0; p.node_base = 5; break;
+    case 'C': p.target_duration = 3000.0; p.node_base = 9; break;
+    case 'D': p.target_duration = 7500.0; p.node_base = 17; break;
+    default: break;
+  }
+  return p;
+}
+
+inline std::string app_for_version(char version) {
+  return std::string("poisson_") + static_cast<char>(version - 'A' + 'a');
+}
+
+/// The evaluation reference set: clearly significant base bottlenecks not
+/// excluded by the directive set's prunes (see history::filter_pruned and
+/// history::significant_bottlenecks for the rationale).
+inline std::vector<pc::BottleneckReport> reference_set(
+    const std::vector<pc::BottleneckReport>& base, const pc::DirectiveSet& directives,
+    const resources::ResourceDb& db, double min_fraction = 0.22) {
+  return history::significant_bottlenecks(history::filter_pruned(base, directives, db),
+                                          min_fraction);
+}
+
+/// "184.2 (-85.9%)" style cell; plain seconds for the base column.
+inline std::string time_cell(double t, double base_t) {
+  if (t == base_t) return util::fmt_double(t, 1);
+  if (!(t < 1e300)) return "not found";
+  const double reduction = (base_t - t) / base_t;
+  return util::fmt_double(t, 1) + " (" + (reduction >= 0 ? "-" : "+") +
+         util::fmt_percent(std::abs(reduction)) + ")";
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace histpc::bench

@@ -1,0 +1,80 @@
+// Section 4.3 (end) — Combining directives from multiple previous runs:
+// A ∩ B (high only if true in both; low only if false in both) versus
+// A ∪ B (high if true in either; low if false in either and never true),
+// both used to diagnose version C. The paper found 59 common priority
+// directives, 38 extra in the union, and statistically indistinguishable
+// diagnosis times (176s vs 179s).
+#include "bench_common.h"
+
+#include "history/combiner.h"
+
+using namespace histpc;
+
+int main() {
+  bench::print_header("Combining directives from runs of A and B to diagnose C",
+                      "Karavanic & Miller SC'99, Section 4.3 (A ∩ B vs A ∪ B)");
+
+  // Standard extraction (priorities + general and historic prunes), as in
+  // Table 3; the combination rules apply to the priority directives.
+  history::DirectiveGenerator generator;
+
+  core::DiagnosisSession target("poisson_c", bench::params_for_version('C'));
+  std::printf("base run of version C...\n");
+  const pc::DiagnosisResult base_c = target.diagnose();
+  const pc::DirectiveSet probe_prunes = [&] {
+    history::GeneratorOptions prune_opts;
+    prune_opts.priorities = false;
+    return history::DirectiveGenerator(prune_opts).from_record(
+        target.make_record(base_c, "C"));
+  }();
+  const auto reference =
+      bench::reference_set(base_c.bottlenecks, probe_prunes, target.view().resources());
+  const double base_time = base_c.time_to_find(reference, 100.0);
+
+  std::vector<pc::DirectiveSet> sources;
+  for (char v : {'A', 'B'}) {
+    core::DiagnosisSession session(bench::app_for_version(v), bench::params_for_version(v));
+    std::printf("base run of version %c...\n", v);
+    const auto record = session.make_record(session.diagnose(), std::string(1, v));
+    pc::DirectiveSet d = generator.from_record(record);
+    d.maps = history::suggest_mappings(record.resources, target.view().resources());
+    d.apply_mappings();
+    d.maps.clear();
+    sources.push_back(std::move(d));
+  }
+
+  const pc::DirectiveSet inter =
+      history::combine(sources[0], sources[1], history::CombineMode::Intersection);
+  const pc::DirectiveSet uni =
+      history::combine(sources[0], sources[1], history::CombineMode::Union);
+
+  std::size_t common = 0;
+  for (const auto& p : uni.priorities)
+    for (const auto& q : inter.priorities)
+      if (p.hypothesis == q.hypothesis && p.focus == q.focus && p.priority == q.priority)
+        ++common;
+  std::printf("\npriority directives: intersection %zu, union %zu (%zu common, %zu extra)\n\n",
+              inter.priorities.size(), uni.priorities.size(), common,
+              uni.priorities.size() - common);
+
+  util::TablePrinter table(
+      {"Directive source", "Priorities", "Time to find all (s)", "Pairs tested"});
+  table.add_row({"None (base)", "0", util::fmt_double(base_time, 1),
+                 std::to_string(base_c.stats.pairs_tested)});
+  for (auto [name, set] : {std::pair<const char*, const pc::DirectiveSet*>{"A \xE2\x88\xA9 B", &inter},
+                           {"A \xE2\x88\xAA B", &uni}}) {
+    core::DiagnosisSession run("poisson_c", bench::params_for_version('C'));
+    const pc::DiagnosisResult r = run.diagnose(*set);
+    const double t = r.time_to_find(reference, 100.0);
+    table.add_row({name, std::to_string(set->priorities.size()),
+                   bench::time_cell(t, base_time), std::to_string(r.stats.pairs_tested)});
+  }
+  std::printf("measured (this reproduction):\n%s\n", table.to_string().c_str());
+
+  std::printf(
+      "paper reported: 59 common directives, 38 extra in A \xE2\x88\xAA B; diagnosis\n"
+      "times 176s vs 179s — too close to call a winner. Expected shape: the\n"
+      "union carries more directives; both combinations slash the diagnosis\n"
+      "time and land close to each other.\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Micro-benchmarks of the core data structures and engines
+// (google-benchmark): simulator throughput, metric accumulation, focus
+// refinement, SHG insertion/dedup, directive parsing, and a full
+// end-to-end diagnosis.
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.h"
+#include "apps/workload_spec.h"
+#include "history/generator.h"
+#include "history/postmortem.h"
+#include "metrics/metric_instance.h"
+#include "metrics/trace_view.h"
+#include "pc/consultant.h"
+#include "pc/shg.h"
+
+using namespace histpc;
+
+namespace {
+
+const simmpi::ExecutionTrace& shared_trace() {
+  static simmpi::ExecutionTrace trace = [] {
+    apps::AppParams p;
+    p.target_duration = 300.0;
+    return apps::run_app("poisson_c", p);
+  }();
+  return trace;
+}
+
+const metrics::TraceView& shared_view() {
+  static metrics::TraceView view(shared_trace());
+  return view;
+}
+
+void BM_SimulatePoissonC(benchmark::State& state) {
+  apps::AppParams p;
+  p.target_duration = static_cast<double>(state.range(0));
+  const simmpi::SimProgram program = apps::build_poisson('C', p);
+  std::size_t ops = 0;
+  for (const auto& proc : program.procs) ops += proc.ops.size();
+  simmpi::Simulator sim(apps::poisson_network());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(program));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops) * state.iterations());
+  state.counters["ops"] = static_cast<double>(ops);
+}
+BENCHMARK(BM_SimulatePoissonC)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_RecordPoissonC(benchmark::State& state) {
+  apps::AppParams p;
+  p.target_duration = 300.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::build_poisson('C', p));
+  }
+}
+BENCHMARK(BM_RecordPoissonC);
+
+void BM_TraceViewConstruction(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    metrics::TraceView view(trace);
+    benchmark::DoNotOptimize(view.resources().num_hierarchies());
+  }
+}
+BENCHMARK(BM_TraceViewConstruction);
+
+void BM_MetricWholeWindowQuery(benchmark::State& state) {
+  const auto& view = shared_view();
+  const auto whole = resources::Focus::whole_program(view.resources());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.query(metrics::MetricKind::SyncWaitTime, whole, 0.0,
+                                        view.trace().duration));
+  }
+}
+BENCHMARK(BM_MetricWholeWindowQuery);
+
+void BM_MetricIncrementalTicks(benchmark::State& state) {
+  const auto& view = shared_view();
+  const auto whole = resources::Focus::whole_program(view.resources());
+  const double tick = 0.5;
+  for (auto _ : state) {
+    metrics::MetricInstance inst(view, metrics::MetricKind::SyncWaitTime,
+                                 view.compile(whole), 0.0);
+    for (double t = tick; t < view.trace().duration; t += tick) inst.advance(t);
+    benchmark::DoNotOptimize(inst.value());
+  }
+}
+BENCHMARK(BM_MetricIncrementalTicks);
+
+void BM_FocusRefinement(benchmark::State& state) {
+  const auto& view = shared_view();
+  const auto whole = resources::Focus::whole_program(view.resources());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(whole.refinements(view.resources()));
+  }
+}
+BENCHMARK(BM_FocusRefinement);
+
+void BM_ShgInsertAndDedup(benchmark::State& state) {
+  const auto& view = shared_view();
+  const pc::HypothesisSet hyps = pc::HypothesisSet::standard();
+  const auto whole = resources::Focus::whole_program(view.resources());
+  const auto children = whole.refinements(view.resources());
+  for (auto _ : state) {
+    pc::SearchHistoryGraph shg(hyps);
+    for (int hyp = 0; hyp < 3; ++hyp) {
+      int parent = shg.add_node(hyp, whole, shg.root(), 0.0);
+      for (const auto& child : children) shg.add_node(hyp, child, parent, 1.0);
+      // Second pass: every add is a dedup hit.
+      for (const auto& child : children) shg.add_node(hyp, child, parent, 2.0);
+    }
+    benchmark::DoNotOptimize(shg.size());
+  }
+}
+BENCHMARK(BM_ShgInsertAndDedup);
+
+void BM_DirectiveParseSerialize(benchmark::State& state) {
+  pc::DirectiveSet set;
+  for (int i = 0; i < 200; ++i)
+    set.priorities.push_back({"ExcessiveSyncWaitingTime",
+                              "</Code/mod" + std::to_string(i) + ".f,/Machine,/Process,/SyncObject>",
+                              pc::Priority::High});
+  set.prunes.push_back({"*", "/Machine"});
+  const std::string text = set.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc::DirectiveSet::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(text.size()) * state.iterations());
+}
+BENCHMARK(BM_DirectiveParseSerialize);
+
+void BM_FullDiagnosis(benchmark::State& state) {
+  const auto& view = shared_view();
+  for (auto _ : state) {
+    pc::PerformanceConsultant consultant(view, pc::PcConfig{});
+    benchmark::DoNotOptimize(consultant.run());
+  }
+}
+BENCHMARK(BM_FullDiagnosis);
+
+void BM_WildcardFarmSimulation(benchmark::State& state) {
+  apps::AppParams p;
+  p.target_duration = 200.0;
+  const simmpi::SimProgram program = apps::build_taskfarm(p);
+  simmpi::Simulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(program));
+  }
+}
+BENCHMARK(BM_WildcardFarmSimulation);
+
+void BM_WorkloadBuildFromJson(benchmark::State& state) {
+  const util::Json spec = util::Json::parse(R"({
+    "name": "bench", "ranks": 8, "iterations": 100,
+    "body": [
+      {"op": "compute", "seconds": 0.3, "function": "f", "module": "m.c"},
+      {"op": "exchange", "pattern": "butterfly", "bytes": 100000},
+      {"op": "allreduce", "bytes": 8}
+    ]})");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::build_workload(spec));
+  }
+}
+BENCHMARK(BM_WorkloadBuildFromJson);
+
+void BM_PostmortemDiagnosis(benchmark::State& state) {
+  const auto& view = shared_view();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history::postmortem_diagnose(view));
+  }
+}
+BENCHMARK(BM_PostmortemDiagnosis);
+
+void BM_DirectiveGeneration(benchmark::State& state) {
+  const auto& view = shared_view();
+  pc::PerformanceConsultant consultant(view, pc::PcConfig{});
+  const pc::DiagnosisResult result = consultant.run();
+  const history::ExperimentRecord record =
+      history::make_record("poisson", "C", view, result, 0.2);
+  history::DirectiveGenerator generator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.from_record(record));
+  }
+}
+BENCHMARK(BM_DirectiveGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Section 4.2 (second study) — threshold sweep for the ocean circulation
+// code (PVM on SPARCstations in the paper). Its most useful threshold is
+// ~20%, not the 12% of the MPI Poisson code: starting from 30% the
+// diagnosis is incomplete, and below 20% the number of instrumented pairs
+// jumps (326 -> 373 between 20% and 10% in the paper) with no better
+// result — demonstrating the value of application-specific historical
+// thresholds.
+#include "bench_common.h"
+
+using namespace histpc;
+
+int main() {
+  bench::print_header("Ocean code: bottlenecks found with varying threshold values",
+                      "Karavanic & Miller SC'99, Section 4.2 (PVM ocean study)");
+
+  apps::AppParams params;
+  params.target_duration = 6000.0;
+
+  core::DiagnosisSession truth_session("ocean", params);
+  truth_session.config().cost_limit = 1e9;
+  truth_session.config().threshold_override = 0.05;
+  const pc::DiagnosisResult truth = truth_session.diagnose();
+  const auto areas = history::significant_bottlenecks(truth.bottlenecks, 0.21);
+  std::printf("significant problem areas (>=21%% of execution): %zu\n\n", areas.size());
+
+  util::TablePrinter table({"Threshold", "Areas Reported", "Bottlenecks Reported",
+                            "Pairs Tested", "Efficiency (areas/pair)"});
+  double best_eff = -1, best_threshold = 0;
+  for (double threshold : {0.30, 0.25, 0.20, 0.15, 0.10}) {
+    core::DiagnosisSession session("ocean", params);
+    session.config().threshold_override = threshold;
+    const pc::DiagnosisResult r = session.diagnose();
+    std::size_t found = 0;
+    for (const auto& a : areas)
+      for (const auto& b : r.bottlenecks)
+        if (b.hypothesis == a.hypothesis && b.focus == a.focus) {
+          ++found;
+          break;
+        }
+    const double efficiency =
+        r.stats.pairs_tested ? static_cast<double>(found) / r.stats.pairs_tested : 0.0;
+    if (found >= areas.size() * 97 / 100 && efficiency > best_eff) {
+      best_eff = efficiency;
+      best_threshold = threshold;
+    }
+    table.add_row({util::fmt_percent(threshold, 0),
+                   std::to_string(found) + "/" + std::to_string(areas.size()),
+                   std::to_string(r.stats.bottlenecks), std::to_string(r.stats.pairs_tested),
+                   util::fmt_double(efficiency, 3)});
+  }
+  std::printf("measured (this reproduction):\n%s\n", table.to_string().c_str());
+  std::printf("most useful threshold (near-full reporting at best efficiency): %s\n\n",
+              util::fmt_percent(best_threshold, 0).c_str());
+  std::printf(
+      "paper reported: optimal at 20%% (30%% was incomplete; pairs jumped\n"
+      "from 326 at 20%% to 373 at 10%% with no improvement). The useful\n"
+      "threshold differs from the MPI application's 12%% — the argument for\n"
+      "harvesting thresholds from application-specific historical data.\n");
+  return 0;
+}

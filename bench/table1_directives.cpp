@@ -1,0 +1,133 @@
+// Table 1 — Time (in seconds) to find all true bottlenecks with search
+// directives: no directives vs. pruning (all / general-only /
+// historic-only) vs. priorities-only vs. priorities + prunes, measured at
+// 25/50/75/100% of the base run's bottleneck set.
+//
+// Workload: the 2-D Poisson application (version C) on four nodes,
+// identical thresholds in every run (Section 4.1).
+#include "bench_common.h"
+
+using namespace histpc;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  history::GeneratorOptions options;
+  bool use_directives = true;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 1: time (s) to find true bottlenecks with search directives",
+                      "Karavanic & Miller SC'99, Table 1 (Section 4.1)");
+
+  core::DiagnosisSession base_session("poisson_c", bench::params_for_version('C'));
+  std::printf("running base case (no directives, run to completion)...\n");
+  const pc::DiagnosisResult base = base_session.diagnose();
+  const auto record = base_session.make_record(base, "C");
+  std::printf("base: %zu pairs tested, %zu bottlenecks, search ended at %.1fs\n\n",
+              base.stats.pairs_tested, base.stats.bottlenecks, base.stats.end_time);
+
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.name = "No Directives";
+    v.use_directives = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "Prunes Only";
+    v.options.priorities = false;
+    v.options.false_pair_prunes = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "General Prunes Only";
+    v.options.priorities = false;
+    v.options.historic_prunes = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "Historic Prunes Only";
+    v.options.priorities = false;
+    v.options.general_prunes = false;
+    v.options.false_pair_prunes = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "Priorities Only";
+    v.options.general_prunes = false;
+    v.options.historic_prunes = false;
+    variants.push_back(v);
+  }
+  {
+    // The paper's combined variant: hierarchy/resource prunes plus
+    // priorities, but no pair prunes of previously-false tests, so new
+    // behaviours can never be missed.
+    Variant v;
+    v.name = "Priorities & All Prunes";
+    variants.push_back(v);
+  }
+
+  // One reference set for every column (the paper's fixed base set):
+  // clearly significant bottlenecks outside the pruned (redundant)
+  // hierarchies.
+  const pc::DirectiveSet full_prunes = [&] {
+    history::GeneratorOptions opts;
+    opts.priorities = false;
+    return history::DirectiveGenerator(opts).from_record(record);
+  }();
+  const auto reference =
+      bench::reference_set(base.bottlenecks, full_prunes, base_session.view().resources());
+  std::printf("reference bottleneck set: %zu of %zu base bottlenecks\n\n", reference.size(),
+              base.bottlenecks.size());
+
+  const std::vector<double> percents{25, 50, 75, 100};
+  util::TablePrinter table([&] {
+    std::vector<std::string> headers{"% B'necks Found"};
+    for (const auto& v : variants) headers.push_back(v.name);
+    return headers;
+  }());
+  util::TablePrinter pairs_table({"Variant", "Pairs Tested", "Bottlenecks Found"});
+
+  std::vector<std::vector<double>> times(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    pc::DiagnosisResult result = [&] {
+      if (!variants[i].use_directives) return base;
+      const pc::DirectiveSet directives =
+          history::DirectiveGenerator(variants[i].options).from_record(record);
+      core::DiagnosisSession session("poisson_c", bench::params_for_version('C'));
+      return session.diagnose(directives);
+    }();
+    for (double pct : percents) times[i].push_back(result.time_to_find(reference, pct));
+    pairs_table.add_row({variants[i].name, std::to_string(result.stats.pairs_tested),
+                         std::to_string(result.stats.bottlenecks)});
+  }
+
+  for (std::size_t p = 0; p < percents.size(); ++p) {
+    std::vector<std::string> row{util::fmt_double(percents[p], 0) + "%"};
+    for (std::size_t i = 0; i < variants.size(); ++i)
+      row.push_back(bench::time_cell(times[i][p], times[0][p]));
+    table.add_row(std::move(row));
+  }
+  std::printf("measured (this reproduction):\n%s\n", table.to_string().c_str());
+  std::printf("instrumentation volume (paper goal 2 — decrease unhelpful instrumentation):\n%s\n",
+              pairs_table.to_string().c_str());
+
+  std::printf(
+      "paper reported (Table 1, reductions at 100%% of bottlenecks):\n"
+      "  Prunes Only            -93.5%%\n"
+      "  General Prunes Only    (28%% slower than all prunes)\n"
+      "  Priorities Only        -78.6%%\n"
+      "  Priorities & All Prunes -94.4%%\n"
+      "expected shape: every directive type cuts diagnosis time drastically;\n"
+      "pruning beats priorities alone; the combination is best and, unlike\n"
+      "pure pruning, cannot miss new behaviours.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 2 — Bottlenecks found with varying threshold values.
+//
+// The 2-D Poisson application is diagnosed with the synchronization
+// bottleneck threshold swept over {30, 25, 20, 15, 12, 10, 5}% of
+// execution time. For each setting we report how many of the known
+// significant problem areas the Performance Consultant located, how many
+// hypothesis/focus pairs it instrumented, and the efficiency (bottlenecks
+// found per pair tested). The paper found 12% optimal for this code:
+// above it significant bottlenecks go unreported, below it instrumentation
+// grows with no better answer (Section 4.2).
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace histpc;
+
+int main() {
+  bench::print_header("Table 2: bottlenecks found with varying threshold values",
+                      "Karavanic & Miller SC'99, Table 2 (Section 4.2)");
+
+  // Long runs so even the largest (5%-threshold) search completes: the
+  // sweep should isolate the threshold's effect, not program-end
+  // truncation.
+  apps::AppParams params = bench::params_for_version('C');
+  params.target_duration = 8000.0;
+
+  // Ground truth — the paper's pre-identified set of significant problem
+  // areas (exchng2 at 45%, main at 20%, the three message tags at
+  // 27/19/20%, the four processes at 46-86%, and their combinations). We
+  // identify it the same way: from the known wait distribution, via an
+  // exhaustive unthrottled search with a low threshold, keeping areas
+  // whose share of execution is clearly significant (>= 13%).
+  core::DiagnosisSession truth_session("poisson_c", params);
+  truth_session.config().cost_limit = 1e9;  // no throttling: test everything
+  truth_session.config().threshold_override = 0.05;
+  const pc::DiagnosisResult truth = truth_session.diagnose();
+  const auto areas = history::significant_bottlenecks(truth.bottlenecks, 0.13);
+  std::printf("significant problem areas (>=13%% of execution): %zu\n\n", areas.size());
+
+  util::TablePrinter table({"Threshold", "Areas Reported", "Bottlenecks Reported",
+                            "Pairs Tested", "Efficiency (areas/pair)"});
+
+  // The paper's selection rule: of the settings that report (nearly) the
+  // full set of significant areas, take the most efficient one.
+  double best_eff = -1, best_threshold = 0;
+  for (double threshold : {0.30, 0.25, 0.20, 0.15, 0.12, 0.10, 0.05}) {
+    core::DiagnosisSession session("poisson_c", params);
+    session.config().threshold_override = threshold;
+    const pc::DiagnosisResult r = session.diagnose();
+    std::size_t found = 0;
+    for (const auto& a : areas)
+      for (const auto& b : r.bottlenecks)
+        if (b.hypothesis == a.hypothesis && b.focus == a.focus) {
+          ++found;
+          break;
+        }
+    const double efficiency =
+        r.stats.pairs_tested ? static_cast<double>(found) / r.stats.pairs_tested : 0.0;
+    const bool near_full = found >= areas.size() * 97 / 100;
+    if (near_full && efficiency > best_eff) {
+      best_eff = efficiency;
+      best_threshold = threshold;
+    }
+    table.add_row({util::fmt_percent(threshold, 0),
+                   std::to_string(found) + "/" + std::to_string(areas.size()),
+                   std::to_string(r.stats.bottlenecks), std::to_string(r.stats.pairs_tested),
+                   util::fmt_double(efficiency, 3)});
+  }
+
+  std::printf("measured (this reproduction):\n%s\n", table.to_string().c_str());
+  std::printf("most useful threshold (near-full reporting at best efficiency): %s\n\n",
+              util::fmt_percent(best_threshold, 0).c_str());
+  std::printf(
+      "paper reported (Table 2): 30%%/25%%/20%% miss significant bottlenecks\n"
+      "(7 of 26 missed at the 20%% default); 12%% reports close to the full\n"
+      "set; 10%% and 5%% test more pairs without finding more, so efficiency\n"
+      "peaks at 12%% — the threshold historical data would choose.\n");
+  return 0;
+}

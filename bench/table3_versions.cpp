@@ -1,0 +1,124 @@
+// Table 3 — Time (in seconds) to find all bottlenecks with search
+// directives from different application versions.
+//
+// Four versions of the Poisson decomposition (Section 4.3):
+//   A: 1-D blocking, B: 1-D nonblocking, C: 2-D, D: C's code on 8 nodes.
+// Each version is first diagnosed cold ("None" column); then re-diagnosed
+// with directives harvested from each version's base run, with machine,
+// process, and code resources mapped between versions (Section 3.2 /
+// Figure 3). Every cell reports the median time over repeated executions
+// (the paper: "median values for several runs... standard deviations range
+// from 3 to 17 seconds") to locate the target version's significant
+// bottleneck set.
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace histpc;
+
+namespace {
+
+constexpr int kRepeats = 3;
+constexpr double kJitter = 0.02;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double stddev(const std::vector<double>& v) {
+  double mean = 0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  return std::sqrt(var / static_cast<double>(v.size()));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 3: time (s) to find all bottlenecks, directives from other versions",
+      "Karavanic & Miller SC'99, Table 3 (Section 4.3)");
+
+  const std::vector<char> versions{'A', 'B', 'C', 'D'};
+
+  struct VersionData {
+    std::unique_ptr<core::DiagnosisSession> session;
+    pc::DiagnosisResult base;
+    history::ExperimentRecord record;
+  };
+  std::vector<VersionData> data;
+  for (char v : versions) {
+    VersionData d;
+    d.session = std::make_unique<core::DiagnosisSession>(bench::app_for_version(v),
+                                                         bench::params_for_version(v));
+    std::printf("base run of version %c (%d ranks)...\n", v,
+                d.session->trace().num_ranks());
+    d.base = d.session->diagnose();
+    d.record = d.session->make_record(d.base, std::string(1, v));
+    data.push_back(std::move(d));
+  }
+  std::printf("\n");
+
+  history::DirectiveGenerator generator;  // priorities + general/historic prunes
+  util::TablePrinter table({"Version", "None", "from A", "from B", "from C", "from D"});
+
+  for (std::size_t target = 0; target < versions.size(); ++target) {
+    auto& target_data = data[target];
+    std::vector<std::string> row{std::string(1, versions[target])};
+
+    // Reference set for this version, excluding what prunes drop by design.
+    const pc::DirectiveSet probe_prunes = [&] {
+      history::GeneratorOptions opts;
+      opts.priorities = false;
+      return history::DirectiveGenerator(opts).from_record(target_data.record);
+    }();
+    const auto reference = bench::reference_set(
+        target_data.base.bottlenecks, probe_prunes, target_data.session->view().resources());
+    const double base_time = target_data.base.time_to_find(reference, 100.0);
+    row.push_back(util::fmt_double(base_time, 1));
+
+    std::vector<double> deviations;
+    for (std::size_t source = 0; source < versions.size(); ++source) {
+      pc::DirectiveSet directives = generator.from_record(data[source].record);
+      // Map the source version's resource names onto the target's
+      // (machine nodes positionally, code by structural similarity).
+      directives.maps = history::suggest_mappings(data[source].record.resources,
+                                                  target_data.session->view().resources());
+      // Repeated executions with run-to-run compute jitter.
+      std::vector<double> times;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        apps::AppParams params = bench::params_for_version(versions[target]);
+        params.compute_jitter = kJitter;
+        params.seed = 1000 * (source + 1) + rep;
+        core::DiagnosisSession run(bench::app_for_version(versions[target]), params);
+        const pc::DiagnosisResult result = run.diagnose(directives);
+        // Marginal pairs can flap across versions; measure the time to
+        // cover the (clearly significant) reference set.
+        times.push_back(result.time_to_find(reference, 100.0));
+      }
+      deviations.push_back(stddev(times));
+      row.push_back(bench::time_cell(median(times), base_time));
+    }
+    std::printf("version %c directed-run standard deviations: %.1f..%.1f s\n",
+                versions[target], *std::min_element(deviations.begin(), deviations.end()),
+                *std::max_element(deviations.begin(), deviations.end()));
+    table.add_row(std::move(row));
+  }
+  std::printf("\n");
+
+  std::printf("measured (this reproduction):\n%s\n", table.to_string().c_str());
+  std::printf(
+      "paper reported (Table 3, reduction vs the None column):\n"
+      "  A: from A -92%%\n"
+      "  B: from A -98%%, from B -97%%\n"
+      "  C: from A -82%%, from B -83%%, from C -75%%\n"
+      "  D: from A -84%%, from B -76%%, from C -87%%, from D -87%%\n"
+      "expected shape: every historical source cuts diagnosis time by a\n"
+      "large factor (>=75%% in the paper), and directives from *different*\n"
+      "versions are nearly as effective as directives from the same\n"
+      "version, because the bottleneck locations persist across revisions.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 4 — Similarity of extracted priorities across code versions.
+//
+// Priority directive sets are harvested from base runs of versions A, B
+// and C, mapped into a common (version C) resource namespace, and
+// compared: how many high/low priority directives are unique to one
+// version, shared by two, or common to all three (Section 4.3).
+#include "bench_common.h"
+
+using namespace histpc;
+
+int main() {
+  bench::print_header("Table 4: similarity of extracted priorities across code versions",
+                      "Karavanic & Miller SC'99, Table 4 (Section 4.3)");
+
+  const std::vector<char> versions{'A', 'B', 'C'};
+  std::vector<std::string> names;
+  std::vector<pc::DirectiveSet> sets;
+
+  // The common namespace everything is mapped into: version C's resources.
+  core::DiagnosisSession c_session("poisson_c", bench::params_for_version('C'));
+
+  history::GeneratorOptions opts;
+  opts.general_prunes = false;
+  opts.historic_prunes = false;  // priorities only, as in the paper's table
+  history::DirectiveGenerator generator(opts);
+
+  for (char v : versions) {
+    core::DiagnosisSession session(bench::app_for_version(v), bench::params_for_version(v));
+    std::printf("base run of version %c...\n", v);
+    const pc::DiagnosisResult base = session.diagnose();
+    const auto record = session.make_record(base, std::string(1, v));
+    pc::DirectiveSet d = generator.from_record(record);
+    d.maps = history::suggest_mappings(record.resources, c_session.view().resources());
+    d.apply_mappings();
+    d.maps.clear();
+    names.emplace_back(1, v);
+    sets.push_back(std::move(d));
+  }
+  std::printf("\n");
+
+  const history::PrioritySimilarity sim = history::priority_similarity(sets);
+
+  const std::vector<unsigned> masks{0b001, 0b010, 0b100, 0b011, 0b101, 0b110, 0b111};
+  util::TablePrinter table([&] {
+    std::vector<std::string> headers{"Priority Setting"};
+    for (unsigned m : masks) headers.push_back(history::mask_label(m, names));
+    headers.push_back("TOTAL");
+    return headers;
+  }());
+
+  auto add_row = [&](const std::string& label, const history::MembershipCounts& counts) {
+    std::vector<std::string> row{label};
+    for (unsigned m : masks) row.push_back(std::to_string(counts.count_for(m)));
+    row.push_back(std::to_string(counts.total));
+    table.add_row(std::move(row));
+  };
+  add_row("High", sim.high);
+  add_row("Low", sim.low);
+  add_row("Both", sim.both);
+
+  std::printf("measured (this reproduction):\n%s\n", table.to_string().c_str());
+
+  auto pct = [](std::size_t part, std::size_t total) {
+    return total ? util::fmt_percent(static_cast<double>(part) / total, 0) : "-";
+  };
+  const std::size_t high_pairs = sim.high.count_for(0b011) + sim.high.count_for(0b101) +
+                                 sim.high.count_for(0b110);
+  const std::size_t high_unique = sim.high.count_for(0b001) + sim.high.count_for(0b010) +
+                                  sim.high.count_for(0b100);
+  const std::size_t both_pairs = sim.both.count_for(0b011) + sim.both.count_for(0b101) +
+                                 sim.both.count_for(0b110);
+  const std::size_t both_unique = sim.both.count_for(0b001) + sim.both.count_for(0b010) +
+                                  sim.both.count_for(0b100);
+  std::printf("high priorities: %s common to all three, %s unique to one, %s in two\n",
+              pct(sim.high.count_for(0b111), sim.high.total).c_str(),
+              pct(high_unique, sim.high.total).c_str(),
+              pct(high_pairs, sim.high.total).c_str());
+  std::printf("all priorities:  %s common to all three, %s unique to one, %s in two\n\n",
+              pct(sim.both.count_for(0b111), sim.both.total).c_str(),
+              pct(both_unique, sim.both.total).c_str(),
+              pct(both_pairs, sim.both.total).c_str());
+
+  std::printf(
+      "paper reported (Table 4): of 107 high directives, 16 unique to A and\n"
+      "46 common to A, B and C; overall 36%% of priorities common to all\n"
+      "three versions, 41%% unique to one, 23%% in two; for high priorities\n"
+      "43%% / 30%% / 27%%. Expected shape: a large common core of directives\n"
+      "across code versions — the reason cross-version direction works.\n");
+  return 0;
+}

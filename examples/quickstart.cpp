@@ -1,0 +1,60 @@
+// Quickstart: diagnose an application run, save what was learned, and run
+// a second, history-directed diagnosis — the paper's core workflow.
+#include <cstdio>
+
+#include "core/session.h"
+#include "history/analysis.h"
+#include "history/generator.h"
+#include "history/store.h"
+#include "util/strings.h"
+
+using namespace histpc;
+
+int main() {
+  // 1. First encounter with the program: the "single button" search.
+  //    (Short run: a scaled-down version C of the Poisson application.)
+  apps::AppParams params;
+  params.target_duration = 400.0;
+  core::DiagnosisSession session("poisson_c", params);
+
+  std::printf("== undirected diagnosis ==\n");
+  const pc::DiagnosisResult base = session.diagnose();
+  std::printf("bottlenecks: %zu, pairs tested: %zu, last found at %.1fs\n",
+              base.stats.bottlenecks, base.stats.pairs_tested, base.stats.last_true_time);
+
+  // 2. Persist the run: resource hierarchies + search results.
+  history::ExperimentStore store("quickstart_store");
+  const std::string run_id = store.save(session.make_record(base, "C"));
+  std::printf("saved experiment record '%s'\n\n", run_id.c_str());
+
+  // 3. Harvest search directives from the stored run.
+  history::DirectiveGenerator generator;
+  const auto record = store.load(run_id);
+  pc::DirectiveSet directives = generator.from_record(*record);
+  std::printf("harvested %zu prunes, %zu priorities\n", directives.prunes.size(),
+              directives.priorities.size());
+
+  // 4. Diagnose the next execution with the directives: bottlenecks are
+  //    re-located far faster and with less instrumentation.
+  core::DiagnosisSession second("poisson_c", params);
+  const pc::DiagnosisResult directed = second.diagnose(directives);
+  std::printf("\n== directed diagnosis ==\n");
+  std::printf("bottlenecks: %zu, pairs tested: %zu, last found at %.1fs\n",
+              directed.stats.bottlenecks, directed.stats.pairs_tested,
+              directed.stats.last_true_time);
+
+  // The evaluation set: base bottlenecks that the directives do not prune
+  // by design (the /Machine hierarchy is redundant here, so machine foci
+  // drop out).
+  const auto reference =
+      history::filter_pruned(base.bottlenecks, directives, second.view().resources());
+  std::printf("reference bottleneck set: %zu of %zu base bottlenecks\n", reference.size(),
+              base.bottlenecks.size());
+  const double t_base = base.time_to_find(reference, 100.0);
+  const double t_directed = directed.time_to_find(reference, 100.0);
+  if (t_directed < t_base)
+    std::printf("\ntime to locate the full base bottleneck set: %.1fs -> %.1fs (%s faster)\n",
+                t_base, t_directed,
+                util::fmt_percent((t_base - t_directed) / t_base).c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The profile-analyze-change cycle of Section 4.3: a developer revises an
+// application through versions A -> B -> C -> D, and every diagnosis after
+// the first is directed by the knowledge stored from the runs before it —
+// including resource mapping across renamed modules, functions, processes
+// and machine nodes.
+#include <cstdio>
+#include <memory>
+
+#include "core/session.h"
+#include "history/analysis.h"
+#include "history/generator.h"
+#include "history/mapper.h"
+#include "history/store.h"
+#include "util/strings.h"
+
+using namespace histpc;
+
+namespace {
+
+apps::AppParams params_for(char version) {
+  apps::AppParams p;
+  // Scaled down from the bench settings; the cycle still shows the shape.
+  p.target_duration = version == 'D' ? 2500.0 : 1200.0;
+  p.node_base = 1 + 4 * (version - 'A');  // fresh node names every run
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  history::ExperimentStore store("tuning_cycle_store");
+  history::DirectiveGenerator generator;
+
+  std::unique_ptr<history::ExperimentRecord> previous;
+  for (char version : {'A', 'B', 'C', 'D'}) {
+    const std::string app = std::string("poisson_") + static_cast<char>(version - 'A' + 'a');
+    core::DiagnosisSession session(app, params_for(version));
+    std::printf("== version %c (%d ranks, %.0fs run) ==\n", version,
+                session.trace().num_ranks(), session.trace().duration);
+
+    // Cold diagnosis for reference.
+    core::DiagnosisSession cold(app, params_for(version));
+    const pc::DiagnosisResult base = cold.diagnose();
+
+    pc::DiagnosisResult result = base;
+    if (previous) {
+      pc::DirectiveSet directives = generator.from_record(*previous);
+      directives.maps =
+          history::suggest_mappings(previous->resources, session.view().resources());
+      std::printf("  using %zu priorities, %zu prunes, %zu mappings from version %s\n",
+                  directives.priorities.size(), directives.prunes.size(),
+                  directives.maps.size(), previous->version.c_str());
+      result = session.diagnose(directives);
+
+      const auto reference = history::significant_bottlenecks(
+          history::filter_pruned(base.bottlenecks, directives, session.view().resources()),
+          0.22);
+      const double t_base = base.time_to_find(reference, 100.0);
+      const double t_directed = result.time_to_find(reference, 100.0);
+      if (t_directed < t_base)
+        std::printf("  bottleneck set located in %.1fs instead of %.1fs (%s faster)\n",
+                    t_directed, t_base,
+                    util::fmt_percent((t_base - t_directed) / t_base).c_str());
+    } else {
+      std::printf("  no history yet: single-button search, %zu pairs tested, done at %.1fs\n",
+                  base.stats.pairs_tested, base.stats.last_true_time);
+    }
+
+    // Store this run; the next version will be directed by it.
+    history::ExperimentRecord record =
+        session.make_record(result, std::string(1, version));
+    const std::string run_id = store.save(record);
+    std::printf("  stored as %s\n\n", run_id.c_str());
+    previous = std::make_unique<history::ExperimentRecord>(std::move(record));
+  }
+
+  std::printf("store now holds: ");
+  for (const auto& id : store.list()) std::printf("%s ", id.c_str());
+  std::printf("\n");
+  return 0;
+}

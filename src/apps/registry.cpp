@@ -1,0 +1,36 @@
+#include <stdexcept>
+
+#include "apps/apps.h"
+
+namespace histpc::apps {
+
+simmpi::SimProgram build_app(const std::string& name, const AppParams& params) {
+  if (name == "poisson_a") return build_poisson('A', params);
+  if (name == "poisson_b") return build_poisson('B', params);
+  if (name == "poisson_c") return build_poisson('C', params);
+  if (name == "poisson_d") return build_poisson('D', params);
+  if (name == "ocean") return build_ocean(params);
+  if (name == "tester") return build_tester(params);
+  if (name == "bubba") return build_bubba(params);
+  if (name == "seismic") return build_seismic(params);
+  if (name == "taskfarm") return build_taskfarm(params);
+  throw std::invalid_argument("unknown app: " + name);
+}
+
+simmpi::NetworkModel network_for(const std::string& name) {
+  if (name == "ocean") return ocean_network();
+  if (name.rfind("poisson_", 0) == 0) return poisson_network();
+  return simmpi::NetworkModel{};
+}
+
+std::vector<std::string> app_names() {
+  return {"poisson_a", "poisson_b", "poisson_c", "poisson_d", "ocean", "tester", "bubba",
+          "seismic", "taskfarm"};
+}
+
+simmpi::ExecutionTrace run_app(const std::string& name, const AppParams& params) {
+  simmpi::Simulator sim(network_for(name));
+  return sim.run(build_app(name, params));
+}
+
+}  // namespace histpc::apps

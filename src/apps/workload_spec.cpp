@@ -1,0 +1,213 @@
+#include "apps/workload_spec.h"
+
+#include <optional>
+#include <vector>
+
+namespace histpc::apps {
+
+using simmpi::FunctionScope;
+using simmpi::Recorder;
+using util::Json;
+
+namespace {
+
+enum class StepKind { Compute, Io, Exchange, Barrier, Allreduce, Bcast, Gather, Alltoall };
+enum class Pattern { Ring, Pairs, Butterfly };
+
+struct Step {
+  StepKind kind = StepKind::Compute;
+  double seconds = 0.0;
+  std::vector<double> factors;  ///< per-rank scaling; empty = 1.0 everywhere
+  Pattern pattern = Pattern::Ring;
+  int tag = 0;
+  int comm = 0;
+  std::size_t bytes = 0;
+  int every = 1;
+  std::string function;  ///< empty = attribute to main
+  std::string module;
+};
+
+[[noreturn]] void fail(std::size_t step_index, const std::string& why) {
+  throw WorkloadError("workload body step " + std::to_string(step_index) + ": " + why);
+}
+
+Step parse_step(const Json& j, std::size_t index, int nranks) {
+  if (!j.is_object()) fail(index, "expected an object");
+  Step step;
+  const std::string op = j.get_or("op", std::string());
+  if (op == "compute") step.kind = StepKind::Compute;
+  else if (op == "io") step.kind = StepKind::Io;
+  else if (op == "exchange") step.kind = StepKind::Exchange;
+  else if (op == "barrier") step.kind = StepKind::Barrier;
+  else if (op == "allreduce") step.kind = StepKind::Allreduce;
+  else if (op == "bcast") step.kind = StepKind::Bcast;
+  else if (op == "gather") step.kind = StepKind::Gather;
+  else if (op == "alltoall") step.kind = StepKind::Alltoall;
+  else fail(index, "unknown op '" + op + "'");
+
+  step.seconds = j.get_or("seconds", 0.0);
+  if ((step.kind == StepKind::Compute || step.kind == StepKind::Io) && step.seconds <= 0)
+    fail(index, "'" + op + "' requires positive \"seconds\"");
+
+  if (const Json* factors = j.as_object().find("factors")) {
+    for (const auto& f : factors->as_array()) step.factors.push_back(f.as_double());
+    if (static_cast<int>(step.factors.size()) != nranks)
+      fail(index, "\"factors\" must list one value per rank");
+    for (double f : step.factors)
+      if (!(f > 0)) fail(index, "\"factors\" entries must be positive");
+  }
+
+  if (step.kind == StepKind::Exchange) {
+    const std::string pattern = j.get_or("pattern", std::string("ring"));
+    if (pattern == "ring") step.pattern = Pattern::Ring;
+    else if (pattern == "pairs") step.pattern = Pattern::Pairs;
+    else if (pattern == "butterfly") step.pattern = Pattern::Butterfly;
+    else fail(index, "unknown pattern '" + pattern + "'");
+    step.bytes = static_cast<std::size_t>(j.get_or("bytes", 1024.0));
+    step.tag = static_cast<int>(j.get_or("tag", 0.0));
+    step.comm = static_cast<int>(j.get_or("comm", 0.0));
+    if (pattern == "pairs" && nranks % 2 != 0)
+      fail(index, "\"pairs\" exchange needs an even rank count");
+  }
+  if (step.kind == StepKind::Allreduce || step.kind == StepKind::Bcast ||
+      step.kind == StepKind::Gather || step.kind == StepKind::Alltoall)
+    step.bytes = static_cast<std::size_t>(j.get_or("bytes", 8.0));
+
+  step.every = static_cast<int>(j.get_or("every", 1.0));
+  if (step.every < 1) fail(index, "\"every\" must be >= 1");
+  step.function = j.get_or("function", std::string());
+  step.module = j.get_or("module", std::string());
+  if (step.function.empty() != step.module.empty())
+    fail(index, "\"function\" and \"module\" must be given together");
+  return step;
+}
+
+void run_exchange(Recorder& r, const Step& step) {
+  const int rank = r.rank();
+  const int size = r.size();
+  auto swap_with = [&](int partner) {
+    const simmpi::RequestId req = r.irecv(partner, step.tag, step.comm);
+    r.send(partner, step.tag, step.bytes, step.comm);
+    r.wait(req);
+  };
+  switch (step.pattern) {
+    case Pattern::Ring: {
+      if (size < 2) return;
+      const int next = (rank + 1) % size;
+      const int prev = (rank + size - 1) % size;
+      const simmpi::RequestId req = r.irecv(prev, step.tag, step.comm);
+      r.send(next, step.tag, step.bytes, step.comm);
+      r.wait(req);
+      break;
+    }
+    case Pattern::Pairs:
+      swap_with(rank ^ 1);
+      break;
+    case Pattern::Butterfly:
+      for (int stage = 1; stage < size; stage <<= 1) {
+        const int partner = rank ^ stage;
+        if (partner < size) swap_with(partner);
+      }
+      break;
+  }
+}
+
+void run_step(Recorder& r, const Step& step, int iter) {
+  if (iter % step.every != step.every - 1 && step.every > 1) return;
+  std::optional<FunctionScope> scope;
+  if (!step.function.empty()) scope.emplace(r, step.function, step.module);
+  const double factor =
+      step.factors.empty() ? 1.0 : step.factors[static_cast<std::size_t>(r.rank())];
+  switch (step.kind) {
+    case StepKind::Compute: r.compute(factor * step.seconds); break;
+    case StepKind::Io: r.io(factor * step.seconds); break;
+    case StepKind::Exchange: run_exchange(r, step); break;
+    case StepKind::Barrier: r.barrier(); break;
+    case StepKind::Allreduce: r.allreduce(step.bytes); break;
+    case StepKind::Bcast: r.bcast(step.bytes); break;
+    case StepKind::Gather: r.gather(step.bytes); break;
+    case StepKind::Alltoall: r.alltoall(step.bytes); break;
+  }
+}
+
+simmpi::MachineSpec parse_machine(const Json& spec, const std::string& name, int nranks) {
+  std::string node_prefix = "node";
+  std::string process_prefix = name;
+  int node_base = 1;
+  std::vector<double> speeds;
+  if (const Json* machine = spec.as_object().find("machine")) {
+    node_prefix = machine->get_or("node_prefix", node_prefix);
+    process_prefix = machine->get_or("process_prefix", process_prefix);
+    node_base = static_cast<int>(machine->get_or("node_base", 1.0));
+    if (const Json* sp = machine->as_object().find("speeds"))
+      for (const auto& s : sp->as_array()) speeds.push_back(s.as_double());
+  }
+  simmpi::MachineSpec m =
+      simmpi::MachineSpec::one_to_one(nranks, node_prefix, process_prefix, node_base);
+  if (!speeds.empty()) {
+    if (static_cast<int>(speeds.size()) != nranks)
+      throw WorkloadError("machine.speeds must list one value per rank");
+    m.node_speeds = speeds;
+  }
+  m.validate();
+  return m;
+}
+
+simmpi::NetworkModel parse_network(const Json& spec) {
+  simmpi::NetworkModel net;
+  if (const Json* n = spec.as_object().find("network")) {
+    net.latency = n->get_or("latency", net.latency);
+    net.bytes_per_second = n->get_or("bandwidth", net.bytes_per_second);
+    net.eager_limit =
+        static_cast<std::size_t>(n->get_or("eager_limit", static_cast<double>(net.eager_limit)));
+    if (net.latency < 0 || net.bytes_per_second <= 0)
+      throw WorkloadError("network: latency must be >= 0 and bandwidth > 0");
+  }
+  return net;
+}
+
+}  // namespace
+
+Workload build_workload(const Json& spec) {
+  if (!spec.is_object()) throw WorkloadError("workload spec must be a JSON object");
+  Workload w;
+  w.name = spec.get_or("name", std::string("workload"));
+  const int nranks = static_cast<int>(spec.get_or("ranks", 0.0));
+  if (nranks < 1 || nranks > 4096) throw WorkloadError("\"ranks\" must be in [1, 4096]");
+  const int iterations = static_cast<int>(spec.get_or("iterations", 0.0));
+  if (iterations < 1) throw WorkloadError("\"iterations\" must be >= 1");
+
+  const Json* body = spec.as_object().find("body");
+  if (!body || !body->is_array() || body->as_array().empty())
+    throw WorkloadError("\"body\" must be a non-empty array of steps");
+  std::vector<Step> steps;
+  for (std::size_t i = 0; i < body->as_array().size(); ++i)
+    steps.push_back(parse_step(body->as_array()[i], i, nranks));
+
+  std::vector<Step> init_steps;
+  if (const Json* init = spec.as_object().find("init"))
+    for (std::size_t i = 0; i < init->as_array().size(); ++i)
+      init_steps.push_back(parse_step(init->as_array()[i], i, nranks));
+
+  w.network = parse_network(spec);
+  simmpi::ProgramBuilder builder(parse_machine(spec, w.name, nranks));
+  builder.record([&](Recorder& r) {
+    FunctionScope fmain(r, "main", w.name + ".c");
+    for (const Step& step : init_steps) run_step(r, step, step.every - 1);
+    for (int iter = 0; iter < iterations; ++iter)
+      for (const Step& step : steps) run_step(r, step, iter);
+  });
+  w.program = builder.build();
+  return w;
+}
+
+Workload load_workload(const std::string& path) {
+  return build_workload(Json::parse(util::read_file(path)));
+}
+
+simmpi::ExecutionTrace run_workload(const Json& spec) {
+  Workload w = build_workload(spec);
+  return simmpi::Simulator(w.network).run(w.program);
+}
+
+}  // namespace histpc::apps

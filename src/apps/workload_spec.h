@@ -1,0 +1,62 @@
+// User-defined workloads from JSON specifications.
+//
+// The built-in applications are C++ functions; a WorkloadSpec lets a user
+// describe a synthetic SPMD program declaratively and diagnose it with the
+// same pipeline (histpc run --workload my.json). Example:
+//
+//   {
+//     "name": "mysolver",
+//     "ranks": 4,
+//     "iterations": 200,
+//     "machine": { "node_prefix": "node", "process_prefix": "mysolver",
+//                  "speeds": [1.0, 1.0, 0.5, 0.5] },
+//     "network": { "latency": 4e-5, "bandwidth": 9e7, "eager_limit": 16384 },
+//     "body": [
+//       { "op": "compute", "seconds": 0.4, "function": "solve",
+//         "module": "solver.c", "factors": [1.0, 0.9, 0.3, 0.2] },
+//       { "op": "exchange", "pattern": "ring", "tag": 0, "bytes": 2000000,
+//         "function": "exchange", "module": "comm.c" },
+//       { "op": "io", "seconds": 0.5, "every": 20, "function": "checkpoint",
+//         "module": "io.c" },
+//       { "op": "allreduce", "bytes": 8 }
+//     ]
+//   }
+//
+// Steps:
+//   compute   — seconds (scaled by optional per-rank "factors")
+//   io        — seconds, like compute but I/O-blocked
+//   exchange  — pattern in {"ring", "pairs", "butterfly"}: nonblocking
+//               neighbour exchange of "bytes" with "tag"/"comm"
+//   barrier / allreduce — collectives ("bytes" for allreduce payload)
+// Any step accepts "every": N (run on every Nth iteration only) and
+// "function"/"module" for Code-hierarchy attribution (defaults to main).
+#pragma once
+
+#include <string>
+
+#include "simmpi/program.h"
+#include "simmpi/simulator.h"
+#include "util/json.h"
+
+namespace histpc::apps {
+
+struct Workload {
+  std::string name;
+  simmpi::SimProgram program;
+  simmpi::NetworkModel network;
+};
+
+class WorkloadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse and build; throws WorkloadError with a step-indexed message on
+/// invalid specs.
+Workload build_workload(const util::Json& spec);
+Workload load_workload(const std::string& path);
+
+/// Build, simulate.
+simmpi::ExecutionTrace run_workload(const util::Json& spec);
+
+}  // namespace histpc::apps

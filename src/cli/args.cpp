@@ -1,0 +1,66 @@
+#include "cli/args.h"
+
+namespace histpc::cli {
+
+Args Args::parse(const std::vector<std::string>& tokens,
+                 const std::set<std::string>& value_options,
+                 const std::set<std::string>& flag_options) {
+  Args args;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      args.positionals_.push_back(tok);
+      continue;
+    }
+    const std::string name = tok.substr(2);
+    if (flag_options.contains(name)) {
+      args.flags_.insert(name);
+    } else if (value_options.contains(name)) {
+      if (i + 1 >= tokens.size())
+        throw ArgsError("option --" + name + " requires a value");
+      args.options_[name] = tokens[++i];
+    } else {
+      throw ArgsError("unknown option --" + name);
+    }
+  }
+  return args;
+}
+
+const std::string& Args::positional(std::size_t index, const std::string& what_for) const {
+  if (index >= positionals_.size())
+    throw ArgsError("missing argument: " + what_for);
+  return positionals_[index];
+}
+
+std::optional<std::string> Args::option(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::option_or(const std::string& name, const std::string& fallback) const {
+  auto v = option(name);
+  return v ? *v : fallback;
+}
+
+double Args::option_or(const std::string& name, double fallback) const {
+  auto v = option(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw ArgsError("option --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+int Args::option_or(const std::string& name, int fallback) const {
+  auto v = option(name);
+  if (!v) return fallback;
+  try {
+    return std::stoi(*v);
+  } catch (const std::exception&) {
+    throw ArgsError("option --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+}  // namespace histpc::cli

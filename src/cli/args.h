@@ -1,0 +1,50 @@
+// Minimal argument parsing for the histpc command-line tool.
+//
+// Grammar: positionals interleaved with `--key value` options and `--flag`
+// switches. Whether a given `--name` consumes a value is decided by the
+// command's option table, so `histpc run app --shg --duration 100` parses
+// unambiguously.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace histpc::cli {
+
+class ArgsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Args {
+ public:
+  /// Parse `argv`-style tokens. `value_options` lists option names that
+  /// take a value; `flag_options` lists boolean switches. Unknown options
+  /// throw ArgsError.
+  static Args parse(const std::vector<std::string>& tokens,
+                    const std::set<std::string>& value_options,
+                    const std::set<std::string>& flag_options);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Positional by index; throws ArgsError with `what_for` context when
+  /// missing.
+  const std::string& positional(std::size_t index, const std::string& what_for) const;
+
+  bool has_flag(const std::string& name) const { return flags_.contains(name); }
+  std::optional<std::string> option(const std::string& name) const;
+  std::string option_or(const std::string& name, const std::string& fallback) const;
+  double option_or(const std::string& name, double fallback) const;
+  int option_or(const std::string& name, int fallback) const;
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+  std::set<std::string> flags_;
+};
+
+}  // namespace histpc::cli

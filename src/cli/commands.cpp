@@ -1,0 +1,347 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "apps/workload_spec.h"
+#include "cli/args.h"
+#include "core/session.h"
+#include "history/combiner.h"
+#include "history/compare.h"
+#include "history/execution_map.h"
+#include "history/generator.h"
+#include "history/mapper.h"
+#include "history/postmortem.h"
+#include "history/report.h"
+#include "history/store.h"
+#include "simmpi/trace_io.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace histpc::cli {
+
+namespace {
+
+using history::ExperimentRecord;
+using history::ExperimentStore;
+
+ExperimentRecord load_or_throw(const ExperimentStore& store, const std::string& run_id) {
+  auto rec = store.load(run_id);
+  if (!rec)
+    throw ArgsError("no record '" + run_id + "' in store " + store.directory());
+  return std::move(*rec);
+}
+
+void print_result_summary(std::ostream& out, const pc::DiagnosisResult& result) {
+  out << "pairs tested:     " << result.stats.pairs_tested << "\n"
+      << "bottlenecks:      " << result.stats.bottlenecks << "\n"
+      << "pruned candidates:" << " " << result.stats.pruned_candidates << "\n"
+      << "search ended at:  " << util::fmt_double(result.stats.end_time, 1) << "s\n"
+      << "last true found:  " << util::fmt_double(result.stats.last_true_time, 1) << "s\n"
+      << "peak instr. cost: " << util::fmt_percent(result.stats.peak_cost, 1) << "\n";
+  if (!result.bottlenecks.empty()) {
+    out << "\nbottlenecks (discovery order):\n";
+    for (const auto& b : result.bottlenecks)
+      out << "  " << util::fmt_double(b.t_found, 1) << "s  "
+          << util::fmt_percent(b.fraction, 1) << "  " << b.hypothesis << " : " << b.focus
+          << "\n";
+  }
+}
+
+int cmd_apps(const Args&, std::ostream& out) {
+  for (const auto& name : apps::app_names()) out << name << "\n";
+  return 0;
+}
+
+/// Build the trace for `run`/`report`: a registered app by name, or a
+/// JSON workload via --workload.
+simmpi::ExecutionTrace make_trace(const Args& args, std::string& name_out,
+                                  double default_duration) {
+  if (auto workload = args.option("workload")) {
+    apps::Workload w = apps::load_workload(*workload);
+    name_out = w.name;
+    return simmpi::Simulator(w.network).run(w.program);
+  }
+  name_out = args.positional(0, "application name (or --workload FILE)");
+  apps::AppParams params;
+  params.target_duration = args.option_or("duration", default_duration);
+  params.node_base = args.option_or("node-base", 1);
+  return apps::run_app(name_out, params);
+}
+
+int cmd_report(const Args& args, std::ostream& out) {
+  std::string app;
+  const simmpi::ExecutionTrace trace = make_trace(args, app, 300.0);
+  out << trace.summary();
+  const metrics::TraceView view(trace);
+  const auto whole = resources::Focus::whole_program(view.resources());
+  out << "\nwhole-program fractions: cpu "
+      << util::fmt_percent(
+             view.fraction(metrics::MetricKind::CpuTime, whole, 0, trace.duration))
+      << ", sync "
+      << util::fmt_percent(
+             view.fraction(metrics::MetricKind::SyncWaitTime, whole, 0, trace.duration))
+      << ", io "
+      << util::fmt_percent(
+             view.fraction(metrics::MetricKind::IoWaitTime, whole, 0, trace.duration))
+      << "\n";
+
+  // Optional time histogram (Paradyn's phase view): one digit per bin,
+  // 0 = idle for that metric, 9 = >=90% of execution.
+  const int bins = args.option_or("bins", 0);
+  if (bins > 0) {
+    out << "\ntime histogram (" << bins << " bins over "
+        << util::fmt_double(trace.duration, 1) << "s):\n";
+    for (auto [metric, label] : {std::pair{metrics::MetricKind::CpuTime, "cpu "},
+                                 {metrics::MetricKind::SyncWaitTime, "sync"},
+                                 {metrics::MetricKind::IoWaitTime, "io  "}}) {
+      const auto series = view.fraction_series(metric, whole, 0, trace.duration,
+                                               static_cast<std::size_t>(bins));
+      out << "  " << label << " ";
+      for (double v : series)
+        out << static_cast<char>('0' + std::clamp(static_cast<int>(v * 10), 0, 9));
+      out << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args, std::ostream& out) {
+  pc::PcConfig config;
+  if (args.has_flag("extended")) config.hypotheses = pc::HypothesisSet::standard_extended();
+  config.threshold_override = args.option_or("threshold", -1.0);
+  config.cost_limit = args.option_or("cost-limit", config.cost_limit);
+  config.respect_discovery_times = args.has_flag("discovery");
+
+  pc::DirectiveSet directives;
+  if (auto file = args.option("directives")) directives = pc::DirectiveSet::load(*file);
+
+  std::string app;
+  simmpi::ExecutionTrace trace = make_trace(args, app, 1500.0);
+  core::DiagnosisSession session(std::move(trace), config, app);
+  out << "running " << app << " (" << session.trace().num_ranks() << " ranks, "
+      << util::fmt_double(session.trace().duration, 1) << "s)\n";
+
+  pc::DiagnosisResult result;
+  if (args.has_flag("postmortem")) {
+    history::PostmortemOptions opts;
+    opts.hypotheses = config.hypotheses;
+    opts.threshold_override = config.threshold_override;
+    result = history::postmortem_diagnose(session.view(), opts);
+    out << "(postmortem evaluation over the complete execution)\n";
+  } else {
+    result = session.diagnose(directives);
+    if (args.has_flag("shg")) out << "\n" << session.last_shg() << "\n";
+    if (auto dot = args.option("dot")) {
+      // Re-run is avoided: the session retains the last SHG only as text;
+      // produce DOT from a dedicated consultant run for exact structure.
+      pc::PerformanceConsultant consultant(session.view(), config, directives);
+      consultant.run();
+      util::write_file(*dot, consultant.shg().to_dot());
+      out << "wrote " << *dot << "\n";
+    }
+  }
+  print_result_summary(out, result);
+
+  if (auto trace_file = args.option("save-trace")) {
+    simmpi::save_trace(session.trace(), *trace_file);
+    out << "\nwrote trace to " << *trace_file << "\n";
+  }
+  if (auto store_dir = args.option("store")) {
+    ExperimentStore store(*store_dir);
+    const std::string version = args.option_or("version", std::string("1"));
+    const std::string run_id = store.save(session.make_record(result, version));
+    out << "\nstored experiment record '" << run_id << "' in " << *store_dir << "\n";
+  }
+  return 0;
+}
+
+int cmd_list(const Args& args, std::ostream& out) {
+  ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
+  util::TablePrinter table({"run id", "app", "version", "ranks", "duration", "bottlenecks"});
+  for (const auto& id :
+       store.list(args.option_or("app", std::string()), args.option_or("version", std::string()))) {
+    auto rec = store.load(id);
+    if (!rec) continue;
+    table.add_row({id, rec->app, rec->version, std::to_string(rec->nranks),
+                   util::fmt_double(rec->duration, 1) + "s",
+                   std::to_string(rec->bottlenecks.size())});
+  }
+  if (table.num_rows() == 0) {
+    out << "(no records)\n";
+  } else {
+    table.print(out);
+  }
+  return 0;
+}
+
+int cmd_show(const Args& args, std::ostream& out) {
+  ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
+  const ExperimentRecord rec = load_or_throw(store, args.positional(0, "run id"));
+  if (args.has_flag("report")) {
+    out << history::tuning_report(rec);
+    return 0;
+  }
+  out << "run:        " << rec.run_id << "\n"
+      << "app:        " << rec.app << " (version " << rec.version << ")\n"
+      << "ranks:      " << rec.nranks << "\n"
+      << "duration:   " << util::fmt_double(rec.duration, 1) << "s\n"
+      << "threshold:  " << util::fmt_percent(rec.threshold_used, 0) << "\n"
+      << "pairs:      " << rec.pairs_tested << "\n"
+      << "machine<->process 1:1: " << (rec.machine_process_one_to_one ? "yes" : "no") << "\n"
+      << "bottlenecks (" << rec.bottlenecks.size() << "):\n";
+  for (const auto& b : rec.bottlenecks)
+    out << "  " << util::fmt_percent(b.fraction, 1) << "  " << b.hypothesis << " : "
+        << b.focus << "\n";
+  return 0;
+}
+
+int cmd_harvest(const Args& args, std::ostream& out) {
+  ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
+  std::vector<ExperimentRecord> records;
+  for (const auto& id : args.positionals()) records.push_back(load_or_throw(store, id));
+  if (records.empty()) throw ArgsError("missing argument: run id(s)");
+
+  history::GeneratorOptions opts;
+  opts.priorities = !args.has_flag("no-priorities");
+  opts.general_prunes = !args.has_flag("no-general-prunes");
+  opts.historic_prunes = !args.has_flag("no-historic-prunes");
+  opts.false_pair_prunes = args.has_flag("false-pair-prunes");
+  opts.thresholds = args.has_flag("thresholds");
+  const history::DirectiveGenerator generator(opts);
+
+  pc::DirectiveSet directives;
+  if (auto combine_mode = args.option("combine")) {
+    // Pairwise combination semantics (paper §4.3): fold the per-run sets
+    // with A∩B or A∪B instead of pooling the records.
+    history::CombineMode mode;
+    if (*combine_mode == "intersect") mode = history::CombineMode::Intersection;
+    else if (*combine_mode == "union") mode = history::CombineMode::Union;
+    else throw ArgsError("--combine expects 'intersect' or 'union'");
+    if (records.size() < 2) throw ArgsError("--combine needs at least two run ids");
+    directives = generator.from_record(records.front());
+    for (std::size_t i = 1; i < records.size(); ++i)
+      directives = history::combine(directives, generator.from_record(records[i]), mode);
+  } else {
+    directives = generator.from_records(records);
+  }
+  const std::string text = directives.serialize();
+  if (auto file = args.option("out")) {
+    util::write_file(*file, text);
+    out << "wrote " << directives.prunes.size() << " prunes, "
+        << directives.pair_prunes.size() << " pair prunes, "
+        << directives.priorities.size() << " priorities, "
+        << directives.thresholds.size() << " thresholds to " << *file << "\n";
+  } else {
+    out << text;
+  }
+  return 0;
+}
+
+int cmd_map(const Args& args, std::ostream& out) {
+  ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
+  const ExperimentRecord from = load_or_throw(store, args.positional(0, "source run id"));
+  const ExperimentRecord to = load_or_throw(store, args.positional(1, "target run id"));
+  const auto maps = history::suggest_mappings(from.resources, to.resources);
+  if (maps.empty()) {
+    out << "# no mappings needed: the runs share their resource names\n";
+  } else {
+    for (const auto& m : maps) out << "map " << m.from << " " << m.to << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args, std::ostream& out) {
+  ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
+  const ExperimentRecord a = load_or_throw(store, args.positional(0, "first run id"));
+  const ExperimentRecord b = load_or_throw(store, args.positional(1, "second run id"));
+  std::vector<pc::MapDirective> maps;
+  if (!args.has_flag("no-map")) maps = history::suggest_mappings(a.resources, b.resources);
+  out << history::render_comparison(history::compare_records(a, b, maps), a.run_id,
+                                    b.run_id);
+  return 0;
+}
+
+int cmd_diff(const Args& args, std::ostream& out) {
+  ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
+  const ExperimentRecord first = load_or_throw(store, args.positional(0, "first run id"));
+  const ExperimentRecord second = load_or_throw(store, args.positional(1, "second run id"));
+  const history::ExecutionMap map =
+      history::build_execution_map(first.resources, second.resources);
+  out << "execution map (1 = " << first.run_id << " only, 2 = " << second.run_id
+      << " only, 3 = both):\n\n"
+      << map.render();
+  return 0;
+}
+
+int cmd_diagnose_trace(const Args& args, std::ostream& out) {
+  const std::string path = args.positional(0, "trace file");
+  pc::DirectiveSet directives;
+  if (auto file = args.option("directives")) directives = pc::DirectiveSet::load(*file);
+  core::DiagnosisSession session(simmpi::load_trace(path));
+  const pc::DiagnosisResult result = session.diagnose(directives);
+  if (args.has_flag("shg")) out << session.last_shg() << "\n";
+  print_result_summary(out, result);
+  return 0;
+}
+
+struct Command {
+  const char* name;
+  int (*fn)(const Args&, std::ostream&);
+  std::set<std::string> value_options;
+  std::set<std::string> flag_options;
+};
+
+const Command kCommands[] = {
+    {"apps", cmd_apps, {}, {}},
+    {"report", cmd_report, {"duration", "node-base", "workload", "bins"}, {}},
+    {"run",
+     cmd_run,
+     {"duration", "node-base", "threshold", "cost-limit", "directives", "store", "version",
+      "save-trace", "dot", "workload"},
+     {"shg", "extended", "postmortem", "discovery"}},
+    {"list", cmd_list, {"store", "app", "version"}, {}},
+    {"show", cmd_show, {"store"}, {"report"}},
+    {"harvest",
+     cmd_harvest,
+     {"store", "out", "combine"},
+     {"no-priorities", "no-general-prunes", "no-historic-prunes", "false-pair-prunes",
+      "thresholds"}},
+    {"map", cmd_map, {"store"}, {}},
+    {"compare", cmd_compare, {"store"}, {"no-map"}},
+    {"diff", cmd_diff, {"store"}, {}},
+    {"diagnose-trace", cmd_diagnose_trace, {"directives"}, {"shg"}},
+};
+
+}  // namespace
+
+std::string usage() {
+  std::ostringstream os;
+  os << "histpc — historical-data-directed online performance diagnosis\n\n"
+        "usage: histpc <command> [args]\n\ncommands:\n"
+        "  apps                         list registered applications\n"
+        "  report <app>                 simulate and summarize an execution\n"
+        "  run <app>                    simulate + diagnose (optionally directed/stored)\n"
+        "  list                         list stored experiment records\n"
+        "  show <run_id>                print one record\n"
+        "  harvest <run_id>             extract search directives from a record\n"
+        "  map <from_id> <to_id>        suggest resource mappings between two runs\n"
+        "  compare <id1> <id2>          bottlenecks resolved/appeared/moved between runs\n"
+        "  diff <id1> <id2>             execution map of two runs' resources\n"
+        "  diagnose-trace <file.json>   diagnose a serialized trace\n";
+  return os.str();
+}
+
+int run_command(const std::string& command, const std::vector<std::string>& tokens,
+                std::ostream& out) {
+  for (const Command& c : kCommands) {
+    if (command == c.name) {
+      const Args args = Args::parse(tokens, c.value_options, c.flag_options);
+      return c.fn(args, out);
+    }
+  }
+  throw ArgsError("unknown command '" + command + "'\n" + usage());
+}
+
+}  // namespace histpc::cli

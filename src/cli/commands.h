@@ -1,0 +1,40 @@
+// The histpc command-line tool's subcommands, as testable functions.
+//
+//   histpc apps
+//   histpc run <app|--workload FILE> [--duration S] [--node-base N]
+//                    [--threshold F] [--cost-limit F] [--directives FILE]
+//                    [--extended] [--discovery] [--store DIR] [--version V]
+//                    [--save-trace FILE] [--shg] [--dot FILE] [--postmortem]
+//   histpc report <app|--workload FILE> [--duration S] [--bins N]
+//   histpc list [--store DIR] [--app NAME] [--version V]
+//   histpc show <run_id> [--store DIR] [--report]
+//   histpc harvest <run_id...> [--store DIR] [--out FILE] [--no-priorities]
+//                    [--no-general-prunes] [--no-historic-prunes]
+//                    [--false-pair-prunes] [--thresholds]
+//                    [--combine intersect|union]
+//   histpc map <run_id_from> <run_id_to> [--store DIR]
+//   histpc compare <run_id_1> <run_id_2> [--store DIR] [--no-map]
+//   histpc diff <run_id_1> <run_id_2> [--store DIR]
+//   histpc diagnose-trace <trace.json> [--directives FILE] [--shg]
+//
+// Every command writes human-readable output to `out` and returns a
+// process exit code. main() dispatches and turns exceptions into error
+// messages on stderr.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace histpc::cli {
+
+inline constexpr const char* kDefaultStoreDir = ".histpc";
+
+/// Run one subcommand; `tokens` excludes the program and command names.
+int run_command(const std::string& command, const std::vector<std::string>& tokens,
+                std::ostream& out);
+
+/// The top-level usage text.
+std::string usage();
+
+}  // namespace histpc::cli

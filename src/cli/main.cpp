@@ -1,0 +1,19 @@
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cout << histpc::cli::usage();
+    return 2;
+  }
+  std::vector<std::string> tokens(argv + 2, argv + argc);
+  try {
+    return histpc::cli::run_command(argv[1], tokens, std::cout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "histpc: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,37 @@
+#include "core/session.h"
+
+namespace histpc::core {
+
+DiagnosisSession::DiagnosisSession(const std::string& app_name, apps::AppParams params,
+                                   pc::PcConfig config)
+    : app_name_(app_name),
+      trace_(std::make_unique<simmpi::ExecutionTrace>(apps::run_app(app_name, params))),
+      view_(std::make_unique<metrics::TraceView>(*trace_)),
+      config_(std::move(config)) {}
+
+DiagnosisSession::DiagnosisSession(simmpi::ExecutionTrace trace, pc::PcConfig config,
+                                   std::string name)
+    : app_name_(std::move(name)),
+      trace_(std::make_unique<simmpi::ExecutionTrace>(std::move(trace))),
+      view_(std::make_unique<metrics::TraceView>(*trace_)),
+      config_(std::move(config)) {}
+
+pc::DiagnosisResult DiagnosisSession::diagnose(const pc::DirectiveSet& directives) {
+  pc::PerformanceConsultant consultant(*view_, config_, directives);
+  pc::DiagnosisResult result = consultant.run();
+  last_shg_ = consultant.shg().render();
+  return result;
+}
+
+history::ExperimentRecord DiagnosisSession::make_record(const pc::DiagnosisResult& result,
+                                                        const std::string& version) const {
+  const double threshold =
+      config_.threshold_override > 0 ? config_.threshold_override : 0.20;
+  // Record under the app family name (strip the version suffix, if any).
+  std::string family = app_name_;
+  if (auto pos = family.rfind('_'); pos != std::string::npos && pos + 2 == family.size())
+    family.resize(pos);
+  return history::make_record(family, version, *view_, result, threshold);
+}
+
+}  // namespace histpc::core

@@ -1,0 +1,69 @@
+// Cross-run analyses reported in the paper:
+//  * Table 4 — similarity of priority directives extracted from different
+//    code versions (how many are unique to one version, shared by two, by
+//    all three, ...).
+//  * Section 4.3 — overlap of the bottleneck sets different directed runs
+//    diagnose.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pc/consultant.h"
+#include "pc/directives.h"
+
+namespace histpc::history {
+
+/// Membership masks: bit i set = the item appears in input i. For three
+/// inputs A, B, C the masks 1, 2, 4 are "only A/B/C", 3/5/6 the pairs, and
+/// 7 "all three".
+struct MembershipCounts {
+  std::map<unsigned, std::size_t> counts;
+  std::size_t total = 0;
+
+  std::size_t count_for(unsigned mask) const {
+    auto it = counts.find(mask);
+    return it == counts.end() ? 0 : it->second;
+  }
+};
+
+struct PrioritySimilarity {
+  MembershipCounts high;  ///< high-priority directives
+  MembershipCounts low;   ///< low-priority directives
+  MembershipCounts both;  ///< union of high and low
+};
+
+/// Compare priority directives across directive sets. A directive is keyed
+/// by (hypothesis, focus, level); mapping should have been applied first
+/// so foci are in a common namespace.
+PrioritySimilarity priority_similarity(const std::vector<pc::DirectiveSet>& sets);
+
+/// Compare bottleneck sets (keyed by hypothesis + focus) across runs.
+MembershipCounts bottleneck_overlap(
+    const std::vector<std::vector<pc::BottleneckReport>>& runs);
+
+/// Human-readable label for a mask: "A only", "A,B", "A,B,C" ... given the
+/// per-input names.
+std::string mask_label(unsigned mask, const std::vector<std::string>& names);
+
+/// The evaluation reference set for a directed run: the base run's
+/// bottlenecks minus those a directive set deliberately excludes by
+/// pruning (e.g. redundant /Machine foci when processes and nodes map
+/// one-to-one). The paper measures time-to-find against "the bottlenecks
+/// in that set"; pairs the directives rule out by design are not misses.
+/// Mappings in `directives` are applied (to a copy) before testing.
+std::vector<pc::BottleneckReport> filter_pruned(
+    const std::vector<pc::BottleneckReport>& reference, const pc::DirectiveSet& directives,
+    const resources::ResourceDb& db);
+
+/// Keep only clearly significant bottlenecks: measured fraction at least
+/// `min_fraction`. Pairs sitting exactly at the hypothesis threshold flap
+/// between runs with the measurement window's phase (the paper's runs of C
+/// agreed on 113 of 115 bottlenecks for the same reason); evaluation
+/// reference sets should exclude those marginal pairs.
+std::vector<pc::BottleneckReport> significant_bottlenecks(
+    const std::vector<pc::BottleneckReport>& bottlenecks, double min_fraction);
+
+}  // namespace histpc::history

@@ -1,0 +1,59 @@
+#include "history/combiner.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace histpc::history {
+
+using pc::DirectiveSet;
+using pc::Priority;
+
+DirectiveSet combine(const DirectiveSet& a, const DirectiveSet& b, CombineMode mode) {
+  DirectiveSet out;
+
+  // Non-priority directives: concatenate, dedup prunes.
+  out.prunes = a.prunes;
+  out.prunes.insert(out.prunes.end(), b.prunes.begin(), b.prunes.end());
+  std::sort(out.prunes.begin(), out.prunes.end(),
+            [](const pc::PruneDirective& x, const pc::PruneDirective& y) {
+              return std::tie(x.hypothesis, x.resource_prefix) <
+                     std::tie(y.hypothesis, y.resource_prefix);
+            });
+  out.prunes.erase(std::unique(out.prunes.begin(), out.prunes.end()), out.prunes.end());
+  out.thresholds = a.thresholds;
+  out.thresholds.insert(out.thresholds.end(), b.thresholds.begin(), b.thresholds.end());
+  out.maps = a.maps;
+  out.maps.insert(out.maps.end(), b.maps.begin(), b.maps.end());
+
+  struct Outcome {
+    bool high_a = false, low_a = false, high_b = false, low_b = false;
+  };
+  std::map<std::pair<std::string, std::string>, Outcome> pairs;
+  for (const auto& p : a.priorities) {
+    auto& o = pairs[{p.hypothesis, p.focus}];
+    if (p.priority == Priority::High) o.high_a = true;
+    if (p.priority == Priority::Low) o.low_a = true;
+  }
+  for (const auto& p : b.priorities) {
+    auto& o = pairs[{p.hypothesis, p.focus}];
+    if (p.priority == Priority::High) o.high_b = true;
+    if (p.priority == Priority::Low) o.low_b = true;
+  }
+
+  for (const auto& [key, o] : pairs) {
+    Priority result = Priority::Medium;
+    if (mode == CombineMode::Intersection) {
+      if (o.high_a && o.high_b) result = Priority::High;
+      else if (o.low_a && o.low_b) result = Priority::Low;
+    } else {  // Union
+      if (o.high_a || o.high_b) result = Priority::High;
+      else if (o.low_a || o.low_b) result = Priority::Low;
+    }
+    if (result != Priority::Medium)
+      out.priorities.push_back({key.first, key.second, result});
+  }
+  return out;
+}
+
+}  // namespace histpc::history

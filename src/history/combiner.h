@@ -1,0 +1,21 @@
+// Combining search directives from multiple previous runs (Section 4.3):
+//
+//  * intersection (A ∩ B): high priority only for pairs that tested true
+//    in BOTH runs; low only for pairs false in both.
+//  * union (A ∪ B): high for pairs true in EITHER run; low for pairs false
+//    in either run that were not true in the other.
+//
+// Combination operates on the priority directives; prunes, thresholds and
+// maps are concatenated (prunes deduped).
+#pragma once
+
+#include "pc/directives.h"
+
+namespace histpc::history {
+
+enum class CombineMode { Intersection, Union };
+
+pc::DirectiveSet combine(const pc::DirectiveSet& a, const pc::DirectiveSet& b,
+                         CombineMode mode);
+
+}  // namespace histpc::history

@@ -1,0 +1,86 @@
+#include "history/compare.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace histpc::history {
+
+RunComparison compare_records(const ExperimentRecord& a, const ExperimentRecord& b,
+                              const std::vector<pc::MapDirective>& maps) {
+  RunComparison cmp;
+  std::map<std::pair<std::string, std::string>, double> b_set;
+  for (const auto& bb : b.bottlenecks) b_set[{bb.hypothesis, bb.focus}] = bb.fraction;
+
+  std::map<std::pair<std::string, std::string>, bool> matched_in_b;
+  for (const auto& ab : a.bottlenecks) {
+    const std::string mapped_focus = pc::apply_maps_to_focus_name(maps, ab.focus);
+    auto it = b_set.find({ab.hypothesis, mapped_focus});
+    if (it == b_set.end()) {
+      cmp.resolved.push_back(ab);
+    } else {
+      cmp.common.push_back({ab.hypothesis, mapped_focus, ab.fraction, it->second});
+      matched_in_b[it->first] = true;
+    }
+  }
+  for (const auto& bb : b.bottlenecks) {
+    if (!matched_in_b.count({bb.hypothesis, bb.focus})) cmp.appeared.push_back(bb);
+  }
+  // Biggest movers first.
+  std::stable_sort(cmp.common.begin(), cmp.common.end(),
+                   [](const auto& x, const auto& y) {
+                     return std::abs(x.delta()) > std::abs(y.delta());
+                   });
+  auto by_fraction = [](const pc::BottleneckReport& x, const pc::BottleneckReport& y) {
+    return x.fraction > y.fraction;
+  };
+  std::stable_sort(cmp.resolved.begin(), cmp.resolved.end(), by_fraction);
+  std::stable_sort(cmp.appeared.begin(), cmp.appeared.end(), by_fraction);
+  return cmp;
+}
+
+std::string render_comparison(const RunComparison& cmp, const std::string& name_a,
+                              const std::string& name_b, std::size_t max_rows) {
+  std::ostringstream os;
+  os << "comparison: " << name_a << " -> " << name_b << "\n"
+     << "  resolved: " << cmp.resolved.size() << ", appeared: " << cmp.appeared.size()
+     << ", common: " << cmp.common.size() << "\n";
+
+  auto emit_list = [&](const char* title, const std::vector<pc::BottleneckReport>& list) {
+    os << "\n" << title << ":\n";
+    if (list.empty()) {
+      os << "  (none)\n";
+      return;
+    }
+    std::size_t shown = 0;
+    for (const auto& bb : list) {
+      os << "  " << util::fmt_percent(bb.fraction, 1) << "  " << bb.hypothesis << " : "
+         << bb.focus << "\n";
+      if (++shown >= max_rows) {
+        os << "  ... " << list.size() - shown << " more\n";
+        break;
+      }
+    }
+  };
+  emit_list("resolved (bottlenecks gone)", cmp.resolved);
+  emit_list("appeared (new bottlenecks)", cmp.appeared);
+
+  os << "\nbiggest movers (common bottlenecks):\n";
+  if (cmp.common.empty()) os << "  (none)\n";
+  std::size_t shown = 0;
+  for (const auto& c : cmp.common) {
+    os << "  " << util::fmt_percent(c.fraction_a, 1) << " -> "
+       << util::fmt_percent(c.fraction_b, 1) << " (" << (c.delta() >= 0 ? "+" : "")
+       << util::fmt_percent(c.delta(), 1) << ")  " << c.hypothesis << " : " << c.focus
+       << "\n";
+    if (++shown >= max_rows) {
+      os << "  ... " << cmp.common.size() - shown << " more\n";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace histpc::history

@@ -1,0 +1,43 @@
+// Quantitative comparison of two diagnosed executions — the experiment-
+// management capability the paper builds on (Karavanic & Miller, SC'97):
+// after a code change, which bottlenecks were resolved, which appeared,
+// and which moved?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/experiment.h"
+#include "pc/directives.h"
+
+namespace histpc::history {
+
+struct RunComparison {
+  struct CommonBottleneck {
+    std::string hypothesis;
+    std::string focus;       ///< in run B's namespace
+    double fraction_a = 0.0;
+    double fraction_b = 0.0;
+    double delta() const { return fraction_b - fraction_a; }
+  };
+
+  /// Bottlenecks of run A absent from run B (resolved), in A's own
+  /// namespace before mapping.
+  std::vector<pc::BottleneckReport> resolved;
+  /// Bottlenecks of run B absent from run A (new).
+  std::vector<pc::BottleneckReport> appeared;
+  /// Present in both, with both measured fractions.
+  std::vector<CommonBottleneck> common;
+};
+
+/// Compare bottleneck sets. `maps` translate run A's resource names into
+/// run B's namespace first (pass suggest_mappings(a.resources,
+/// b.resources) for cross-version comparisons).
+RunComparison compare_records(const ExperimentRecord& a, const ExperimentRecord& b,
+                              const std::vector<pc::MapDirective>& maps = {});
+
+/// Human-readable rendering: resolved / appeared / biggest movers.
+std::string render_comparison(const RunComparison& cmp, const std::string& name_a,
+                              const std::string& name_b, std::size_t max_rows = 12);
+
+}  // namespace histpc::history

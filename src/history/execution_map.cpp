@@ -1,0 +1,47 @@
+#include "history/execution_map.h"
+
+#include <sstream>
+
+namespace histpc::history {
+
+using resources::ResourceDb;
+
+ExecutionMap build_execution_map(const ResourceDb& first, const ResourceDb& second) {
+  ExecutionMap map;
+  for (const std::string& name : first.all_resource_names()) {
+    map.combined.add_resource(name);
+    map.tags[name] = second.contains(name) ? "3" : "1";
+  }
+  for (const std::string& name : second.all_resource_names()) {
+    if (map.tags.contains(name)) continue;
+    map.combined.add_resource(name);
+    map.tags[name] = "2";
+  }
+  // Hierarchy roots exist in both by construction.
+  for (std::size_t i = 0; i < map.combined.num_hierarchies(); ++i) {
+    const auto& h = map.combined.hierarchy(i);
+    map.tags[h.node(h.root()).full_name] = "3";
+  }
+  return map;
+}
+
+std::vector<std::string> ExecutionMap::unique_to(int execution) const {
+  const std::string wanted = std::to_string(execution);
+  std::vector<std::string> out;
+  for (const std::string& name : combined.all_resource_names()) {
+    auto it = tags.find(name);
+    if (it != tags.end() && it->second == wanted) out.push_back(name);
+  }
+  return out;
+}
+
+std::string ExecutionMap::render() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < combined.num_hierarchies(); ++i) {
+    os << combined.hierarchy(i).render(&tags);
+    if (i + 1 < combined.num_hierarchies()) os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace histpc::history

@@ -1,0 +1,29 @@
+// Execution maps (paper Figure 3): the combined resource hierarchies of two
+// executions, with each resource tagged by where it occurs —
+// 1 = only the first execution, 2 = only the second, 3 = both.
+// Unique resources (tags 1 and 2) are the candidates for mapping.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "resources/resource_db.h"
+
+namespace histpc::history {
+
+struct ExecutionMap {
+  resources::ResourceDb combined;
+  /// full resource name -> "1" / "2" / "3"
+  std::unordered_map<std::string, std::string> tags;
+
+  /// Resources unique to execution 1 / 2 (mapping candidates).
+  std::vector<std::string> unique_to(int execution) const;
+
+  /// Figure 3-style rendering: each hierarchy tree with [tag] suffixes.
+  std::string render() const;
+};
+
+ExecutionMap build_execution_map(const resources::ResourceDb& first,
+                                 const resources::ResourceDb& second);
+
+}  // namespace histpc::history

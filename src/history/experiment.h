@@ -1,0 +1,58 @@
+// ExperimentRecord: everything one diagnostic run leaves behind for future
+// runs — the program's resource hierarchies, the Search History Graph
+// results, and postmortem resource-usage measurements. This is the "store
+// of performance data gathered from one or more previous program runs" the
+// paper's directive harvesting reads.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/trace_view.h"
+#include "pc/consultant.h"
+#include "resources/resource_db.h"
+#include "util/json.h"
+
+namespace histpc::history {
+
+struct ExperimentRecord {
+  std::string app;      ///< application name, e.g. "poisson"
+  std::string version;  ///< code version, e.g. "A"
+  std::string run_id;   ///< unique per stored run; assigned by the store if empty
+
+  double duration = 0.0;  ///< program execution time (virtual seconds)
+  int nranks = 0;
+
+  /// The run's resource hierarchies.
+  resources::ResourceDb resources;
+
+  /// SHG snapshot: every (hypothesis : focus) pair considered.
+  std::vector<pc::NodeSnapshot> nodes;
+  /// True conclusions in discovery order with timestamps.
+  std::vector<pc::BottleneckReport> bottlenecks;
+
+  /// Postmortem usage per Code resource (module and function): fraction of
+  /// total execution time spent there (any state). Basis of the historic
+  /// "small function" pruning directives.
+  std::map<std::string, double> code_usage;
+
+  /// True when processes and machine nodes map one-to-one (MPI-1 static
+  /// process model) — makes the Machine hierarchy redundant.
+  bool machine_process_one_to_one = false;
+
+  /// Diagnosis configuration echoes useful for later analysis.
+  double threshold_used = 0.0;
+  std::size_t pairs_tested = 0;
+
+  util::Json to_json() const;
+  static ExperimentRecord from_json(const util::Json& j);
+};
+
+/// Build a record from a finished diagnosis. Computes code usage and the
+/// process/machine redundancy flag from the trace.
+ExperimentRecord make_record(std::string app, std::string version,
+                             const metrics::TraceView& view,
+                             const pc::DiagnosisResult& result, double threshold_used);
+
+}  // namespace histpc::history

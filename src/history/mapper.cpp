@@ -1,0 +1,98 @@
+#include "history/mapper.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace histpc::history {
+
+using pc::MapDirective;
+using resources::ResourceDb;
+using resources::ResourceHierarchy;
+using resources::ResourceId;
+
+namespace {
+
+/// Full names of nodes in `h` at each depth that are absent from `other`.
+std::vector<std::vector<std::string>> unique_by_depth(const ResourceHierarchy& h,
+                                                      const ResourceHierarchy* other) {
+  std::vector<std::vector<std::string>> out;
+  for (ResourceId id : h.preorder()) {
+    const auto& n = h.node(id);
+    if (n.depth == 0) continue;
+    if (other && other->contains(n.full_name)) continue;
+    if (static_cast<std::size_t>(n.depth) > out.size()) out.resize(n.depth);
+    out[n.depth - 1].push_back(n.full_name);
+  }
+  return out;
+}
+
+void map_positionally(const ResourceHierarchy& from, const ResourceHierarchy& to,
+                      std::vector<MapDirective>& out) {
+  // Children of the roots, in insertion order (discovery order of the
+  // runs): old k-th <-> new k-th. When the counts differ (e.g. a 4-node
+  // run directing an 8-node run), the common prefix is mapped and the
+  // surplus resources stay unmapped — they have no history to inherit.
+  const auto& fr = from.node(from.root()).children;
+  const auto& tr = to.node(to.root()).children;
+  const std::size_t n = std::min(fr.size(), tr.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& a = from.node(fr[i]).full_name;
+    const std::string& b = to.node(tr[i]).full_name;
+    if (a != b) out.push_back({a, b});
+  }
+}
+
+void map_by_similarity(const ResourceHierarchy& from, const ResourceHierarchy& to,
+                       double min_similarity, std::vector<MapDirective>& out) {
+  auto from_unique = unique_by_depth(from, &to);
+  auto to_unique = unique_by_depth(to, &from);
+  const std::size_t depths = std::min(from_unique.size(), to_unique.size());
+  for (std::size_t d = 0; d < depths; ++d) {
+    std::vector<bool> taken(to_unique[d].size(), false);
+    for (const std::string& a : from_unique[d]) {
+      double best = min_similarity;
+      int best_idx = -1;
+      for (std::size_t i = 0; i < to_unique[d].size(); ++i) {
+        if (taken[i]) continue;
+        // Compare the final label, with the mapped parent as a gate: a
+        // renamed function should live in the (possibly renamed) module
+        // its ancestor was mapped to. We approximate the gate with full
+        // name similarity, which subsumes the parent path.
+        double s = util::name_similarity(a, to_unique[d][i]);
+        if (s > best) {
+          best = s;
+          best_idx = static_cast<int>(i);
+        }
+      }
+      if (best_idx >= 0) {
+        taken[static_cast<std::size_t>(best_idx)] = true;
+        out.push_back({a, to_unique[d][static_cast<std::size_t>(best_idx)]});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<MapDirective> suggest_mappings(const ResourceDb& from, const ResourceDb& to,
+                                           const MapperOptions& options) {
+  std::vector<MapDirective> out;
+  for (std::size_t i = 0; i < from.num_hierarchies(); ++i) {
+    const ResourceHierarchy& fh = from.hierarchy(i);
+    int to_idx = to.hierarchy_index(fh.name());
+    if (to_idx < 0) continue;
+    const ResourceHierarchy& th = to.hierarchy(static_cast<std::size_t>(to_idx));
+    const bool positional =
+        (fh.name() == resources::kMachineHierarchy && options.positional_machines) ||
+        (fh.name() == resources::kProcessHierarchy && options.positional_processes);
+    if (positional) {
+      map_positionally(fh, th, out);
+    } else {
+      map_by_similarity(fh, th, options.min_similarity, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace histpc::history

@@ -1,0 +1,40 @@
+// Resource mapping between executions (Section 3.2).
+//
+// Resources change names across runs: nodes 0-7 become nodes 16-23,
+// process ids differ, and code versions rename modules and functions
+// (oned.f -> onednb.f). Mapping directives establish equivalences so
+// directives extracted from one run can steer another.
+//
+// The paper uses user-specified `map` directives; automating the mapping
+// is listed as ongoing work. We provide both: user maps parse through
+// DirectiveSet, and suggest_mappings() implements a structural
+// name-similarity auto-mapper for the unique-resource candidates.
+#pragma once
+
+#include <vector>
+
+#include "pc/directives.h"
+#include "resources/resource_db.h"
+
+namespace histpc::history {
+
+struct MapperOptions {
+  /// Minimum name similarity (1 - edit distance / length) for a suggested
+  /// code-resource match.
+  double min_similarity = 0.4;
+  /// Map machine nodes positionally (old node k -> new node k) when the
+  /// machine hierarchies have equal size but different names.
+  bool positional_machines = true;
+  /// Same for process resources.
+  bool positional_processes = true;
+};
+
+/// Suggest mappings from resources of `from` (a previous run) onto
+/// resources of `to` (the upcoming run). Only resources missing from `to`
+/// are candidates; each is matched against same-depth resources of `to`
+/// that are missing from `from` (both unique — shared names need no map).
+std::vector<pc::MapDirective> suggest_mappings(const resources::ResourceDb& from,
+                                               const resources::ResourceDb& to,
+                                               const MapperOptions& options = {});
+
+}  // namespace histpc::history

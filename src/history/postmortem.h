@@ -1,0 +1,41 @@
+// Postmortem hypothesis evaluation (the paper's Section 6 extension):
+// harvest search directives when no previous Performance Consultant run —
+// and therefore no Search History Graph — is available, but the raw
+// performance data is, e.g. a trace gathered with a different monitoring
+// tool.
+//
+// The evaluator replays the Performance Consultant's top-down refinement
+// over the complete execution: every (hypothesis : focus) pair is tested
+// against the whole-run fraction with no instrumentation cost, no missed
+// data, and no program-end truncation. The result is an ideal diagnosis
+// whose record feeds the ordinary DirectiveGenerator.
+#pragma once
+
+#include "history/experiment.h"
+#include "metrics/trace_view.h"
+#include "pc/consultant.h"
+#include "pc/hypothesis.h"
+
+namespace histpc::history {
+
+struct PostmortemOptions {
+  pc::HypothesisSet hypotheses = pc::HypothesisSet::standard();
+  /// When > 0, overrides every hypothesis's default threshold.
+  double threshold_override = -1.0;
+  /// Safety bound on the number of pairs evaluated (the refinement of a
+  /// pathological trace could be large); evaluation stops cleanly at the
+  /// bound and the remaining candidates are reported NeverRan.
+  std::size_t max_pairs = 200000;
+};
+
+/// Evaluate the hypothesis tree over the full execution. Bottleneck
+/// timestamps are 0 (nothing is "found over time" postmortem).
+pc::DiagnosisResult postmortem_diagnose(const metrics::TraceView& view,
+                                        const PostmortemOptions& options = {});
+
+/// Convenience: postmortem evaluation straight to a storable record.
+ExperimentRecord postmortem_record(std::string app, std::string version,
+                                   const metrics::TraceView& view,
+                                   const PostmortemOptions& options = {});
+
+}  // namespace histpc::history

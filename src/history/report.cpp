@@ -1,0 +1,122 @@
+#include "history/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "history/generator.h"
+#include "resources/focus.h"
+#include "util/strings.h"
+
+namespace histpc::history {
+
+namespace {
+
+/// Number of focus parts constrained below their hierarchy roots.
+int constrained_parts(const std::string& focus_name, std::string* only_part = nullptr) {
+  std::string_view inner = focus_name;
+  if (!inner.empty() && inner.front() == '<' && inner.back() == '>')
+    inner = inner.substr(1, inner.size() - 2);
+  int constrained = 0;
+  for (auto part : util::split_view(inner, ',')) {
+    if (part.find('/', 1) != std::string_view::npos) {
+      ++constrained;
+      if (only_part) *only_part = std::string(util::trim(part));
+    }
+  }
+  return constrained;
+}
+
+}  // namespace
+
+std::string tuning_report(const ExperimentRecord& record, const ReportOptions& options) {
+  std::ostringstream os;
+  const char* h1 = options.markdown ? "# " : "== ";
+  const char* h2 = options.markdown ? "## " : "-- ";
+  const char* bullet = options.markdown ? "* " : "  - ";
+
+  os << h1 << "Tuning report: " << record.app << " version " << record.version;
+  if (!record.run_id.empty()) os << " (" << record.run_id << ")";
+  os << "\n\n"
+     << record.nranks << " processes, " << util::fmt_double(record.duration, 1)
+     << "s execution, " << record.pairs_tested << " hypothesis/focus pairs tested at a "
+     << util::fmt_percent(record.threshold_used, 0) << " threshold.\n\n";
+
+  // Headline: the whole-program verdict per hypothesis.
+  os << h2 << "Where the time goes\n\n";
+  bool any_headline = false;
+  for (const auto& n : record.nodes) {
+    if (constrained_parts(n.focus) != 0 || n.conclude_time < 0) continue;
+    os << bullet << n.hypothesis << ": " << util::fmt_percent(n.fraction, 1) << " — "
+       << (n.status == pc::NodeStatus::True ? "significant" : "not significant") << "\n";
+    any_headline = true;
+  }
+  if (!any_headline) os << bullet << "(no whole-program conclusions recorded)\n";
+  os << "\n";
+
+  // Dominant bottlenecks: the most refined true pairs, biggest first.
+  std::vector<const pc::BottleneckReport*> sorted;
+  for (const auto& b : record.bottlenecks) sorted.push_back(&b);
+  std::stable_sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return a->fraction > b->fraction;
+  });
+  os << h2 << "Dominant bottlenecks\n\n";
+  std::size_t emitted = 0;
+  for (const auto* b : sorted) {
+    if (constrained_parts(b->focus) < 2) continue;  // broad views repeat the headline
+    os << bullet << util::fmt_percent(b->fraction, 1) << "  " << b->hypothesis << " : "
+       << b->focus << "\n";
+    if (++emitted >= options.max_bottlenecks) break;
+  }
+  if (emitted == 0) os << bullet << "(no refined bottlenecks; the search may have been cut short)\n";
+  os << "\n";
+
+  // Per-hierarchy hot spots: true pairs constrained in exactly one
+  // hierarchy, so the reader sees "which code", "which process", "which
+  // message" independently.
+  os << h2 << "Hot spots by view\n\n";
+  for (std::string_view hierarchy : {"/Code", "/Process", "/Machine", "/SyncObject"}) {
+    std::vector<std::pair<double, std::string>> spots;
+    for (const auto& b : record.bottlenecks) {
+      std::string only;
+      if (constrained_parts(b.focus, &only) != 1) continue;
+      if (!util::is_path_prefix(hierarchy, only)) continue;
+      spots.emplace_back(b.fraction, only + " (" + b.hypothesis + ")");
+    }
+    std::stable_sort(spots.begin(), spots.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    os << bullet << hierarchy.substr(1) << ":";
+    if (spots.empty()) {
+      os << " none\n";
+    } else {
+      os << "\n";
+      std::size_t count = 0;
+      for (const auto& [frac, label] : spots) {
+        os << "  " << bullet << util::fmt_percent(frac, 1) << "  " << label << "\n";
+        if (++count >= options.max_bottlenecks) break;
+      }
+    }
+  }
+  os << "\n";
+
+  // What this run teaches the next one.
+  DirectiveGenerator generator;
+  const pc::DirectiveSet directives = generator.from_record(record);
+  GeneratorOptions threshold_opts;
+  threshold_opts.general_prunes = threshold_opts.historic_prunes = false;
+  threshold_opts.priorities = false;
+  threshold_opts.thresholds = true;
+  const pc::DirectiveSet thresholds =
+      DirectiveGenerator(threshold_opts).from_record(record);
+  os << h2 << "Knowledge harvested for the next diagnosis\n\n"
+     << bullet << directives.priorities.size() << " priority directives ("
+     << std::count_if(directives.priorities.begin(), directives.priorities.end(),
+                      [](const auto& p) { return p.priority == pc::Priority::High; })
+     << " high)\n"
+     << bullet << directives.prunes.size() << " pruning directives\n";
+  for (const auto& t : thresholds.thresholds)
+    os << bullet << "suggested threshold for " << t.hypothesis << ": "
+       << util::fmt_percent(t.threshold, 1) << "\n";
+  return os.str();
+}
+
+}  // namespace histpc::history

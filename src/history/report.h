@@ -1,0 +1,22 @@
+// Human-oriented tuning report generated from an experiment record: what a
+// developer reads between runs of the profile-analyze-change cycle.
+#pragma once
+
+#include <string>
+
+#include "history/experiment.h"
+
+namespace histpc::history {
+
+struct ReportOptions {
+  std::size_t max_bottlenecks = 15;  ///< per section
+  /// Markdown (default) or plain text headers.
+  bool markdown = true;
+};
+
+/// Render a report: headline hypothesis verdicts, the dominant bottlenecks,
+/// per-hierarchy hot spots (which code / which processes / which messages),
+/// and the knowledge the run contributes to future diagnoses.
+std::string tuning_report(const ExperimentRecord& record, const ReportOptions& options = {});
+
+}  // namespace histpc::history

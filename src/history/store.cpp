@@ -1,0 +1,95 @@
+#include "history/store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/strings.h"
+
+namespace histpc::history {
+
+namespace fs = std::filesystem;
+
+ExperimentStore::ExperimentStore(std::string directory) : dir_(std::move(directory)) {
+  fs::create_directories(dir_);
+}
+
+std::string ExperimentStore::path_for(const std::string& run_id) const {
+  return dir_ + "/" + run_id + ".json";
+}
+
+std::string ExperimentStore::save(ExperimentRecord record) {
+  if (record.run_id.empty()) {
+    // Next sequence number = max existing + 1, so ids never collide even
+    // after removals.
+    long max_seq = 0;
+    for (const auto& id : list(record.app, record.version)) {
+      auto pos = id.rfind('_');
+      if (pos == std::string::npos) continue;
+      try {
+        max_seq = std::max(max_seq, std::stol(id.substr(pos + 1)));
+      } catch (const std::exception&) {
+        // Foreign file in the store directory; ignore for numbering.
+      }
+    }
+    record.run_id =
+        record.app + "_" + record.version + "_" + std::to_string(max_seq + 1);
+  }
+  util::write_file(path_for(record.run_id), record.to_json().dump(2));
+  return record.run_id;
+}
+
+std::optional<ExperimentRecord> ExperimentStore::load(const std::string& run_id) const {
+  const std::string path = path_for(run_id);
+  if (!fs::exists(path)) return std::nullopt;
+  return ExperimentRecord::from_json(util::Json::parse(util::read_file(path)));
+}
+
+std::vector<std::string> ExperimentStore::list(const std::string& app,
+                                               const std::string& version) const {
+  std::vector<std::string> out;
+  if (!fs::exists(dir_)) return out;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+    std::string run_id = entry.path().stem().string();
+    if (!app.empty() || !version.empty()) {
+      std::string prefix = app.empty() ? "" : app + "_";
+      if (!version.empty()) prefix += version + "_";
+      if (!util::starts_with(run_id, prefix)) continue;
+    }
+    out.push_back(std::move(run_id));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<ExperimentRecord> ExperimentStore::latest(const std::string& app,
+                                                        const std::string& version) const {
+  auto ids = list(app, version);
+  // Lexicographic order mis-sorts _10 before _2; compare sequence numbers.
+  std::optional<ExperimentRecord> best;
+  long best_seq = -1;
+  for (const auto& id : ids) {
+    auto pos = id.rfind('_');
+    long seq = 0;
+    if (pos != std::string::npos) {
+      try {
+        seq = std::stol(id.substr(pos + 1));
+      } catch (const std::exception&) {
+        seq = 0;
+      }
+    }
+    if (seq > best_seq) {
+      if (auto rec = load(id)) {
+        best = std::move(rec);
+        best_seq = seq;
+      }
+    }
+  }
+  return best;
+}
+
+bool ExperimentStore::remove(const std::string& run_id) {
+  return fs::remove(path_for(run_id));
+}
+
+}  // namespace histpc::history

@@ -1,0 +1,45 @@
+// ExperimentStore: a directory of experiment records, one JSON file per
+// diagnostic run. This is the persistent multi-execution performance-data
+// store the paper's infrastructure work (Karavanic & Miller, SC'97)
+// provides; here it is file-based and intentionally simple to inspect.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/experiment.h"
+
+namespace histpc::history {
+
+class ExperimentStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `directory`.
+  explicit ExperimentStore(std::string directory);
+
+  const std::string& directory() const { return dir_; }
+
+  /// Persist a record; assigns run_id ("<app>_<version>_<n>") when empty.
+  /// Returns the assigned run id.
+  std::string save(ExperimentRecord record);
+
+  /// Load by run id; nullopt when absent.
+  std::optional<ExperimentRecord> load(const std::string& run_id) const;
+
+  /// All run ids, sorted; optionally filtered by app and/or version.
+  std::vector<std::string> list(const std::string& app = "",
+                                const std::string& version = "") const;
+
+  /// Most recent record for (app, version), by run-id sequence.
+  std::optional<ExperimentRecord> latest(const std::string& app,
+                                         const std::string& version) const;
+
+  /// Remove one record; true if it existed.
+  bool remove(const std::string& run_id);
+
+ private:
+  std::string path_for(const std::string& run_id) const;
+  std::string dir_;
+};
+
+}  // namespace histpc::history

@@ -1,0 +1,35 @@
+#include "instr/cost_model.h"
+
+#include "util/strings.h"
+
+namespace histpc::instr {
+
+double CostModel::probe_cost(const metrics::TraceView& view, const resources::Focus& focus,
+                             metrics::MetricKind metric) const {
+  (void)metric;  // all time metrics instrument the same points in this model
+  const auto& db = view.resources();
+  double cost = base_per_rank;
+
+  // Code-part breadth.
+  int code_idx = db.hierarchy_index(resources::kCodeHierarchy);
+  if (code_idx >= 0 && static_cast<std::size_t>(code_idx) < focus.size()) {
+    const auto comps = util::split(focus.part(static_cast<std::size_t>(code_idx)), '/');
+    const std::size_t depth = comps.size() - 2;  // 0 = root, 1 = module, 2 = function
+    if (depth == 0) cost *= whole_code_multiplier;
+    else if (depth == 1) cost *= module_multiplier;
+  }
+
+  // SyncObject constraint.
+  int sync_idx = db.hierarchy_index(resources::kSyncObjectHierarchy);
+  if (sync_idx >= 0 && static_cast<std::size_t>(sync_idx) < focus.size()) {
+    const auto comps = util::split(focus.part(static_cast<std::size_t>(sync_idx)), '/');
+    if (comps.size() > 2) cost *= sync_constrained_multiplier;
+  }
+
+  // Number of instrumented processes.
+  const metrics::FocusFilter filter = view.compile(focus);
+  cost *= std::max(1, filter.num_selected_ranks);
+  return cost;
+}
+
+}  // namespace histpc::instr

@@ -1,0 +1,82 @@
+#include "instr/instrumentation.h"
+
+#include <stdexcept>
+
+namespace histpc::instr {
+
+InstrumentationManager::InstrumentationManager(const metrics::TraceView& view,
+                                               CostModel cost_model, double insertion_latency,
+                                               double perturbation_factor)
+    : view_(view),
+      cost_model_(cost_model),
+      insertion_latency_(insertion_latency),
+      perturbation_factor_(perturbation_factor) {
+  if (insertion_latency < 0) throw std::invalid_argument("negative insertion latency");
+  if (perturbation_factor < 0) throw std::invalid_argument("negative perturbation factor");
+}
+
+ProbeId InstrumentationManager::insert(metrics::MetricKind metric,
+                                       const resources::Focus& focus, double now) {
+  Probe p;
+  p.metric = metric;
+  p.cost = cost_model_.probe_cost(view_, focus, metric);
+  p.instance.emplace(view_, metric, view_.compile(focus), now + insertion_latency_);
+  p.active = true;
+  probes_.push_back(std::move(p));
+  total_cost_ += probes_.back().cost;
+  peak_cost_ = std::max(peak_cost_, total_cost_);
+  ++total_inserted_;
+  ++num_active_;
+  return static_cast<ProbeId>(probes_.size() - 1);
+}
+
+void InstrumentationManager::remove(ProbeId id) {
+  Probe& p = probes_.at(static_cast<std::size_t>(id));
+  if (!p.active) throw std::logic_error("probe removed twice");
+  p.active = false;
+  total_cost_ -= p.cost;
+  --num_active_;
+  // Numerical hygiene: total cost is a running sum of removals; clamp tiny
+  // negative residue.
+  if (total_cost_ < 0 && total_cost_ > -1e-12) total_cost_ = 0;
+}
+
+bool InstrumentationManager::is_active(ProbeId id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < probes_.size() &&
+         probes_[static_cast<std::size_t>(id)].active;
+}
+
+void InstrumentationManager::advance(double now) {
+  for (Probe& p : probes_)
+    if (p.active) p.instance->advance(now);
+}
+
+ProbeSample InstrumentationManager::read(ProbeId id) const {
+  const Probe& p = probes_.at(static_cast<std::size_t>(id));
+  const auto& inst = *p.instance;
+  ProbeSample s;
+  s.value = inst.value();
+  s.observed = inst.observed();
+  s.fraction = inst.fraction();
+  s.selected_ranks = inst.filter().num_selected_ranks;
+  // Perturbation: probe executions are CPU work the application would not
+  // otherwise do, so CPU-time readings are inflated in proportion to the
+  // instrumentation currently enabled.
+  if (perturbation_factor_ > 0 && p.metric == metrics::MetricKind::CpuTime) {
+    const double inflation = 1.0 + perturbation_factor_ * total_cost_;
+    s.value *= inflation;
+    s.fraction *= inflation;
+  }
+  return s;
+}
+
+double InstrumentationManager::probe_cost(ProbeId id) const {
+  return probes_.at(static_cast<std::size_t>(id)).cost;
+}
+
+double InstrumentationManager::predict_cost(metrics::MetricKind metric,
+                                            const resources::Focus& focus) const {
+  return cost_model_.probe_cost(view_, focus, metric);
+}
+
+}  // namespace histpc::instr

@@ -1,0 +1,57 @@
+#include "metrics/metric_instance.h"
+
+#include <algorithm>
+
+namespace histpc::metrics {
+
+MetricInstance::MetricInstance(const TraceView& view, MetricKind metric, FocusFilter filter,
+                               double start_time)
+    : view_(view),
+      metric_(metric),
+      filter_(std::move(filter)),
+      start_(start_time),
+      cursor_(start_time),
+      rank_pos_(static_cast<std::size_t>(view.trace().num_ranks()), 0) {
+  // Skip intervals that end before the start time so the first advance()
+  // does not scan history invisible to this instance.
+  const auto& ranks = view_.trace().ranks;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const auto& ivs = ranks[r].intervals;
+    std::size_t pos = 0;
+    while (pos < ivs.size() && ivs[pos].t1 <= start_) ++pos;
+    rank_pos_[r] = pos;
+  }
+}
+
+void MetricInstance::advance(double to) {
+  if (to <= cursor_) return;
+  const auto& ranks = view_.trace().ranks;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    if (!filter_.rank_selected(static_cast<int>(r))) continue;
+    const auto& ivs = ranks[r].intervals;
+    std::size_t pos = rank_pos_[r];
+    while (pos < ivs.size() && ivs[pos].t0 < to) {
+      const auto& iv = ivs[pos];
+      if (filter_.matches(iv, metric_)) {
+        const double lo = std::max({iv.t0, cursor_, start_});
+        const double hi = std::min(iv.t1, to);
+        if (hi > lo) value_ += hi - lo;
+      }
+      if (iv.t1 <= to) {
+        ++pos;  // fully consumed
+      } else {
+        break;  // straddles `to`; revisit next advance
+      }
+    }
+    rank_pos_[r] = pos;
+  }
+  cursor_ = to;
+  observed_ = std::max(0.0, cursor_ - start_);
+}
+
+double MetricInstance::fraction() const {
+  if (observed_ <= 0.0 || filter_.num_selected_ranks == 0) return 0.0;
+  return value_ / (observed_ * filter_.num_selected_ranks);
+}
+
+}  // namespace histpc::metrics

@@ -1,0 +1,50 @@
+// MetricInstance: incremental accumulation of one metric under one focus.
+//
+// This models a Paradyn metric-focus pair's data stream: values exist only
+// from the instance's start time (instrumentation insertion) onward —
+// earlier behaviour is invisible, which is exactly the "missed data for
+// interesting events" effect historical directives fix.
+//
+// advance() walks each rank's interval list with a persistent cursor, so a
+// full diagnosis costs O(total intervals) per instance regardless of how
+// many ticks the Performance Consultant runs.
+#pragma once
+
+#include <vector>
+
+#include "metrics/trace_view.h"
+
+namespace histpc::metrics {
+
+class MetricInstance {
+ public:
+  MetricInstance(const TraceView& view, MetricKind metric, FocusFilter filter,
+                 double start_time);
+
+  /// Accumulate data in [max(start, last advance), to).
+  void advance(double to);
+
+  /// Metric seconds accumulated so far.
+  double value() const { return value_; }
+  /// Length of the observed window: advance target minus start (never
+  /// negative).
+  double observed() const { return observed_; }
+  double start_time() const { return start_; }
+  MetricKind metric() const { return metric_; }
+  const FocusFilter& filter() const { return filter_; }
+
+  /// value / (observed * selected ranks); 0 when nothing observed.
+  double fraction() const;
+
+ private:
+  const TraceView& view_;
+  MetricKind metric_;
+  FocusFilter filter_;
+  double start_;
+  double cursor_;
+  double value_ = 0.0;
+  double observed_ = 0.0;
+  std::vector<std::size_t> rank_pos_;  ///< per-rank interval cursor
+};
+
+}  // namespace histpc::metrics

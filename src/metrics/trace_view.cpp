@@ -1,0 +1,198 @@
+#include "metrics/trace_view.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "metrics/metric_instance.h"
+#include "util/strings.h"
+
+namespace histpc::metrics {
+
+using resources::Focus;
+using resources::ResourceDb;
+using simmpi::ExecutionTrace;
+using simmpi::Interval;
+using simmpi::IntervalState;
+
+bool FocusFilter::matches(const Interval& iv, MetricKind metric) const {
+  // State/metric correspondence first (cheapest reject).
+  switch (metric) {
+    case MetricKind::CpuTime:
+      if (iv.state != IntervalState::Cpu) return false;
+      break;
+    case MetricKind::SyncWaitTime:
+      if (iv.state != IntervalState::SyncWait) return false;
+      break;
+    case MetricKind::IoWaitTime:
+      if (iv.state != IntervalState::IoWait) return false;
+      break;
+    case MetricKind::ExecTime:
+      break;  // every attributed interval counts
+  }
+  // SyncObject constraint: only wait intervals carry a sync object; other
+  // states cannot satisfy a constrained part.
+  if (!sync_unconstrained) {
+    if (iv.state != IntervalState::SyncWait || iv.sync_object == simmpi::kNoSyncObject)
+      return false;
+    if (!sync_objects[static_cast<std::size_t>(iv.sync_object)]) return false;
+  }
+  if (iv.func == simmpi::kNoFunc) return accept_nofunc;
+  return funcs[static_cast<std::size_t>(iv.func)];
+}
+
+TraceView::TraceView(const ExecutionTrace& trace)
+    : trace_(trace), db_(ResourceDb::with_standard_hierarchies()) {
+  auto& code = db_.hierarchy(resources::kCodeHierarchy);
+  for (const auto& f : trace.functions) {
+    resources::ResourceId mod = code.add_child(code.root(), f.module);
+    code.add_child(mod, f.function);
+  }
+  auto& machine = db_.hierarchy(resources::kMachineHierarchy);
+  for (const auto& n : trace.machine.node_names) machine.add_child(machine.root(), n);
+  auto& process = db_.hierarchy(resources::kProcessHierarchy);
+  for (const auto& p : trace.machine.process_names) process.add_child(process.root(), p);
+  auto& sync = db_.hierarchy(resources::kSyncObjectHierarchy);
+  for (const auto& s : trace.sync_objects) sync.add_path("/SyncObject/" + s);
+
+  compute_discovery_times();
+}
+
+void TraceView::compute_discovery_times() {
+  // Machine and process resources are known at startup.
+  for (const auto& n : trace_.machine.node_names) discovery_["/Machine/" + n] = 0.0;
+  for (const auto& p : trace_.machine.process_names) discovery_["/Process/" + p] = 0.0;
+
+  // Functions, modules, and sync objects appear when first executed. One
+  // linear pass; intervals are time-sorted per rank, so the first sighting
+  // per rank is the earliest on that rank.
+  std::vector<double> func_first(trace_.functions.size(),
+                                 std::numeric_limits<double>::infinity());
+  std::vector<double> sync_first(trace_.sync_objects.size(),
+                                 std::numeric_limits<double>::infinity());
+  for (const auto& rank : trace_.ranks) {
+    std::vector<bool> func_seen(trace_.functions.size(), false);
+    std::vector<bool> sync_seen(trace_.sync_objects.size(), false);
+    for (const auto& iv : rank.intervals) {
+      if (iv.func != simmpi::kNoFunc && !func_seen[iv.func]) {
+        func_seen[iv.func] = true;
+        func_first[iv.func] = std::min(func_first[iv.func], iv.t0);
+      }
+      if (iv.sync_object != simmpi::kNoSyncObject && !sync_seen[iv.sync_object]) {
+        sync_seen[iv.sync_object] = true;
+        sync_first[iv.sync_object] = std::min(sync_first[iv.sync_object], iv.t0);
+      }
+    }
+  }
+  for (std::size_t f = 0; f < trace_.functions.size(); ++f) {
+    const auto& fi = trace_.functions[f];
+    const std::string func_name = "/Code/" + fi.module + "/" + fi.function;
+    const std::string mod_name = "/Code/" + fi.module;
+    discovery_[func_name] = func_first[f];
+    auto [it, inserted] = discovery_.emplace(mod_name, func_first[f]);
+    if (!inserted) it->second = std::min(it->second, func_first[f]);
+  }
+  for (std::size_t s = 0; s < trace_.sync_objects.size(); ++s) {
+    std::string name = "/SyncObject/" + trace_.sync_objects[s];
+    discovery_[name] = sync_first[s];
+    // Intermediate levels (e.g. /SyncObject/Message) appear with their
+    // first child.
+    auto slash = name.rfind('/');
+    const std::string parent = name.substr(0, slash);
+    auto [it, inserted] = discovery_.emplace(parent, sync_first[s]);
+    if (!inserted) it->second = std::min(it->second, sync_first[s]);
+  }
+}
+
+double TraceView::discovery_time(const std::string& resource_name) const {
+  // Hierarchy roots are always known.
+  if (resource_name.find('/', 1) == std::string::npos) return 0.0;
+  auto it = discovery_.find(resource_name);
+  return it == discovery_.end() ? std::numeric_limits<double>::infinity() : it->second;
+}
+
+FocusFilter TraceView::compile(const Focus& focus) const {
+  FocusFilter filter;
+  const std::size_t nfuncs = trace_.functions.size();
+  const std::size_t nranks = static_cast<std::size_t>(trace_.num_ranks());
+  const std::size_t nsync = trace_.sync_objects.size();
+  filter.funcs.assign(nfuncs, true);
+  filter.ranks.assign(nranks, true);
+  filter.sync_objects.assign(nsync, true);
+
+  for (std::size_t h = 0; h < focus.size() && h < db_.num_hierarchies(); ++h) {
+    const std::string& part = focus.part(h);
+    auto comps = util::split(part, '/');
+    // comps = {"", HierarchyName, labels...}
+    if (comps.size() <= 2) continue;  // hierarchy root: unconstrained
+    const std::string& hname = comps[1];
+    if (hname == resources::kCodeHierarchy) {
+      filter.accept_nofunc = false;
+      const std::string& module = comps[2];
+      const std::string* function = comps.size() > 3 ? &comps[3] : nullptr;
+      for (std::size_t f = 0; f < nfuncs; ++f) {
+        const auto& fi = trace_.functions[f];
+        filter.funcs[f] =
+            fi.module == module && (function == nullptr || fi.function == *function);
+      }
+    } else if (hname == resources::kMachineHierarchy) {
+      const std::string& node = comps[2];
+      for (std::size_t r = 0; r < nranks; ++r) {
+        int node_idx = trace_.machine.rank_to_node[r];
+        if (trace_.machine.node_names[static_cast<std::size_t>(node_idx)] != node)
+          filter.ranks[r] = false;
+      }
+    } else if (hname == resources::kProcessHierarchy) {
+      const std::string& proc = comps[2];
+      for (std::size_t r = 0; r < nranks; ++r)
+        if (trace_.machine.process_names[r] != proc) filter.ranks[r] = false;
+    } else if (hname == resources::kSyncObjectHierarchy) {
+      filter.sync_unconstrained = false;
+      for (std::size_t s = 0; s < nsync; ++s) {
+        std::string full = "/SyncObject/" + trace_.sync_objects[s];
+        filter.sync_objects[s] = util::is_path_prefix(part, full);
+      }
+    }
+    // Unknown hierarchies (not represented in the trace) select everything;
+    // the PC never refines into them because the db lacks them.
+  }
+
+  filter.num_selected_ranks = static_cast<int>(
+      std::count(filter.ranks.begin(), filter.ranks.end(), true));
+  return filter;
+}
+
+double TraceView::query(MetricKind metric, const Focus& focus, double t0, double t1) const {
+  MetricInstance inst(*this, metric, compile(focus), t0);
+  inst.advance(t1);
+  return inst.value();
+}
+
+std::vector<double> TraceView::fraction_series(MetricKind metric, const Focus& focus,
+                                               double t0, double t1,
+                                               std::size_t bins) const {
+  std::vector<double> out;
+  if (bins == 0 || t1 <= t0) return out;
+  const FocusFilter filter = compile(focus);
+  MetricInstance inst(*this, metric, filter, t0);
+  const double bin_width = (t1 - t0) / static_cast<double>(bins);
+  const double denom = bin_width * std::max(1, filter.num_selected_ranks);
+  double prev = 0.0;
+  out.reserve(bins);
+  for (std::size_t b = 1; b <= bins; ++b) {
+    inst.advance(t0 + bin_width * static_cast<double>(b));
+    out.push_back((inst.value() - prev) / denom);
+    prev = inst.value();
+  }
+  return out;
+}
+
+double TraceView::fraction(MetricKind metric, const Focus& focus, double t0, double t1) const {
+  FocusFilter filter = compile(focus);
+  MetricInstance inst(*this, metric, filter, t0);
+  inst.advance(t1);
+  const double window = t1 - t0;
+  if (window <= 0.0 || filter.num_selected_ranks == 0) return 0.0;
+  return inst.value() / (window * filter.num_selected_ranks);
+}
+
+}  // namespace histpc::metrics

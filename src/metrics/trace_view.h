@@ -1,0 +1,80 @@
+// TraceView: the bridge between a simulated execution and the diagnosis
+// layers. It derives the program's resource hierarchies from the trace and
+// compiles foci into fast per-interval filters.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/metric.h"
+#include "resources/focus.h"
+#include "resources/resource_db.h"
+#include "simmpi/trace.h"
+
+namespace histpc::metrics {
+
+/// A Focus compiled against one trace: constant-time per-interval matching.
+struct FocusFilter {
+  /// Per-FuncId acceptance; `accept_nofunc` covers intervals outside any
+  /// recorded function (only when the Code part is the hierarchy root).
+  std::vector<bool> funcs;
+  bool accept_nofunc = true;
+  /// Per-rank acceptance (Machine and Process parts combined).
+  std::vector<bool> ranks;
+  /// Per-SyncObjectId acceptance for wait intervals.
+  std::vector<bool> sync_objects;
+  /// True when the SyncObject part is the hierarchy root (no constraint).
+  bool sync_unconstrained = true;
+
+  int num_selected_ranks = 0;
+
+  bool rank_selected(int rank) const { return ranks[static_cast<std::size_t>(rank)]; }
+
+  /// Does `iv` contribute to `metric` under this filter?
+  bool matches(const simmpi::Interval& iv, MetricKind metric) const;
+};
+
+class TraceView {
+ public:
+  /// Builds resource hierarchies from the trace. The view keeps a reference
+  /// to `trace`; the trace must outlive the view.
+  explicit TraceView(const simmpi::ExecutionTrace& trace);
+
+  const simmpi::ExecutionTrace& trace() const { return trace_; }
+  const resources::ResourceDb& resources() const { return db_; }
+
+  /// Compile `focus` for interval matching. Parts naming resources missing
+  /// from this trace select nothing (relevant when directives from another
+  /// run were not fully mapped).
+  FocusFilter compile(const resources::Focus& focus) const;
+
+  /// Direct whole-window query: metric seconds accumulated in [t0, t1).
+  /// Used postmortem and by tests; the online path uses MetricInstance.
+  double query(MetricKind metric, const resources::Focus& focus, double t0, double t1) const;
+
+  /// Fraction of execution: query(...) normalized by window * selected ranks.
+  double fraction(MetricKind metric, const resources::Focus& focus, double t0, double t1) const;
+
+  /// Time histogram (Paradyn's phase view): the metric's fraction of
+  /// execution in each of `bins` equal slices of [t0, t1). Useful for
+  /// spotting behaviour that changes over the run.
+  std::vector<double> fraction_series(MetricKind metric, const resources::Focus& focus,
+                                      double t0, double t1, std::size_t bins) const;
+
+  /// Virtual time a resource first became observable: the first interval
+  /// attributed to a function (and its module) or synchronization object.
+  /// Machine and process resources exist from t=0. Unknown resources
+  /// return +infinity. An online tool cannot refine into a resource before
+  /// it is discovered (PcConfig::respect_discovery_times).
+  double discovery_time(const std::string& resource_name) const;
+
+ private:
+  void compute_discovery_times();
+
+  const simmpi::ExecutionTrace& trace_;
+  resources::ResourceDb db_;
+  std::unordered_map<std::string, double> discovery_;
+};
+
+}  // namespace histpc::metrics

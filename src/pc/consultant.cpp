@@ -1,0 +1,345 @@
+#include "pc/consultant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace histpc::pc {
+
+using resources::Focus;
+
+double DiagnosisResult::time_to_find(const std::vector<BottleneckReport>& reference,
+                                     double percent) const {
+  if (reference.empty() || percent <= 0.0)
+    return 0.0;
+  std::vector<double> found_times;
+  for (const BottleneckReport& ref : reference) {
+    for (const BottleneckReport& b : bottlenecks) {
+      if (b.hypothesis == ref.hypothesis && b.focus == ref.focus) {
+        found_times.push_back(b.t_found);
+        break;
+      }
+    }
+  }
+  const std::size_t needed = static_cast<std::size_t>(
+      std::ceil(percent / 100.0 * static_cast<double>(reference.size()) - 1e-9));
+  if (found_times.size() < needed) return std::numeric_limits<double>::infinity();
+  std::sort(found_times.begin(), found_times.end());
+  return needed == 0 ? 0.0 : found_times[needed - 1];
+}
+
+PerformanceConsultant::PerformanceConsultant(const metrics::TraceView& view, PcConfig config,
+                                             DirectiveSet directives)
+    : view_(view),
+      config_(std::move(config)),
+      directives_(std::move(directives)),
+      instr_(view, config_.cost_model, config_.insertion_latency,
+             config_.perturbation_factor),
+      shg_(config_.hypotheses) {
+  if (config_.tick <= 0 || config_.min_observation <= 0)
+    throw std::invalid_argument("PcConfig: tick and min_observation must be positive");
+  directives_.apply_mappings();
+}
+
+double PerformanceConsultant::threshold_for(int hyp) const {
+  const Hypothesis& h = config_.hypotheses.at(hyp);
+  if (auto t = directives_.threshold_for(h.name)) return *t;
+  if (config_.threshold_override > 0) return config_.threshold_override;
+  return h.default_threshold;
+}
+
+std::optional<Focus> PerformanceConsultant::probe_focus(int hyp, const Focus& focus) const {
+  const Hypothesis& h = config_.hypotheses.at(hyp);
+  if (h.sync_scope.empty()) return focus;
+  const int sync_idx =
+      view_.resources().hierarchy_index(resources::kSyncObjectHierarchy);
+  if (sync_idx < 0 || static_cast<std::size_t>(sync_idx) >= focus.size()) return focus;
+  const std::string& part = focus.part(static_cast<std::size_t>(sync_idx));
+  if (util::is_path_prefix(h.sync_scope, part)) return focus;  // already inside the scope
+  if (util::is_path_prefix(part, h.sync_scope))                // root or an ancestor: narrow it
+    return focus.with_part(static_cast<std::size_t>(sync_idx), h.sync_scope);
+  return std::nullopt;  // disjoint: the pair can never be true
+}
+
+void PerformanceConsultant::seed_high_priority_nodes() {
+  for (const PriorityDirective& d : directives_.priorities) {
+    if (d.priority != Priority::High) continue;
+    auto hyp = config_.hypotheses.index_of(d.hypothesis);
+    if (!hyp) {
+      HISTPC_LOG(Debug) << "skipping priority directive for unknown hypothesis " << d.hypothesis;
+      continue;
+    }
+    auto focus = Focus::parse(d.focus, view_.resources());
+    if (!focus) {
+      // Unmapped or version-specific resource; the paper's mapper handles
+      // most of these, the remainder are silently dropped as in Paradyn.
+      HISTPC_LOG(Debug) << "skipping priority directive with unresolvable focus " << d.focus;
+      continue;
+    }
+    if (!probe_focus(*hyp, *focus)) continue;  // scope-incompatible pair
+    if (directives_.is_pruned(d.hypothesis, *focus)) continue;
+    int id = shg_.add_node(*hyp, *focus, shg_.root(), 0.0);
+    ShgNode& n = shg_.node(id);
+    if (n.status != NodeStatus::Pending || n.probe != instr::kNoProbe) continue;  // deduped
+    n.priority = Priority::High;
+    n.persistent = config_.persistent_high_priority;
+    // Queued ahead of everything else: instrumented from search start, but
+    // still subject to the instrumentation cost ceiling (a large seed set
+    // is enabled in throttled waves, exactly like ordinary expansion).
+    enqueue(id);
+  }
+}
+
+void PerformanceConsultant::seed_top_level() {
+  const Focus whole = Focus::whole_program(view_.resources());
+  for (int hyp : config_.hypotheses.roots()) {
+    if (directives_.is_pruned(config_.hypotheses.at(hyp).name, whole)) {
+      ++pruned_candidates_;
+      continue;
+    }
+    int id = shg_.add_node(hyp, whole, shg_.root(), 0.0);
+    ShgNode& n = shg_.node(id);
+    if (n.status == NodeStatus::Pending && n.probe == instr::kNoProbe) {
+      n.priority = directives_.priority_of(config_.hypotheses.at(hyp).name, n.focus_name);
+      enqueue(id);
+    }
+  }
+}
+
+void PerformanceConsultant::enqueue(int id) {
+  switch (shg_.node(id).priority) {
+    case Priority::High: queue_high_.push_back(id); break;
+    case Priority::Medium: queue_medium_.push_back(id); break;
+    case Priority::Low: queue_low_.push_back(id); break;
+  }
+}
+
+int PerformanceConsultant::pop_pending() {
+  for (auto* q : {&queue_high_, &queue_medium_, &queue_low_}) {
+    while (!q->empty()) {
+      int id = q->front();
+      q->erase(q->begin());
+      if (shg_.node(id).status == NodeStatus::Pending) return id;
+    }
+  }
+  return -1;
+}
+
+void PerformanceConsultant::activate(int id, double now) {
+  ShgNode& n = shg_.node(id);
+  const Hypothesis& h = config_.hypotheses.at(n.hyp);
+  // Node creation rejects scope-incompatible pairs, so the adjusted focus
+  // always exists here.
+  n.probe = instr_.insert(h.metric, *probe_focus(n.hyp, n.focus), now);
+  n.status = NodeStatus::Active;
+  n.activate_time = now;
+  active_.push_back(id);
+  ++unconcluded_active_;
+  HISTPC_LOG(Trace) << "t=" << now << " activate " << h.name << " : " << n.focus_name
+                    << " (cost " << instr_.probe_cost(n.probe) << ", total "
+                    << instr_.total_cost() << ")";
+}
+
+void PerformanceConsultant::activate_pending(double now) {
+  // Expansion is throttled, not strictly capped: activation proceeds while
+  // the running total is below the limit, so one node may overshoot. This
+  // guarantees progress even for probes individually costlier than the
+  // limit. The persistent high-priority baseline is excluded from the
+  // meter (it was deliberately enabled at search start).
+  while (instr_.total_cost() - persistent_cost_ < config_.cost_limit) {
+    int id = pop_pending();
+    if (id < 0) return;
+    activate(id, now);
+  }
+}
+
+void PerformanceConsultant::consider_candidate(int hyp, Focus&& focus, int parent,
+                                               double now) {
+  const std::string& hyp_name = config_.hypotheses.at(hyp).name;
+  if (!probe_focus(hyp, focus)) return;  // scope-incompatible, never true
+  if (directives_.is_pruned(hyp_name, focus)) {
+    ++pruned_candidates_;
+    return;
+  }
+  if (config_.respect_discovery_times) {
+    double available = 0.0;
+    for (const std::string& part : focus.parts())
+      available = std::max(available, view_.discovery_time(part));
+    if (available > now) {
+      // Not yet observable: retried once the resource has appeared.
+      if (std::isfinite(available))
+        deferred_.push_back({hyp, std::move(focus), parent, available});
+      return;
+    }
+  }
+  int cid = shg_.add_node(hyp, std::move(focus), parent, now);
+  ShgNode& cn = shg_.node(cid);
+  if (cn.status == NodeStatus::Pending && cn.probe == instr::kNoProbe &&
+      cn.enqueue_time == now && cn.parents.size() == 1 && cn.parents.front() == parent) {
+    // Freshly created by this refinement: assign priority and queue it.
+    cn.priority = directives_.priority_of(hyp_name, cn.focus_name);
+    enqueue(cid);
+  }
+}
+
+void PerformanceConsultant::release_discovered(double now) {
+  if (deferred_.empty()) return;
+  std::vector<DeferredCandidate> still_waiting;
+  std::vector<DeferredCandidate> ripe;
+  for (auto& c : deferred_) {
+    (c.available_at <= now ? ripe : still_waiting).push_back(std::move(c));
+  }
+  deferred_ = std::move(still_waiting);
+  for (auto& c : ripe) consider_candidate(c.hyp, std::move(c.focus), c.parent, now);
+}
+
+void PerformanceConsultant::refine(int id, double now) {
+  // Copy what we need up front: add_node() may grow the SHG's node vector
+  // and invalidate references into it.
+  const int parent_hyp = shg_.node(id).hyp;
+  const Focus parent_focus = shg_.node(id).focus;
+
+  // Expansion kind 1: a more specific focus, same hypothesis.
+  for (Focus& child : parent_focus.refinements(view_.resources()))
+    consider_candidate(parent_hyp, std::move(child), id, now);
+  // Expansion kind 2: a more specific hypothesis, same focus.
+  for (int child_hyp : config_.hypotheses.at(parent_hyp).children)
+    consider_candidate(child_hyp, Focus(parent_focus), id, now);
+}
+
+void PerformanceConsultant::conclude(int id, const instr::ProbeSample& sample, double now) {
+  {
+    ShgNode& n = shg_.node(id);
+    const Hypothesis& h = config_.hypotheses.at(n.hyp);
+    n.fraction = sample.fraction;
+    n.conclude_time = now;
+    --unconcluded_active_;
+    const bool is_true = sample.fraction >= threshold_for(n.hyp);
+    if (is_true) {
+      n.status = NodeStatus::True;
+      n.first_true_time = now;
+      found_.push_back({h.name, n.focus_name, now, sample.fraction});
+      HISTPC_LOG(Debug) << "t=" << now << " TRUE " << h.name << " : " << n.focus_name << " ("
+                        << sample.fraction << ")";
+    } else {
+      n.status = NodeStatus::False;
+      HISTPC_LOG(Trace) << "t=" << now << " false " << h.name << " : " << n.focus_name << " ("
+                        << sample.fraction << ")";
+    }
+  }
+  // refine() can reallocate the SHG node storage; re-read the node after.
+  if (shg_.node(id).status == NodeStatus::True) refine(id, now);
+  const ShgNode& n = shg_.node(id);
+  if (n.persistent) {
+    // The probe stays for the rest of the run, but settled monitoring is
+    // cheap (low-frequency sampling); it leaves the expansion meter.
+    persistent_cost_ += instr_.probe_cost(n.probe);
+  } else {
+    instr_.remove(n.probe);
+    active_.erase(std::find(active_.begin(), active_.end(), id));
+  }
+}
+
+void PerformanceConsultant::check_persistent_flip(int id, const instr::ProbeSample& sample,
+                                                  double now) {
+  bool flipped = false;
+  {
+    ShgNode& n = shg_.node(id);
+    n.fraction = sample.fraction;
+    if (n.status == NodeStatus::False && sample.fraction >= threshold_for(n.hyp)) {
+      // A behaviour that emerged after the first conclusion: persistent
+      // testing catches it (the reason high-priority pairs stay
+      // instrumented for the whole run).
+      n.status = NodeStatus::True;
+      n.first_true_time = now;
+      found_.push_back(
+          {config_.hypotheses.at(n.hyp).name, n.focus_name, now, sample.fraction});
+      flipped = true;
+    }
+  }
+  if (flipped) refine(id, now);  // may reallocate SHG nodes
+}
+
+bool PerformanceConsultant::search_finished() const {
+  if (unconcluded_active_ > 0) return false;
+  if (!deferred_.empty()) return false;  // resources still to be discovered
+  // Persistent pairs are tested "throughout the entire program run": while
+  // any are live, keep ticking so late-emerging behaviours can flip them.
+  if (persistent_cost_ > 0.0) return false;
+  for (const auto* q : {&queue_high_, &queue_medium_, &queue_low_})
+    for (int id : *q)
+      if (shg_.node(id).status == NodeStatus::Pending) return false;
+  return true;
+}
+
+DiagnosisResult PerformanceConsultant::run() {
+  if (ran_) throw std::logic_error("PerformanceConsultant::run called twice");
+  ran_ = true;
+
+  seed_high_priority_nodes();
+  seed_top_level();
+
+  const double horizon = std::min(config_.max_time, view_.trace().duration);
+  double t = 0.0;
+  activate_pending(t);
+  while (t < horizon) {
+    if (search_finished()) break;
+    t = std::min(t + config_.tick, horizon);
+    instr_.advance(t);
+    release_discovered(t);
+    // Snapshot: conclusions may refine, which appends to active_.
+    const std::vector<int> active_now = active_;
+    for (int id : active_now) {
+      ShgNode& n = shg_.node(id);
+      if (n.probe == instr::kNoProbe || !instr_.is_active(n.probe)) continue;
+      const instr::ProbeSample sample = instr_.read(n.probe);
+      if (n.status == NodeStatus::Active) {
+        if (sample.observed >= config_.min_observation) conclude(id, sample, t);
+      } else if (n.persistent) {
+        check_persistent_flip(id, sample, t);
+      }
+    }
+    activate_pending(t);
+  }
+  return build_result(t);
+}
+
+DiagnosisResult PerformanceConsultant::build_result(double end_time) {
+  DiagnosisResult result;
+  result.bottlenecks = found_;
+  std::stable_sort(result.bottlenecks.begin(), result.bottlenecks.end(),
+                   [](const BottleneckReport& a, const BottleneckReport& b) {
+                     return a.t_found < b.t_found;
+                   });
+  for (std::size_t i = 1; i < shg_.size(); ++i) {
+    ShgNode& n = shg_.node(static_cast<int>(i));
+    if (n.status == NodeStatus::Pending || n.status == NodeStatus::Active) {
+      // The program ended before this pair could be (fully) tested — the
+      // paper's "stopped before completion due to cost limits".
+      if (n.status == NodeStatus::Active) --unconcluded_active_;
+      n.status = NodeStatus::NeverRan;
+    }
+    NodeSnapshot snap;
+    snap.hypothesis = shg_.hypothesis_name(static_cast<int>(i));
+    snap.focus = n.focus_name;
+    snap.status = n.status;
+    snap.priority = n.priority;
+    snap.conclude_time = n.conclude_time;
+    snap.fraction = n.fraction;
+    result.nodes.push_back(std::move(snap));
+  }
+  result.stats.nodes_created = shg_.size() - 1;
+  result.stats.pairs_tested = instr_.total_inserted();
+  result.stats.pruned_candidates = pruned_candidates_;
+  result.stats.bottlenecks = result.bottlenecks.size();
+  result.stats.end_time = end_time;
+  result.stats.last_true_time =
+      result.bottlenecks.empty() ? 0.0 : result.bottlenecks.back().t_found;
+  result.stats.peak_cost = instr_.peak_cost();
+  return result;
+}
+
+}  // namespace histpc::pc

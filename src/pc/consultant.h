@@ -1,0 +1,169 @@
+// The Performance Consultant: online, automated bottleneck search over a
+// (simulated) running program, optionally guided by historical search
+// directives.
+//
+// Search mechanics (Section 2 of the paper):
+//  * The virtual root (TopLevelHypothesis : WholeProgram) expands into each
+//    hypothesis at WholeProgram.
+//  * A node is tested by instrumenting its (hypothesis : focus) pair; after
+//    a minimum observation window the measured fraction of execution time
+//    is compared with the hypothesis threshold: true = bottleneck.
+//  * True nodes are refined: one child per single-edge move down a resource
+//    hierarchy. False nodes are not refined and their instrumentation is
+//    deleted.
+//  * Expansion halts while the predicted cost of enabled instrumentation
+//    exceeds the cost limit and resumes when deletions bring it back down.
+//
+// Directive handling (Section 3):
+//  * prunes remove (hypothesis : focus) candidates before they are created;
+//  * high-priority pairs are instrumented at search start and persist for
+//    the entire run (their conclusions can flip as data accumulates);
+//  * priorities order the pending queue (high > medium > low, FIFO within);
+//  * thresholds override hypothesis defaults.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "instr/instrumentation.h"
+#include "metrics/trace_view.h"
+#include "pc/directives.h"
+#include "pc/hypothesis.h"
+#include "pc/shg.h"
+
+namespace histpc::pc {
+
+struct PcConfig {
+  HypothesisSet hypotheses = HypothesisSet::standard();
+  instr::CostModel cost_model;
+  /// Seconds of collected data required before a conclusion.
+  double min_observation = 10.0;
+  /// Virtual sampling interval of the search loop.
+  double tick = 0.5;
+  /// Expansion halts while total instrumentation cost exceeds this
+  /// fraction of execution.
+  double cost_limit = 0.05;
+  /// Delay between an instrumentation request and data collection.
+  double insertion_latency = 1.0;
+  /// When > 0, overrides every hypothesis threshold (used for the paper's
+  /// threshold sweeps). Directive thresholds still take precedence.
+  double threshold_override = -1.0;
+  /// Hard stop; the search also stops when the trace ends.
+  double max_time = std::numeric_limits<double>::infinity();
+  /// Keep high-priority pairs instrumented for the whole run (paper
+  /// behaviour). Off = treat them as ordinary one-shot tests (ablation).
+  bool persistent_high_priority = true;
+  /// Measurement-perturbation model: CPU-time samples read high by this
+  /// factor times the currently enabled instrumentation cost. Zero = ideal
+  /// measurement (default); see instr::InstrumentationManager.
+  double perturbation_factor = 0.0;
+  /// When on, the search can only refine into resources the application
+  /// has already exercised (TraceView::discovery_time): an online tool
+  /// learns about functions and message tags as they first appear.
+  /// Candidates naming undiscovered resources wait until their discovery
+  /// time. Off by default (resources known up front, as when a static
+  /// analysis pre-populated the hierarchies).
+  bool respect_discovery_times = false;
+};
+
+struct BottleneckReport {
+  std::string hypothesis;
+  std::string focus;
+  double t_found = 0.0;   ///< virtual time the node first tested true
+  double fraction = 0.0;  ///< measured fraction at that conclusion
+};
+
+struct NodeSnapshot {
+  std::string hypothesis;
+  std::string focus;
+  NodeStatus status = NodeStatus::Pending;
+  Priority priority = Priority::Medium;
+  double conclude_time = -1.0;
+  double fraction = 0.0;
+};
+
+struct DiagnosisStats {
+  std::size_t nodes_created = 0;   ///< SHG nodes excluding the virtual root
+  std::size_t pairs_tested = 0;    ///< nodes that were instrumented
+  std::size_t pruned_candidates = 0;
+  std::size_t bottlenecks = 0;     ///< nodes that tested true
+  double end_time = 0.0;           ///< virtual time the search stopped
+  double last_true_time = 0.0;     ///< time the final bottleneck was found
+  double peak_cost = 0.0;
+};
+
+struct DiagnosisResult {
+  std::vector<BottleneckReport> bottlenecks;  ///< sorted by t_found
+  std::vector<NodeSnapshot> nodes;            ///< full SHG snapshot
+  DiagnosisStats stats;
+
+  /// Time by which `percent` (0..100] of the bottlenecks in `reference`
+  /// had been found in this result; +inf if never. `reference` entries are
+  /// matched by (hypothesis, focus).
+  double time_to_find(const std::vector<BottleneckReport>& reference, double percent) const;
+};
+
+class PerformanceConsultant {
+ public:
+  PerformanceConsultant(const metrics::TraceView& view, PcConfig config,
+                        DirectiveSet directives = {});
+
+  /// Run the search to completion (or to the end of the program).
+  DiagnosisResult run();
+
+  /// Valid after run(); used for Figure 2 style rendering.
+  const SearchHistoryGraph& shg() const { return shg_; }
+  const instr::InstrumentationManager& instrumentation() const { return instr_; }
+
+ private:
+  double threshold_for(int hyp) const;
+  /// The focus actually instrumented for a node: the node's focus with the
+  /// hypothesis's implicit SyncObject scope applied. nullopt when the
+  /// focus's SyncObject part lies outside the scope (incompatible pair).
+  std::optional<resources::Focus> probe_focus(int hyp, const resources::Focus& focus) const;
+  void seed_high_priority_nodes();
+  void seed_top_level();
+  void enqueue(int id);
+  int pop_pending();
+  /// Create (or dedup) a candidate (hyp : focus) under `parent`, honoring
+  /// scope compatibility, prunes, and discovery times. Undiscovered
+  /// candidates are deferred and retried by release_discovered().
+  void consider_candidate(int hyp, resources::Focus&& focus, int parent, double now);
+  void release_discovered(double now);
+  void activate(int id, double now);
+  void activate_pending(double now);
+  void conclude(int id, const instr::ProbeSample& sample, double now);
+  void refine(int id, double now);
+  void check_persistent_flip(int id, const instr::ProbeSample& sample, double now);
+  bool search_finished() const;
+  DiagnosisResult build_result(double end_time);
+
+  const metrics::TraceView& view_;
+  PcConfig config_;
+  DirectiveSet directives_;
+  instr::InstrumentationManager instr_;
+  SearchHistoryGraph shg_;
+
+  struct DeferredCandidate {
+    int hyp;
+    resources::Focus focus;
+    int parent;
+    double available_at;
+  };
+  std::vector<DeferredCandidate> deferred_;  ///< awaiting resource discovery
+
+  std::vector<int> queue_high_, queue_medium_, queue_low_;
+  std::vector<int> active_;             ///< node ids with live probes
+  std::size_t unconcluded_active_ = 0;  ///< active nodes awaiting first conclusion
+  /// Cost of the standing high-priority instrumentation. The expansion
+  /// throttle meters the search's *additional* instrumentation above this
+  /// baseline; otherwise a large persistent set would freeze the search
+  /// for the whole run.
+  double persistent_cost_ = 0.0;
+  std::size_t pruned_candidates_ = 0;
+  std::vector<BottleneckReport> found_;
+  bool ran_ = false;
+};
+
+}  // namespace histpc::pc

@@ -1,0 +1,179 @@
+#include "pc/directives.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "pc/hypothesis.h"
+#include "util/json.h"  // read_file / write_file
+#include "util/strings.h"
+
+namespace histpc::pc {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::Low: return "low";
+    case Priority::Medium: return "medium";
+    case Priority::High: return "high";
+  }
+  return "?";
+}
+
+std::optional<Priority> priority_from_name(std::string_view name) {
+  if (name == "low") return Priority::Low;
+  if (name == "medium") return Priority::Medium;
+  if (name == "high") return Priority::High;
+  return std::nullopt;
+}
+
+namespace {
+/// A part constrains below its hierarchy root iff it has a second '/'.
+bool is_constrained_part(std::string_view part) {
+  return part.find('/', 1) != std::string_view::npos;
+}
+}  // namespace
+
+bool DirectiveSet::is_pruned(std::string_view hypothesis,
+                             const resources::Focus& focus) const {
+  for (const PruneDirective& p : prunes) {
+    if (p.hypothesis != kAnyHypothesis && p.hypothesis != hypothesis) continue;
+    for (const std::string& part : focus.parts()) {
+      if (!is_constrained_part(part)) continue;  // a root part is never pruned
+      if (util::is_path_prefix(p.resource_prefix, part)) return true;
+    }
+  }
+  if (!pair_prunes.empty()) {
+    const std::string name = focus.name();
+    for (const PairPruneDirective& p : pair_prunes)
+      if (p.focus == name && (p.hypothesis == kAnyHypothesis || p.hypothesis == hypothesis))
+        return true;
+  }
+  return false;
+}
+
+Priority DirectiveSet::priority_of(std::string_view hypothesis,
+                                   std::string_view focus_name) const {
+  for (const PriorityDirective& p : priorities)
+    if (p.hypothesis == hypothesis && p.focus == focus_name) return p.priority;
+  return Priority::Medium;
+}
+
+std::optional<double> DirectiveSet::threshold_for(std::string_view hypothesis) const {
+  std::optional<double> wildcard;
+  for (const ThresholdDirective& t : thresholds) {
+    if (t.hypothesis == hypothesis) return t.threshold;
+    if (t.hypothesis == kAnyHypothesis) wildcard = t.threshold;
+  }
+  return wildcard;
+}
+
+std::string apply_maps_to_resource(const std::vector<MapDirective>& maps,
+                                   std::string_view resource) {
+  const MapDirective* best = nullptr;
+  for (const MapDirective& m : maps) {
+    if (util::is_path_prefix(m.from, resource)) {
+      if (!best || m.from.size() > best->from.size()) best = &m;
+    }
+  }
+  if (!best) return std::string(resource);
+  return best->to + std::string(resource.substr(best->from.size()));
+}
+
+std::string apply_maps_to_focus_name(const std::vector<MapDirective>& maps,
+                                     std::string_view focus_name) {
+  std::string_view inner = focus_name;
+  bool bracketed = false;
+  if (!inner.empty() && inner.front() == '<' && inner.back() == '>') {
+    inner = inner.substr(1, inner.size() - 2);
+    bracketed = true;
+  }
+  std::vector<std::string> mapped;
+  for (auto part : util::split_view(inner, ','))
+    mapped.push_back(apply_maps_to_resource(maps, util::trim(part)));
+  std::string joined = util::join(mapped, ",");
+  return bracketed ? "<" + joined + ">" : joined;
+}
+
+void DirectiveSet::apply_mappings() {
+  if (maps.empty()) return;
+  for (PruneDirective& p : prunes)
+    p.resource_prefix = apply_maps_to_resource(maps, p.resource_prefix);
+  for (PairPruneDirective& p : pair_prunes) p.focus = apply_maps_to_focus_name(maps, p.focus);
+  for (PriorityDirective& p : priorities) p.focus = apply_maps_to_focus_name(maps, p.focus);
+}
+
+void DirectiveSet::merge(const DirectiveSet& other) {
+  prunes.insert(prunes.end(), other.prunes.begin(), other.prunes.end());
+  pair_prunes.insert(pair_prunes.end(), other.pair_prunes.begin(), other.pair_prunes.end());
+  priorities.insert(priorities.end(), other.priorities.begin(), other.priorities.end());
+  thresholds.insert(thresholds.end(), other.thresholds.begin(), other.thresholds.end());
+  maps.insert(maps.end(), other.maps.begin(), other.maps.end());
+}
+
+DirectiveSet DirectiveSet::parse(std::string_view text) {
+  DirectiveSet set;
+  int lineno = 0;
+  for (auto line_view : util::split_view(text, '\n')) {
+    ++lineno;
+    auto line = util::trim(line_view);
+    if (line.empty() || line.front() == '#') continue;
+    auto tokens = util::split_ws(line);
+    auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("directive parse error, line " + std::to_string(lineno) +
+                                  ": " + why);
+    };
+    const std::string& kind = tokens[0];
+    if (kind == "prune") {
+      if (tokens.size() != 3) fail("prune expects: prune <hypothesis|*> <resource>");
+      if (tokens[2].empty() || tokens[2][0] != '/') fail("resource must start with '/'");
+      set.prunes.push_back({tokens[1], tokens[2]});
+    } else if (kind == "prunepair") {
+      if (tokens.size() != 3) fail("prunepair expects: prunepair <hypothesis> <focus>");
+      set.pair_prunes.push_back({tokens[1], tokens[2]});
+    } else if (kind == "priority") {
+      if (tokens.size() != 4) fail("priority expects: priority <hypothesis> <focus> <level>");
+      auto level = priority_from_name(tokens[3]);
+      if (!level) fail("unknown priority level '" + tokens[3] + "'");
+      set.priorities.push_back({tokens[1], tokens[2], *level});
+    } else if (kind == "threshold") {
+      if (tokens.size() != 3) fail("threshold expects: threshold <hypothesis|*> <fraction>");
+      double value = 0;
+      try {
+        value = std::stod(tokens[2]);
+      } catch (const std::exception&) {
+        fail("bad threshold value '" + tokens[2] + "'");
+      }
+      if (value <= 0.0 || value >= 1.0) fail("threshold must be in (0,1)");
+      set.thresholds.push_back({tokens[1], value});
+    } else if (kind == "map") {
+      if (tokens.size() != 3) fail("map expects: map <resource1> <resource2>");
+      if (tokens[1][0] != '/' || tokens[2][0] != '/') fail("resources must start with '/'");
+      set.maps.push_back({tokens[1], tokens[2]});
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  return set;
+}
+
+std::string DirectiveSet::serialize() const {
+  std::ostringstream os;
+  for (const auto& m : maps) os << "map " << m.from << " " << m.to << "\n";
+  for (const auto& p : prunes) os << "prune " << p.hypothesis << " " << p.resource_prefix << "\n";
+  for (const auto& p : pair_prunes) os << "prunepair " << p.hypothesis << " " << p.focus << "\n";
+  for (const auto& t : thresholds)
+    os << "threshold " << t.hypothesis << " " << util::fmt_double(t.threshold, 4) << "\n";
+  for (const auto& p : priorities)
+    os << "priority " << p.hypothesis << " " << p.focus << " " << priority_name(p.priority)
+       << "\n";
+  return os.str();
+}
+
+DirectiveSet DirectiveSet::load(const std::string& path) {
+  return parse(util::read_file(path));
+}
+
+void DirectiveSet::save(const std::string& path) const {
+  util::write_file(path, serialize());
+}
+
+}  // namespace histpc::pc

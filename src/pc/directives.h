@@ -1,0 +1,128 @@
+// Search directives: the paper's mechanism for feeding historical knowledge
+// into the Performance Consultant.
+//
+//  * prune      — ignore a resource subtree for a hypothesis ("*" = all)
+//  * priority   — order testing of a (hypothesis : focus) pair; high pairs
+//                 are instrumented at search start and persist all run
+//  * threshold  — hypothesis test level (fraction of execution time)
+//  * map        — resource-name equivalence between executions, applied to
+//                 the directive list before the search starts
+//
+// Text format, one directive per line ('#' comments):
+//   prune * /Machine
+//   prune CPUbound /SyncObject
+//   priority ExcessiveSyncWaitingTime </Code/exchng2.f,/Machine,/Process,/SyncObject> high
+//   threshold ExcessiveSyncWaitingTime 0.12
+//   map /Code/oned.f /Code/onednb.f
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resources/focus.h"
+
+namespace histpc::pc {
+
+enum class Priority { Low = 0, Medium = 1, High = 2 };
+
+const char* priority_name(Priority p);
+std::optional<Priority> priority_from_name(std::string_view name);
+
+struct PruneDirective {
+  std::string hypothesis;       ///< hypothesis name or "*"
+  std::string resource_prefix;  ///< e.g. "/SyncObject" or "/Code/oned.f/diff"
+
+  bool operator==(const PruneDirective&) const = default;
+};
+
+/// Pair-level prune: skip one exact (hypothesis : focus) test — used for
+/// pairs that tested false in previous executions. Text form:
+///   prunepair <hypothesis> <focus>
+struct PairPruneDirective {
+  std::string hypothesis;
+  std::string focus;  ///< canonical focus name "<...>"
+
+  bool operator==(const PairPruneDirective&) const = default;
+};
+
+struct PriorityDirective {
+  std::string hypothesis;
+  std::string focus;  ///< canonical focus name "<...>"
+  Priority priority = Priority::Medium;
+
+  bool operator==(const PriorityDirective&) const = default;
+};
+
+struct ThresholdDirective {
+  std::string hypothesis;  ///< hypothesis name or "*"
+  double threshold = 0.20;
+
+  bool operator==(const ThresholdDirective&) const = default;
+};
+
+struct MapDirective {
+  std::string from;
+  std::string to;
+
+  bool operator==(const MapDirective&) const = default;
+};
+
+class DirectiveSet {
+ public:
+  std::vector<PruneDirective> prunes;
+  std::vector<PairPruneDirective> pair_prunes;
+  std::vector<PriorityDirective> priorities;
+  std::vector<ThresholdDirective> thresholds;
+  std::vector<MapDirective> maps;
+
+  bool empty() const {
+    return prunes.empty() && pair_prunes.empty() && priorities.empty() &&
+           thresholds.empty() && maps.empty();
+  }
+
+  /// Is (hypothesis : focus) excluded by a prune? A focus is pruned when
+  /// any of its parts constrains below a hierarchy root and lies within a
+  /// pruned prefix for that hypothesis, or when the exact pair is listed
+  /// as a pair prune.
+  bool is_pruned(std::string_view hypothesis, const resources::Focus& focus) const;
+
+  /// Priority of (hypothesis : focus name); Medium when no directive
+  /// matches.
+  Priority priority_of(std::string_view hypothesis, std::string_view focus_name) const;
+
+  /// Threshold override for a hypothesis, if any (specific name beats "*").
+  std::optional<double> threshold_for(std::string_view hypothesis) const;
+
+  /// Rewrite resource names in prunes and priority foci using the map
+  /// directives: any component with a mapped prefix is rewritten. The
+  /// paper applies mappings to the extracted directive list before the
+  /// Performance Consultant reads it; call this once before the search.
+  void apply_mappings();
+
+  /// Append all directives from `other`.
+  void merge(const DirectiveSet& other);
+
+  /// Parse the text format; throws std::invalid_argument with a line
+  /// number on malformed input.
+  static DirectiveSet parse(std::string_view text);
+  std::string serialize() const;
+
+  /// Convenience: parse from / save to a file.
+  static DirectiveSet load(const std::string& path);
+  void save(const std::string& path) const;
+
+  bool operator==(const DirectiveSet&) const = default;
+};
+
+/// Apply map directives to a single resource name (longest matching prefix
+/// wins; one rewrite, no chaining).
+std::string apply_maps_to_resource(const std::vector<MapDirective>& maps,
+                                   std::string_view resource);
+
+/// Apply map directives to each part of a canonical focus name.
+std::string apply_maps_to_focus_name(const std::vector<MapDirective>& maps,
+                                     std::string_view focus_name);
+
+}  // namespace histpc::pc

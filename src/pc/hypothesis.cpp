@@ -1,0 +1,50 @@
+#include "pc/hypothesis.h"
+
+#include <stdexcept>
+
+namespace histpc::pc {
+
+HypothesisSet HypothesisSet::standard() {
+  HypothesisSet set;
+  set.add({std::string(kCpuBoundName), metrics::MetricKind::CpuTime, 0.20, false, {}, ""});
+  set.add({std::string(kSyncWaitName), metrics::MetricKind::SyncWaitTime, 0.20, true, {}, ""});
+  set.add({std::string(kIoBlockingName), metrics::MetricKind::IoWaitTime, 0.20, false, {}, ""});
+  return set;
+}
+
+HypothesisSet HypothesisSet::standard_extended() {
+  HypothesisSet set = standard();
+  const int msg = set.add({std::string(kMessageWaitName), metrics::MetricKind::SyncWaitTime,
+                           0.20, true, {}, "/SyncObject/Message"});
+  const int coll = set.add({std::string(kCollectiveWaitName), metrics::MetricKind::SyncWaitTime,
+                            0.20, true, {}, "/SyncObject/Collective"});
+  const int sync = *set.index_of(kSyncWaitName);
+  set.hyps_[static_cast<std::size_t>(sync)].children = {msg, coll};
+  return set;
+}
+
+int HypothesisSet::add(Hypothesis h) {
+  for (int child : h.children)
+    if (child < 0 || child >= static_cast<int>(hyps_.size()))
+      throw std::out_of_range("hypothesis child index out of range");
+  hyps_.push_back(std::move(h));
+  return static_cast<int>(hyps_.size() - 1);
+}
+
+std::optional<int> HypothesisSet::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < hyps_.size(); ++i)
+    if (hyps_[i].name == name) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::vector<int> HypothesisSet::roots() const {
+  std::vector<bool> is_child(hyps_.size(), false);
+  for (const auto& h : hyps_)
+    for (int c : h.children) is_child[static_cast<std::size_t>(c)] = true;
+  std::vector<int> out;
+  for (std::size_t i = 0; i < hyps_.size(); ++i)
+    if (!is_child[i]) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+}  // namespace histpc::pc

@@ -1,0 +1,76 @@
+// Performance hypotheses: the "why is it slow" questions the Performance
+// Consultant tests. Each hypothesis compares a continuously measured metric
+// fraction against a threshold; instances where the measured value exceeds
+// the threshold are bottlenecks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/metric.h"
+
+namespace histpc::pc {
+
+/// Wildcard accepted by directives to mean "every hypothesis".
+inline constexpr std::string_view kAnyHypothesis = "*";
+
+struct Hypothesis {
+  std::string name;                ///< e.g. "ExcessiveSyncWaitingTime"
+  metrics::MetricKind metric;
+  double default_threshold = 0.20; ///< fraction of execution time
+  /// True for hypotheses about synchronization; only these benefit from
+  /// SyncObject-hierarchy refinement (the basis of the paper's general
+  /// pruning directive).
+  bool sync_related = false;
+  /// More specific hypotheses tested (at the same focus) when this one is
+  /// true — the paper's second kind of expansion, "a more specific
+  /// hypothesis". Indices into the owning HypothesisSet.
+  std::vector<int> children;
+  /// Implicit SyncObject scope of the metric, e.g. "/SyncObject/Message"
+  /// for ExcessiveMessageWaitingTime. Empty = unscoped. A focus whose
+  /// SyncObject part falls outside the scope is incompatible with the
+  /// hypothesis and is never tested.
+  std::string sync_scope;
+};
+
+/// A tree of hypotheses. The virtual TopLevelHypothesis root is handled by
+/// the search itself; the set's roots are tested at WholeProgram first and
+/// expanded (by focus and by child hypothesis) when true.
+class HypothesisSet {
+ public:
+  /// Paradyn's defaults: CPUbound, ExcessiveSyncWaitingTime,
+  /// ExcessiveIOBlockingTime (paper Fig. 2), each with a 20% threshold,
+  /// no child hypotheses.
+  static HypothesisSet standard();
+
+  /// standard() plus sync-wait child hypotheses:
+  /// ExcessiveSyncWaitingTime -> {ExcessiveMessageWaitingTime,
+  /// ExcessiveCollectiveWaitingTime}, scoped to the corresponding
+  /// SyncObject subtrees.
+  static HypothesisSet standard_extended();
+
+  int add(Hypothesis h);
+  const std::vector<Hypothesis>& all() const { return hyps_; }
+  const Hypothesis& at(int idx) const { return hyps_.at(static_cast<std::size_t>(idx)); }
+  std::size_t size() const { return hyps_.size(); }
+
+  /// Index by name; nullopt if unknown.
+  std::optional<int> index_of(std::string_view name) const;
+
+  /// Hypotheses that are nobody's child: the TopLevelHypothesis expansion.
+  std::vector<int> roots() const;
+
+ private:
+  std::vector<Hypothesis> hyps_;
+};
+
+inline constexpr std::string_view kTopLevelHypothesisName = "TopLevelHypothesis";
+inline constexpr std::string_view kCpuBoundName = "CPUbound";
+inline constexpr std::string_view kSyncWaitName = "ExcessiveSyncWaitingTime";
+inline constexpr std::string_view kIoBlockingName = "ExcessiveIOBlockingTime";
+inline constexpr std::string_view kMessageWaitName = "ExcessiveMessageWaitingTime";
+inline constexpr std::string_view kCollectiveWaitName = "ExcessiveCollectiveWaitingTime";
+
+}  // namespace histpc::pc

@@ -1,0 +1,90 @@
+// The Search History Graph (SHG): a DAG whose nodes are the
+// (hypothesis : focus) pairs the Performance Consultant has considered.
+// Different refinement paths can reach the same pair, so nodes are deduped
+// by (hypothesis, canonical focus name) and may have multiple parents.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instr/instrumentation.h"
+#include "pc/directives.h"
+#include "pc/hypothesis.h"
+#include "resources/focus.h"
+
+namespace histpc::pc {
+
+enum class NodeStatus {
+  Pending,  ///< created, waiting for instrumentation budget
+  Active,   ///< instrumented, collecting data
+  True,     ///< concluded a bottleneck
+  False,    ///< concluded not a bottleneck
+  Pruned,   ///< excluded by a pruning directive (never instrumented)
+  NeverRan, ///< still Pending/Active when the program ended
+};
+
+const char* node_status_name(NodeStatus s);
+
+struct ShgNode {
+  int id = -1;
+  int hyp = -1;  ///< index into the HypothesisSet; -1 for the virtual root
+  resources::Focus focus;
+  std::string focus_name;
+  NodeStatus status = NodeStatus::Pending;
+  Priority priority = Priority::Medium;
+  bool persistent = false;
+
+  instr::ProbeId probe = instr::kNoProbe;
+  double enqueue_time = 0.0;
+  double activate_time = -1.0;
+  double conclude_time = -1.0;   ///< first conclusion
+  double first_true_time = -1.0; ///< first time the node tested true
+  double fraction = 0.0;         ///< measured fraction at (last) conclusion
+
+  std::vector<int> parents;
+  std::vector<int> children;
+};
+
+class SearchHistoryGraph {
+ public:
+  explicit SearchHistoryGraph(const HypothesisSet& hyps);
+
+  /// The virtual (TopLevelHypothesis : WholeProgram) root, id 0.
+  int root() const { return 0; }
+
+  /// Find a node by (hypothesis index, canonical focus name); -1 if absent.
+  int find(int hyp, const std::string& focus_name) const;
+
+  /// Create (or return the existing) node and link it under `parent`.
+  int add_node(int hyp, resources::Focus focus, int parent, double now);
+
+  ShgNode& node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+  const ShgNode& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  std::size_t size() const { return nodes_.size(); }
+
+  const HypothesisSet& hypotheses() const { return hyps_; }
+
+  /// Hypothesis name of a node ("TopLevelHypothesis" for the root).
+  std::string hypothesis_name(int id) const;
+
+  /// Counts by status (excluding the virtual root).
+  std::size_t count(NodeStatus status) const;
+
+  /// Paradyn-style list-box rendering (paper Fig. 2): indentation by
+  /// refinement depth, one line per node with its status.
+  std::string render() const;
+
+  /// Graphviz export: one node per (hypothesis : focus) pair, colored by
+  /// status like Paradyn's display (true dark, false light), every
+  /// refinement edge included — unlike render(), converging DAG paths are
+  /// fully visible. Feed to `dot -Tsvg`.
+  std::string to_dot() const;
+
+ private:
+  const HypothesisSet& hyps_;
+  std::vector<ShgNode> nodes_;
+  std::map<std::pair<int, std::string>, int> index_;
+};
+
+}  // namespace histpc::pc

@@ -1,0 +1,90 @@
+#include "resources/focus.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace histpc::resources {
+
+Focus Focus::whole_program(const ResourceDb& db) {
+  std::vector<std::string> parts;
+  parts.reserve(db.num_hierarchies());
+  for (std::size_t i = 0; i < db.num_hierarchies(); ++i)
+    parts.push_back("/" + db.hierarchy(i).name());
+  return Focus(std::move(parts));
+}
+
+std::optional<Focus> Focus::parse(std::string_view text, const ResourceDb& db,
+                                  bool validate_resources) {
+  text = util::trim(text);
+  if (!text.empty() && text.front() == '<') {
+    if (text.back() != '>') return std::nullopt;
+    text = text.substr(1, text.size() - 2);
+  }
+  std::vector<std::string> parts(db.num_hierarchies());
+  std::vector<bool> seen(db.num_hierarchies(), false);
+  for (auto raw : util::split_view(text, ',')) {
+    auto part = util::trim(raw);
+    if (part.empty()) continue;
+    auto comps = util::split_view(part, '/');
+    if (comps.size() < 2 || !comps[0].empty()) return std::nullopt;
+    int idx = db.hierarchy_index(comps[1]);
+    if (idx < 0) return std::nullopt;
+    auto uidx = static_cast<std::size_t>(idx);
+    if (seen[uidx]) return std::nullopt;
+    if (validate_resources && db.hierarchy(uidx).find(part) == kNoResource) return std::nullopt;
+    parts[uidx] = std::string(part);
+    seen[uidx] = true;
+  }
+  // Unmentioned hierarchies default to their roots (unconstrained).
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    if (!seen[i]) parts[i] = "/" + db.hierarchy(i).name();
+  return Focus(std::move(parts));
+}
+
+std::string Focus::name() const {
+  return "<" + util::join(parts_, ",") + ">";
+}
+
+bool Focus::is_whole_program() const {
+  return std::all_of(parts_.begin(), parts_.end(), [](const std::string& p) {
+    return !p.empty() && p.find('/', 1) == std::string::npos;
+  });
+}
+
+int Focus::total_depth(const ResourceDb& db) const {
+  int depth = 0;
+  for (std::size_t i = 0; i < parts_.size() && i < db.num_hierarchies(); ++i) {
+    ResourceId id = db.hierarchy(i).find(parts_[i]);
+    if (id != kNoResource) depth += db.hierarchy(i).node(id).depth;
+  }
+  return depth;
+}
+
+std::vector<Focus> Focus::refinements(const ResourceDb& db) const {
+  std::vector<Focus> out;
+  for (std::size_t i = 0; i < parts_.size() && i < db.num_hierarchies(); ++i) {
+    const auto& h = db.hierarchy(i);
+    ResourceId id = h.find(parts_[i]);
+    if (id == kNoResource) continue;
+    for (ResourceId child : h.node(id).children) {
+      out.push_back(with_part(i, h.node(child).full_name));
+    }
+  }
+  return out;
+}
+
+Focus Focus::with_part(std::size_t idx, std::string part) const {
+  Focus f(*this);
+  f.parts_.at(idx) = std::move(part);
+  return f;
+}
+
+bool Focus::contains(const Focus& other) const {
+  if (parts_.size() != other.parts_.size()) return false;
+  for (std::size_t i = 0; i < parts_.size(); ++i)
+    if (!util::is_path_prefix(parts_[i], other.parts_[i])) return false;
+  return true;
+}
+
+}  // namespace histpc::resources

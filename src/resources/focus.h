@@ -1,0 +1,65 @@
+// A focus constrains a performance measurement to part of the program:
+// one selected resource per hierarchy. Selecting a hierarchy root is the
+// unconstrained view. Canonical text form mirrors the paper:
+//   </Code/testutil.C/verifyA,/Machine,/Process/Tester:2,/SyncObject>
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resources/resource_db.h"
+
+namespace histpc::resources {
+
+class Focus {
+ public:
+  Focus() = default;
+
+  /// One part (a resource full name) per hierarchy, in db hierarchy order.
+  explicit Focus(std::vector<std::string> parts) : parts_(std::move(parts)) {}
+
+  /// The unconstrained focus over every hierarchy in `db`.
+  static Focus whole_program(const ResourceDb& db);
+
+  /// Parse "</a,/b,...>" (or "/a,/b" without brackets). Parts are reordered
+  /// to match `db` hierarchy order. Returns nullopt if any part names a
+  /// hierarchy absent from `db`, if a hierarchy appears twice, or if
+  /// `validate_resources` is set and a part names a missing resource.
+  static std::optional<Focus> parse(std::string_view text, const ResourceDb& db,
+                                    bool validate_resources = true);
+
+  const std::vector<std::string>& parts() const { return parts_; }
+  std::size_t size() const { return parts_.size(); }
+  const std::string& part(std::size_t hierarchy_idx) const { return parts_.at(hierarchy_idx); }
+
+  /// Canonical "<...>" form; equal foci have equal names.
+  std::string name() const;
+
+  /// True if every part is a hierarchy root ("/Code" etc.).
+  bool is_whole_program() const;
+
+  /// Depth sum across hierarchies (whole program = 0); used to order
+  /// sibling expansions and as a specificity measure.
+  int total_depth(const ResourceDb& db) const;
+
+  /// All foci reachable by moving down exactly one edge in exactly one
+  /// hierarchy (the paper's "refinement"). Parts whose resources have no
+  /// children contribute nothing.
+  std::vector<Focus> refinements(const ResourceDb& db) const;
+
+  /// Replace the part for hierarchy `idx` (used by the resource mapper).
+  Focus with_part(std::size_t idx, std::string part) const;
+
+  /// True if `other` selects a subset of this focus: every part of `other`
+  /// is equal to or below the corresponding part of this focus.
+  bool contains(const Focus& other) const;
+
+  bool operator==(const Focus& other) const { return parts_ == other.parts_; }
+
+ private:
+  std::vector<std::string> parts_;
+};
+
+}  // namespace histpc::resources

@@ -1,0 +1,100 @@
+#include "resources/resource_db.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace histpc::resources {
+
+ResourceDb::ResourceDb(const ResourceDb& other) {
+  hierarchies_.reserve(other.hierarchies_.size());
+  for (const auto& h : other.hierarchies_)
+    hierarchies_.push_back(std::make_unique<ResourceHierarchy>(*h));
+}
+
+ResourceDb& ResourceDb::operator=(const ResourceDb& other) {
+  if (this != &other) {
+    ResourceDb copy(other);
+    hierarchies_ = std::move(copy.hierarchies_);
+  }
+  return *this;
+}
+
+ResourceDb ResourceDb::with_standard_hierarchies() {
+  ResourceDb db;
+  db.add_hierarchy(kCodeHierarchy);
+  db.add_hierarchy(kMachineHierarchy);
+  db.add_hierarchy(kProcessHierarchy);
+  db.add_hierarchy(kSyncObjectHierarchy);
+  return db;
+}
+
+ResourceHierarchy& ResourceDb::add_hierarchy(std::string_view name) {
+  if (int idx = hierarchy_index(name); idx >= 0) return *hierarchies_[static_cast<std::size_t>(idx)];
+  hierarchies_.push_back(std::make_unique<ResourceHierarchy>(std::string(name)));
+  return *hierarchies_.back();
+}
+
+int ResourceDb::hierarchy_index(std::string_view name) const {
+  for (std::size_t i = 0; i < hierarchies_.size(); ++i)
+    if (hierarchies_[i]->name() == name) return static_cast<int>(i);
+  return -1;
+}
+
+ResourceHierarchy& ResourceDb::hierarchy(std::string_view name) {
+  int idx = hierarchy_index(name);
+  if (idx < 0) throw std::out_of_range("no such hierarchy: " + std::string(name));
+  return *hierarchies_[static_cast<std::size_t>(idx)];
+}
+
+const ResourceHierarchy& ResourceDb::hierarchy(std::string_view name) const {
+  int idx = hierarchy_index(name);
+  if (idx < 0) throw std::out_of_range("no such hierarchy: " + std::string(name));
+  return *hierarchies_[static_cast<std::size_t>(idx)];
+}
+
+ResourceId ResourceDb::add_resource(std::string_view full_name) {
+  auto parts = util::split_view(full_name, '/');
+  if (parts.size() < 2 || !parts[0].empty() || parts[1].empty())
+    throw std::invalid_argument("bad resource name: " + std::string(full_name));
+  return add_hierarchy(parts[1]).add_path(full_name);
+}
+
+bool ResourceDb::contains(std::string_view full_name) const {
+  auto parts = util::split_view(full_name, '/');
+  if (parts.size() < 2 || !parts[0].empty()) return false;
+  int idx = hierarchy_index(parts[1]);
+  if (idx < 0) return false;
+  return hierarchies_[static_cast<std::size_t>(idx)]->contains(full_name);
+}
+
+std::vector<std::string> ResourceDb::all_resource_names() const {
+  std::vector<std::string> out;
+  for (const auto& h : hierarchies_)
+    for (ResourceId id : h->preorder()) out.push_back(h->node(id).full_name);
+  return out;
+}
+
+util::Json ResourceDb::to_json() const {
+  util::Json j = util::Json::object();
+  for (const auto& h : hierarchies_) {
+    util::Json arr = util::Json::array();
+    for (ResourceId id : h->preorder()) {
+      if (id == h->root()) continue;  // the root is implied by the key
+      arr.push_back(h->node(id).full_name);
+    }
+    j[h->name()] = std::move(arr);
+  }
+  return j;
+}
+
+ResourceDb ResourceDb::from_json(const util::Json& j) {
+  ResourceDb db;
+  for (const auto& [name, arr] : j.as_object()) {
+    db.add_hierarchy(name);
+    for (const auto& res : arr.as_array()) db.add_resource(res.as_string());
+  }
+  return db;
+}
+
+}  // namespace histpc::resources

@@ -1,0 +1,69 @@
+// The complete resource view of one program execution: an ordered set of
+// resource hierarchies (canonically Code, Machine, Process, SyncObject).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resources/resource_hierarchy.h"
+#include "util/json.h"
+
+namespace histpc::resources {
+
+/// Canonical hierarchy names used throughout HistPC. Applications may add
+/// further hierarchies (e.g. a DataFile hierarchy); the PC iterates whatever
+/// the db contains.
+inline constexpr std::string_view kCodeHierarchy = "Code";
+inline constexpr std::string_view kMachineHierarchy = "Machine";
+inline constexpr std::string_view kProcessHierarchy = "Process";
+inline constexpr std::string_view kSyncObjectHierarchy = "SyncObject";
+
+class ResourceDb {
+ public:
+  ResourceDb() = default;
+  /// Deep copies: a copied db owns independent hierarchies.
+  ResourceDb(const ResourceDb& other);
+  ResourceDb& operator=(const ResourceDb& other);
+  ResourceDb(ResourceDb&&) = default;
+  ResourceDb& operator=(ResourceDb&&) = default;
+
+  /// Create the four canonical hierarchies (empty below their roots).
+  static ResourceDb with_standard_hierarchies();
+
+  /// Adds (or returns the existing) hierarchy named `name`.
+  ResourceHierarchy& add_hierarchy(std::string_view name);
+
+  /// Index of hierarchy `name`, or -1.
+  int hierarchy_index(std::string_view name) const;
+  bool has_hierarchy(std::string_view name) const { return hierarchy_index(name) >= 0; }
+
+  ResourceHierarchy& hierarchy(std::size_t idx) { return *hierarchies_.at(idx); }
+  const ResourceHierarchy& hierarchy(std::size_t idx) const { return *hierarchies_.at(idx); }
+  ResourceHierarchy& hierarchy(std::string_view name);
+  const ResourceHierarchy& hierarchy(std::string_view name) const;
+
+  std::size_t num_hierarchies() const { return hierarchies_.size(); }
+
+  /// Add a resource by full name; the owning hierarchy is the first path
+  /// component and is created on demand.
+  ResourceId add_resource(std::string_view full_name);
+
+  /// True if `full_name` names an existing resource in any hierarchy.
+  bool contains(std::string_view full_name) const;
+
+  /// Every resource full name, grouped by hierarchy in preorder.
+  std::vector<std::string> all_resource_names() const;
+
+  /// Serialize to / deserialize from the experiment-store JSON schema:
+  /// { "Code": ["/Code/a.f", ...], "Machine": [...] }.
+  util::Json to_json() const;
+  static ResourceDb from_json(const util::Json& j);
+
+ private:
+  // unique_ptr keeps ResourceHierarchy addresses stable across add_hierarchy.
+  std::vector<std::unique_ptr<ResourceHierarchy>> hierarchies_;
+};
+
+}  // namespace histpc::resources

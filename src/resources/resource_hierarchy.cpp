@@ -1,0 +1,118 @@
+#include "resources/resource_hierarchy.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace histpc::resources {
+
+ResourceHierarchy::ResourceHierarchy(std::string name) : name_(std::move(name)) {
+  if (name_.empty() || name_.find('/') != std::string::npos)
+    throw std::invalid_argument("hierarchy name must be a single non-empty label");
+  ResourceNode root;
+  root.label = name_;
+  root.full_name = "/" + name_;
+  root.depth = 0;
+  nodes_.push_back(std::move(root));
+  by_name_.emplace(nodes_[0].full_name, 0);
+}
+
+ResourceId ResourceHierarchy::add_child(ResourceId parent, std::string_view label) {
+  if (parent < 0 || static_cast<std::size_t>(parent) >= nodes_.size())
+    throw std::out_of_range("add_child: bad parent id");
+  if (label.empty() || label.find('/') != std::string_view::npos)
+    throw std::invalid_argument("resource label must be a single non-empty path component");
+  std::string full = nodes_[static_cast<std::size_t>(parent)].full_name + "/" + std::string(label);
+  if (auto it = by_name_.find(full); it != by_name_.end()) return it->second;
+  ResourceNode n;
+  n.label = std::string(label);
+  n.full_name = full;
+  n.parent = parent;
+  n.depth = nodes_[static_cast<std::size_t>(parent)].depth + 1;
+  ResourceId id = static_cast<ResourceId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+  by_name_.emplace(nodes_.back().full_name, id);
+  return id;
+}
+
+ResourceId ResourceHierarchy::add_path(std::string_view full_name) {
+  auto parts = util::split_view(full_name, '/');
+  // Expect "", name, [labels...] for "/Name/a/b".
+  if (parts.size() < 2 || !parts[0].empty() || parts[1] != name_)
+    throw std::invalid_argument("add_path: name '" + std::string(full_name) +
+                                "' does not belong to hierarchy /" + name_);
+  ResourceId cur = root();
+  for (std::size_t i = 2; i < parts.size(); ++i) cur = add_child(cur, parts[i]);
+  return cur;
+}
+
+ResourceId ResourceHierarchy::find(std::string_view full_name) const {
+  auto it = by_name_.find(std::string(full_name));
+  return it == by_name_.end() ? kNoResource : it->second;
+}
+
+std::vector<ResourceId> ResourceHierarchy::leaves_under(ResourceId id) const {
+  std::vector<ResourceId> out;
+  std::vector<ResourceId> stack{id};
+  while (!stack.empty()) {
+    ResourceId cur = stack.back();
+    stack.pop_back();
+    const auto& n = node(cur);
+    if (n.children.empty()) {
+      out.push_back(cur);
+    } else {
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+bool ResourceHierarchy::is_ancestor_or_self(ResourceId ancestor, ResourceId id) const {
+  for (ResourceId cur = id; cur != kNoResource;
+       cur = node(cur).parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+std::vector<ResourceId> ResourceHierarchy::preorder() const {
+  std::vector<ResourceId> out;
+  out.reserve(nodes_.size());
+  std::vector<ResourceId> stack{root()};
+  while (!stack.empty()) {
+    ResourceId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& n = node(cur);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::string ResourceHierarchy::render(
+    const std::unordered_map<std::string, std::string>* tags) const {
+  std::ostringstream os;
+  // Recursive lambda over (id, prefix, is_last).
+  auto emit = [&](auto&& self, ResourceId id, const std::string& prefix, bool last) -> void {
+    const auto& n = node(id);
+    if (id == root()) {
+      os << n.label;
+    } else {
+      os << prefix << (last ? "`- " : "|- ") << n.label;
+    }
+    if (tags) {
+      if (auto it = tags->find(n.full_name); it != tags->end()) os << " [" << it->second << "]";
+    }
+    os << '\n';
+    std::string child_prefix =
+        id == root() ? std::string() : prefix + (last ? "   " : "|  ");
+    for (std::size_t i = 0; i < n.children.size(); ++i)
+      self(self, n.children[i], child_prefix, i + 1 == n.children.size());
+  };
+  emit(emit, root(), "", true);
+  return os.str();
+}
+
+}  // namespace histpc::resources

@@ -1,0 +1,81 @@
+// Resource hierarchies in the Paradyn sense.
+//
+// A program is represented as a set of discrete resources organized into
+// trees ("resource hierarchies"): Code (modules and functions), Machine
+// (nodes), Process, and SyncObject (message tags). A resource's name is the
+// '/'-joined path of labels from the hierarchy root, e.g.
+// "/Code/testutil.C/verifyA" (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace histpc::resources {
+
+/// Index of a resource within its hierarchy; the root is always 0.
+using ResourceId = std::int32_t;
+inline constexpr ResourceId kNoResource = -1;
+
+struct ResourceNode {
+  std::string label;      ///< last path component ("verifyA")
+  std::string full_name;  ///< full path ("/Code/testutil.C/verifyA")
+  ResourceId parent = kNoResource;
+  std::vector<ResourceId> children;
+  int depth = 0;  ///< root = 0
+};
+
+/// One tree of resources. Insertion is idempotent by full name; nodes are
+/// never removed, so ResourceIds are stable for the lifetime of the
+/// hierarchy — the search history graph and metric engine cache them.
+class ResourceHierarchy {
+ public:
+  /// Creates the hierarchy with root "/<name>".
+  explicit ResourceHierarchy(std::string name);
+
+  const std::string& name() const { return name_; }
+  ResourceId root() const { return 0; }
+  std::size_t size() const { return nodes_.size(); }
+
+  const ResourceNode& node(ResourceId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+
+  /// Add a child of `parent` labeled `label`; returns the existing node if
+  /// already present.
+  ResourceId add_child(ResourceId parent, std::string_view label);
+
+  /// Add a resource by full name ("/Code/a.f/f1"), creating intermediate
+  /// nodes. The first path component must equal the hierarchy name.
+  /// Throws std::invalid_argument on malformed names.
+  ResourceId add_path(std::string_view full_name);
+
+  /// Find by full name; kNoResource if absent.
+  ResourceId find(std::string_view full_name) const;
+  bool contains(std::string_view full_name) const { return find(full_name) != kNoResource; }
+
+  /// All leaf resources under `id` (id itself if a leaf).
+  std::vector<ResourceId> leaves_under(ResourceId id) const;
+
+  /// True if `ancestor` is `id` or a proper ancestor of `id`.
+  bool is_ancestor_or_self(ResourceId ancestor, ResourceId id) const;
+
+  /// Pre-order traversal of all node ids.
+  std::vector<ResourceId> preorder() const;
+
+  /// ASCII rendering of the tree (used by the Figure 1 bench), e.g.
+  ///   Code
+  ///   |- main.C
+  ///   |  |- main
+  ///   ...
+  /// `tag_of`, when provided, appends " [tag]" per node (execution maps).
+  std::string render(const std::unordered_map<std::string, std::string>* tags = nullptr) const;
+
+ private:
+  std::string name_;
+  std::vector<ResourceNode> nodes_;
+  std::unordered_map<std::string, ResourceId> by_name_;
+};
+
+}  // namespace histpc::resources

@@ -1,0 +1,73 @@
+// Operation model for simulated SPMD message-passing programs.
+//
+// Applications are ordinary C++ functions run once per rank against a
+// Recorder; the recorded op sequence is then executed by the discrete-event
+// Simulator. This trace-then-simulate split is valid because the studied
+// applications' control flow does not depend on message contents (the paper
+// fixed iteration counts for the same reason).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace histpc::simmpi {
+
+/// Function-table index; kNoFunc means "outside any recorded function".
+using FuncId = std::int32_t;
+inline constexpr FuncId kNoFunc = -1;
+
+/// Request handle returned by nonblocking operations (per-rank sequence).
+using RequestId = std::int32_t;
+
+/// Wildcard source for receives (MPI_ANY_SOURCE). Matching is
+/// deterministic: among the sends pending *at matching time*, the
+/// earliest-posted unmatched one wins, ties broken by the lowest source
+/// rank; specific receives on a channel take priority over wildcards.
+/// Caveat: the simulator advances ranks by dataflow, not global time, so
+/// the pending set can differ from a time-ordered execution's — pairing
+/// may differ from real MPI, but completion times remain causally
+/// consistent (a receive never completes before both it and its message
+/// exist), which is all the metric layer observes.
+inline constexpr int kAnySource = -1;
+
+enum class OpKind : std::uint8_t {
+  Compute,    ///< CPU burst of `seconds` (scaled by the node's speed)
+  Io,         ///< I/O wait of `seconds` (not CPU-scaled)
+  Send,       ///< blocking send to `peer` with `tag`/`comm`, `bytes`
+  Recv,       ///< blocking receive from `peer`
+  Isend,      ///< nonblocking send; completes via Wait/Waitall
+  Irecv,      ///< nonblocking receive; completes via Wait/Waitall
+  Wait,       ///< block until request `request` completes
+  Waitall,    ///< block until every outstanding request completes
+  Barrier,    ///< collective barrier
+  Allreduce,  ///< collective reduction of `bytes` (modeled as barrier + tree cost)
+  Bcast,      ///< collective broadcast of `bytes`
+  Gather,     ///< collective gather of `bytes` per rank
+  Alltoall,   ///< collective all-to-all of `bytes` per pair
+  FuncEnter,  ///< push function `func` (zero simulated time)
+  FuncExit,   ///< pop function (zero simulated time)
+};
+
+struct Op {
+  OpKind kind = OpKind::Compute;
+  double seconds = 0.0;
+  int peer = -1;
+  int tag = 0;
+  int comm = 0;
+  std::size_t bytes = 0;
+  RequestId request = -1;
+  FuncId func = kNoFunc;
+};
+
+/// Entry in the program-wide function table.
+struct FuncInfo {
+  std::string function;  ///< e.g. "exchng2"
+  std::string module;    ///< e.g. "exchng2.f"
+
+  bool operator==(const FuncInfo&) const = default;
+};
+
+const char* op_kind_name(OpKind kind);
+
+}  // namespace histpc::simmpi

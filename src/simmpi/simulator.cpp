@@ -1,0 +1,534 @@
+#include "simmpi/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace histpc::simmpi {
+
+double NetworkModel::collective_cost(int nranks, std::size_t bytes) const {
+  if (nranks <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nranks)));
+  return rounds * (latency + static_cast<double>(bytes) / bytes_per_second);
+}
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct SimRequest {
+  bool is_send = false;
+  double post_time = 0.0;
+  bool complete = false;
+  double complete_time = 0.0;
+  SyncObjectId sync_object = kNoSyncObject;
+  bool waited = false;  ///< consumed by Wait/Waitall
+};
+
+struct PendingSend {
+  int src_rank;
+  std::int32_t req;  ///< sim-request index on the source rank
+  double post_time;
+  std::size_t bytes;
+  bool eager;
+};
+
+struct PendingRecv {
+  int dst_rank;
+  std::int32_t req;  ///< sim-request index on the destination rank
+  double post_time;
+};
+
+struct Channel {
+  std::deque<PendingSend> sends;
+  std::deque<PendingRecv> recvs;
+};
+
+struct ChanKey {
+  int src, dst, tag, comm;
+  bool operator<(const ChanKey& o) const {
+    return std::tie(src, dst, tag, comm) < std::tie(o.src, o.dst, o.tag, o.comm);
+  }
+};
+
+struct WildKey {
+  int dst, tag, comm;
+  bool operator<(const WildKey& o) const {
+    return std::tie(dst, tag, comm) < std::tie(o.dst, o.tag, o.comm);
+  }
+};
+
+enum class BlockKind : std::uint8_t { None, Wait, Waitall, Collective };
+
+struct CollectiveState {
+  OpKind kind = OpKind::Barrier;
+  std::size_t bytes = 0;
+  int arrived = 0;
+  double max_arrival = 0.0;
+  bool released = false;
+  double release_time = 0.0;
+};
+
+struct RankState {
+  double t = 0.0;
+  std::size_t ip = 0;
+  bool done = false;
+  std::vector<FuncId> func_stack;
+  std::vector<SimRequest> requests;
+  /// recorder-visible request id -> sim-request index
+  std::unordered_map<RequestId, std::int32_t> recorder_req;
+
+  BlockKind block = BlockKind::None;
+  double block_start = 0.0;
+  std::int32_t wait_req = -1;          ///< for BlockKind::Wait
+  std::vector<std::int32_t> waitall;   ///< for BlockKind::Waitall
+
+  std::size_t collective_epoch = 0;
+
+  std::vector<Interval> intervals;
+
+  FuncId current_func() const { return func_stack.empty() ? kNoFunc : func_stack.back(); }
+};
+
+class SimRun {
+ public:
+  SimRun(const NetworkModel& net, const SimProgram& program)
+      : net_(net), program_(program), nranks_(program.num_ranks()) {
+    program_.machine.validate();
+    states_.resize(static_cast<std::size_t>(nranks_));
+    in_queue_.assign(static_cast<std::size_t>(nranks_), false);
+  }
+
+  ExecutionTrace execute() {
+    for (int r = 0; r < nranks_; ++r) enqueue(r);
+    while (!runq_.empty()) {
+      int r = runq_.front();
+      runq_.pop_front();
+      in_queue_[static_cast<std::size_t>(r)] = false;
+      advance(r);
+    }
+    check_all_done();
+    return finish();
+  }
+
+ private:
+  void enqueue(int rank) {
+    auto idx = static_cast<std::size_t>(rank);
+    if (in_queue_[idx] || states_[idx].done) return;
+    in_queue_[idx] = true;
+    runq_.push_back(rank);
+  }
+
+  SyncObjectId intern_sync(const std::string& name) {
+    if (auto it = sync_index_.find(name); it != sync_index_.end()) return it->second;
+    SyncObjectId id = static_cast<SyncObjectId>(sync_objects_.size());
+    sync_objects_.push_back(name);
+    sync_index_.emplace(name, id);
+    return id;
+  }
+
+  SyncObjectId message_sync(int comm, int tag) {
+    std::string name = "Message/";
+    if (comm != 0) name += std::to_string(comm) + ":";
+    name += std::to_string(tag);
+    return intern_sync(name);
+  }
+
+  void record(RankState& st, double t0, double t1, IntervalState state, FuncId func,
+              SyncObjectId sync = kNoSyncObject) {
+    if (t1 - t0 <= kEps) return;
+    Interval iv;
+    iv.t0 = t0;
+    iv.t1 = t1;
+    iv.state = state;
+    iv.func = func;
+    iv.sync_object = state == IntervalState::SyncWait ? sync : kNoSyncObject;
+    st.intervals.push_back(iv);
+  }
+
+  Channel& channel(int src, int dst, int tag, int comm) {
+    return channels_[ChanKey{src, dst, tag, comm}];
+  }
+
+  /// Complete one matched send/receive pair, waking blocked ranks.
+  void complete_pair(const PendingSend& s, const PendingRecv& r) {
+    auto& sreq = states_[static_cast<std::size_t>(s.src_rank)].requests[s.req];
+    auto& rreq = states_[static_cast<std::size_t>(r.dst_rank)].requests[r.req];
+    double arrival;
+    if (s.eager) {
+      arrival = s.post_time + net_.transfer_time(s.bytes);
+      // The eager send request completed locally at post time already.
+    } else {
+      const double start = std::max(s.post_time, r.post_time);
+      arrival = start + net_.transfer_time(s.bytes);
+      sreq.complete = true;
+      sreq.complete_time = arrival;
+      enqueue(s.src_rank);
+    }
+    rreq.complete = true;
+    rreq.complete_time = arrival;
+    enqueue(r.dst_rank);
+  }
+
+  /// FIFO-match pending sends and receives on a channel.
+  void try_match(Channel& ch) {
+    while (!ch.sends.empty() && !ch.recvs.empty()) {
+      complete_pair(ch.sends.front(), ch.recvs.front());
+      ch.sends.pop_front();
+      ch.recvs.pop_front();
+    }
+  }
+
+  /// After specific receives are satisfied, feed leftover sends on this
+  /// channel to any wildcard receives waiting at the destination.
+  void try_match_wildcards(Channel& ch, int dst, int tag, int comm) {
+    auto it = wild_recvs_.find(WildKey{dst, tag, comm});
+    if (it == wild_recvs_.end()) return;
+    auto& wild = it->second;
+    while (!ch.sends.empty() && !wild.empty()) {
+      complete_pair(ch.sends.front(), wild.front());
+      ch.sends.pop_front();
+      wild.pop_front();
+    }
+    if (wild.empty()) wild_recvs_.erase(it);
+  }
+
+  std::int32_t register_request(RankState& st, bool is_send, double post_time,
+                                SyncObjectId sync) {
+    SimRequest req;
+    req.is_send = is_send;
+    req.post_time = post_time;
+    req.sync_object = sync;
+    st.requests.push_back(req);
+    return static_cast<std::int32_t>(st.requests.size() - 1);
+  }
+
+  /// Post a send from `rank`; returns the sim-request index.
+  std::int32_t post_send(int rank, const Op& op) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const bool eager = op.bytes <= net_.eager_limit;
+    SyncObjectId sync = message_sync(op.comm, op.tag);
+    std::int32_t req = register_request(st, true, st.t, sync);
+    if (eager) {
+      st.requests[req].complete = true;
+      st.requests[req].complete_time = st.t;
+    }
+    Channel& ch = channel(rank, op.peer, op.tag, op.comm);
+    ch.sends.push_back(PendingSend{rank, req, st.t, op.bytes, eager});
+    try_match(ch);
+    try_match_wildcards(ch, op.peer, op.tag, op.comm);
+    return req;
+  }
+
+  std::int32_t post_recv(int rank, const Op& op) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    SyncObjectId sync = message_sync(op.comm, op.tag);
+    std::int32_t req = register_request(st, false, st.t, sync);
+    if (op.peer == kAnySource) {
+      post_wildcard_recv(rank, op, req);
+      return req;
+    }
+    Channel& ch = channel(op.peer, rank, op.tag, op.comm);
+    ch.recvs.push_back(PendingRecv{rank, req, st.t});
+    try_match(ch);
+    return req;
+  }
+
+  /// Match a wildcard receive against the earliest-posted unmatched send
+  /// addressed to `rank` with the right tag/comm (ties: lowest source
+  /// rank, which the ChanKey ordering provides); queue it otherwise.
+  void post_wildcard_recv(int rank, const Op& op, std::int32_t req) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const PendingRecv pending{rank, req, st.t};
+    Channel* best = nullptr;
+    for (auto& [key, ch] : channels_) {
+      if (key.dst != rank || key.tag != op.tag || key.comm != op.comm) continue;
+      if (ch.sends.empty()) continue;
+      // Only unmatched sends sit in the queue; specific receives would
+      // already have consumed the front.
+      if (!best || ch.sends.front().post_time < best->sends.front().post_time)
+        best = &ch;
+    }
+    if (best) {
+      complete_pair(best->sends.front(), pending);
+      best->sends.pop_front();
+    } else {
+      wild_recvs_[WildKey{rank, op.tag, op.comm}].push_back(pending);
+    }
+  }
+
+  void begin_wait(RankState& st, std::int32_t req) {
+    st.block = BlockKind::Wait;
+    st.block_start = st.t;
+    st.wait_req = req;
+  }
+
+  /// Returns true if the block condition is satisfied and the rank resumed
+  /// (wait interval recorded, time advanced). False = stay parked.
+  bool try_unblock(int rank) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    switch (st.block) {
+      case BlockKind::None:
+        return true;
+      case BlockKind::Wait: {
+        const SimRequest& req = st.requests[st.wait_req];
+        if (!req.complete) return false;
+        const double resume = std::max(st.t, req.complete_time);
+        record(st, st.block_start, resume, IntervalState::SyncWait, st.current_func(),
+               req.sync_object);
+        st.t = resume;
+        st.block = BlockKind::None;
+        st.wait_req = -1;
+        return true;
+      }
+      case BlockKind::Waitall: {
+        double latest = st.t;
+        SyncObjectId dominant = kNoSyncObject;
+        for (std::int32_t r : st.waitall) {
+          const SimRequest& req = st.requests[r];
+          if (!req.complete) return false;
+          if (req.complete_time >= latest) {
+            latest = req.complete_time;
+            dominant = req.sync_object;
+          }
+        }
+        record(st, st.block_start, latest, IntervalState::SyncWait, st.current_func(),
+               dominant);
+        st.t = latest;
+        st.block = BlockKind::None;
+        st.waitall.clear();
+        return true;
+      }
+      case BlockKind::Collective: {
+        const CollectiveState& coll = collectives_[st.collective_epoch];
+        if (!coll.released) return false;
+        const double resume = std::max(st.t, coll.release_time);
+        SyncObjectId sync = intern_sync(collective_sync_name(coll.kind));
+        record(st, st.block_start, resume, IntervalState::SyncWait, st.current_func(), sync);
+        st.t = resume;
+        st.block = BlockKind::None;
+        ++st.collective_epoch;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static std::string collective_sync_name(OpKind kind) {
+    switch (kind) {
+      case OpKind::Barrier: return "Collective/Barrier";
+      case OpKind::Allreduce: return "Collective/Allreduce";
+      case OpKind::Bcast: return "Collective/Bcast";
+      case OpKind::Gather: return "Collective/Gather";
+      case OpKind::Alltoall: return "Collective/Alltoall";
+      default: return "Collective/Unknown";
+    }
+  }
+
+  /// Cost of a collective after the last participant arrives. Tree-shaped
+  /// operations pay log2(N) rounds; gather and all-to-all are dominated by
+  /// the N-1 point-to-point transfers at the bottleneck rank.
+  double collective_release_cost(OpKind kind, std::size_t bytes) const {
+    switch (kind) {
+      case OpKind::Gather:
+      case OpKind::Alltoall:
+        return static_cast<double>(nranks_ - 1) * net_.transfer_time(bytes);
+      default:
+        return net_.collective_cost(nranks_, bytes);
+    }
+  }
+
+  void arrive_collective(int rank, const Op& op) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const std::size_t epoch = st.collective_epoch;
+    if (epoch >= collectives_.size()) collectives_.resize(epoch + 1);
+    CollectiveState& coll = collectives_[epoch];
+    if (coll.arrived == 0) {
+      coll.kind = op.kind;
+      coll.bytes = op.bytes;
+    } else if (coll.kind != op.kind) {
+      throw std::logic_error("collective mismatch at epoch " + std::to_string(epoch) +
+                             ": rank " + std::to_string(rank) + " called " +
+                             op_kind_name(op.kind) + " but epoch is " +
+                             op_kind_name(coll.kind));
+    }
+    ++coll.arrived;
+    coll.max_arrival = std::max(coll.max_arrival, st.t);
+    st.block = BlockKind::Collective;
+    st.block_start = st.t;
+    if (coll.arrived == nranks_) {
+      coll.released = true;
+      coll.release_time = coll.max_arrival + collective_release_cost(coll.kind, coll.bytes);
+      for (int r = 0; r < nranks_; ++r) enqueue(r);
+    }
+  }
+
+  void advance(int rank) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const auto& ops = program_.procs[static_cast<std::size_t>(rank)].ops;
+    while (true) {
+      if (st.block != BlockKind::None) {
+        if (!try_unblock(rank)) return;  // stay parked; a match will re-enqueue
+        ++st.ip;                          // the blocking op is now consumed
+        continue;
+      }
+      if (st.ip >= ops.size()) {
+        if (!st.done) {
+          st.done = true;
+          if (!st.func_stack.empty())
+            throw std::logic_error("rank " + std::to_string(rank) +
+                                   " finished with open function scopes");
+        }
+        return;
+      }
+      const Op& op = ops[st.ip];
+      switch (op.kind) {
+        case OpKind::Compute: {
+          const double dur = op.seconds / program_.machine.speed_of_rank(rank);
+          record(st, st.t, st.t + dur, IntervalState::Cpu, st.current_func());
+          st.t += dur;
+          ++st.ip;
+          break;
+        }
+        case OpKind::Io: {
+          record(st, st.t, st.t + op.seconds, IntervalState::IoWait, st.current_func());
+          st.t += op.seconds;
+          ++st.ip;
+          break;
+        }
+        case OpKind::FuncEnter:
+          st.func_stack.push_back(op.func);
+          ++st.ip;
+          break;
+        case OpKind::FuncExit:
+          st.func_stack.pop_back();
+          ++st.ip;
+          break;
+        case OpKind::Isend: {
+          std::int32_t req = post_send(rank, op);
+          st.recorder_req[op.request] = req;
+          st.t += net_.post_overhead;
+          ++st.ip;
+          break;
+        }
+        case OpKind::Irecv: {
+          std::int32_t req = post_recv(rank, op);
+          st.recorder_req[op.request] = req;
+          st.t += net_.post_overhead;
+          ++st.ip;
+          break;
+        }
+        case OpKind::Send: {
+          std::int32_t req = post_send(rank, op);
+          st.t += net_.post_overhead;
+          st.requests[req].waited = true;
+          begin_wait(st, req);  // eager sends unblock immediately
+          break;                // ip advanced after unblock
+        }
+        case OpKind::Recv: {
+          std::int32_t req = post_recv(rank, op);
+          st.t += net_.post_overhead;
+          st.requests[req].waited = true;
+          begin_wait(st, req);
+          break;
+        }
+        case OpKind::Wait: {
+          auto it = st.recorder_req.find(op.request);
+          if (it == st.recorder_req.end())
+            throw std::logic_error("Wait on unposted request on rank " + std::to_string(rank));
+          if (st.requests[it->second].waited)
+            throw std::logic_error("request waited twice on rank " + std::to_string(rank));
+          st.requests[it->second].waited = true;
+          begin_wait(st, it->second);
+          break;
+        }
+        case OpKind::Waitall: {
+          st.block = BlockKind::Waitall;
+          st.block_start = st.t;
+          st.waitall.clear();
+          // Iterate in sim-request order so the "dominant" sync object of a
+          // tied waitall is deterministic.
+          for (std::int32_t idx = 0; idx < static_cast<std::int32_t>(st.requests.size());
+               ++idx) {
+            if (!st.requests[idx].waited) {
+              st.requests[idx].waited = true;
+              st.waitall.push_back(idx);
+            }
+          }
+          break;
+        }
+        case OpKind::Barrier:
+        case OpKind::Allreduce:
+        case OpKind::Bcast:
+        case OpKind::Gather:
+        case OpKind::Alltoall:
+          arrive_collective(rank, op);
+          break;
+      }
+    }
+  }
+
+  void check_all_done() const {
+    std::ostringstream os;
+    bool deadlock = false;
+    for (int r = 0; r < nranks_; ++r) {
+      const auto& st = states_[static_cast<std::size_t>(r)];
+      if (!st.done) {
+        deadlock = true;
+        const auto& ops = program_.procs[static_cast<std::size_t>(r)].ops;
+        os << "  rank " << r << " blocked at op " << st.ip << "/" << ops.size();
+        if (st.ip < ops.size()) os << " (" << op_kind_name(ops[st.ip].kind) << ")";
+        os << " t=" << st.t << "\n";
+      }
+    }
+    if (deadlock)
+      throw std::runtime_error("simulation deadlock — unmatched communication:\n" + os.str());
+  }
+
+  ExecutionTrace finish() {
+    ExecutionTrace trace;
+    trace.machine = program_.machine;
+    trace.functions = program_.functions;
+    trace.sync_objects = std::move(sync_objects_);
+    trace.ranks.resize(static_cast<std::size_t>(nranks_));
+    double max_end = 0.0;
+    for (int r = 0; r < nranks_; ++r) {
+      auto& st = states_[static_cast<std::size_t>(r)];
+      trace.ranks[static_cast<std::size_t>(r)].intervals = std::move(st.intervals);
+      trace.ranks[static_cast<std::size_t>(r)].end_time = st.t;
+      max_end = std::max(max_end, st.t);
+    }
+    trace.duration = max_end;
+    return trace;
+  }
+
+  const NetworkModel& net_;
+  const SimProgram& program_;
+  int nranks_;
+  std::vector<RankState> states_;
+  std::map<ChanKey, Channel> channels_;
+  std::map<WildKey, std::deque<PendingRecv>> wild_recvs_;
+  std::vector<CollectiveState> collectives_;
+  std::vector<std::string> sync_objects_;
+  std::unordered_map<std::string, SyncObjectId> sync_index_;
+  std::deque<int> runq_;
+  std::vector<bool> in_queue_;
+};
+
+}  // namespace
+
+ExecutionTrace Simulator::run(const SimProgram& program) const {
+  if (program.num_ranks() == 0) throw std::invalid_argument("empty program");
+  SimRun run(net_, program);
+  ExecutionTrace trace = run.execute();
+  trace.validate();
+  return trace;
+}
+
+}  // namespace histpc::simmpi

@@ -1,0 +1,121 @@
+#include "simmpi/trace_io.h"
+
+#include <stdexcept>
+
+namespace histpc::simmpi {
+
+using util::Json;
+using util::JsonArray;
+
+Json trace_to_json(const ExecutionTrace& trace) {
+  Json j = Json::object();
+  j["schema"] = "histpc-trace-v1";
+  j["duration"] = trace.duration;
+
+  Json machine = Json::object();
+  Json nodes = Json::array();
+  for (std::size_t i = 0; i < trace.machine.node_names.size(); ++i) {
+    Json n = Json::object();
+    n["name"] = trace.machine.node_names[i];
+    n["speed"] = trace.machine.node_speeds[i];
+    nodes.push_back(std::move(n));
+  }
+  machine["nodes"] = std::move(nodes);
+  Json ranks_meta = Json::array();
+  for (std::size_t r = 0; r < trace.machine.rank_to_node.size(); ++r) {
+    Json m = Json::object();
+    m["process"] = trace.machine.process_names[r];
+    m["node"] = trace.machine.rank_to_node[r];
+    ranks_meta.push_back(std::move(m));
+  }
+  machine["ranks"] = std::move(ranks_meta);
+  j["machine"] = std::move(machine);
+
+  Json funcs = Json::array();
+  for (const auto& f : trace.functions) {
+    Json e = Json::object();
+    e["function"] = f.function;
+    e["module"] = f.module;
+    funcs.push_back(std::move(e));
+  }
+  j["functions"] = std::move(funcs);
+
+  Json syncs = Json::array();
+  for (const auto& s : trace.sync_objects) syncs.push_back(s);
+  j["sync_objects"] = std::move(syncs);
+
+  Json ranks = Json::array();
+  for (const auto& rt : trace.ranks) {
+    Json r = Json::object();
+    r["end_time"] = rt.end_time;
+    JsonArray flat;
+    flat.reserve(rt.intervals.size() * 5);
+    for (const auto& iv : rt.intervals) {
+      flat.emplace_back(iv.t0);
+      flat.emplace_back(iv.t1);
+      flat.emplace_back(static_cast<int>(iv.state));
+      flat.emplace_back(static_cast<int>(iv.func));
+      flat.emplace_back(static_cast<int>(iv.sync_object));
+    }
+    r["intervals"] = Json(std::move(flat));
+    ranks.push_back(std::move(r));
+  }
+  j["ranks"] = std::move(ranks);
+  return j;
+}
+
+ExecutionTrace trace_from_json(const Json& j) {
+  if (j.get_or("schema", std::string()) != "histpc-trace-v1")
+    throw util::JsonError("trace: unknown or missing schema tag");
+  ExecutionTrace trace;
+  trace.duration = j.at("duration").as_double();
+
+  const Json& machine = j.at("machine");
+  for (const auto& n : machine.at("nodes").as_array()) {
+    trace.machine.node_names.push_back(n.at("name").as_string());
+    trace.machine.node_speeds.push_back(n.at("speed").as_double());
+  }
+  for (const auto& m : machine.at("ranks").as_array()) {
+    trace.machine.process_names.push_back(m.at("process").as_string());
+    trace.machine.rank_to_node.push_back(static_cast<int>(m.at("node").as_int()));
+  }
+  trace.machine.validate();
+
+  for (const auto& f : j.at("functions").as_array())
+    trace.functions.push_back({f.at("function").as_string(), f.at("module").as_string()});
+  for (const auto& s : j.at("sync_objects").as_array())
+    trace.sync_objects.push_back(s.as_string());
+
+  for (const auto& r : j.at("ranks").as_array()) {
+    RankTrace rt;
+    rt.end_time = r.at("end_time").as_double();
+    const auto& flat = r.at("intervals").as_array();
+    if (flat.size() % 5 != 0)
+      throw util::JsonError("trace: interval array length not a multiple of 5");
+    rt.intervals.reserve(flat.size() / 5);
+    for (std::size_t i = 0; i < flat.size(); i += 5) {
+      Interval iv;
+      iv.t0 = flat[i].as_double();
+      iv.t1 = flat[i + 1].as_double();
+      const int state = static_cast<int>(flat[i + 2].as_int());
+      if (state < 0 || state > 2) throw util::JsonError("trace: bad interval state");
+      iv.state = static_cast<IntervalState>(state);
+      iv.func = static_cast<FuncId>(flat[i + 3].as_int());
+      iv.sync_object = static_cast<SyncObjectId>(flat[i + 4].as_int());
+      rt.intervals.push_back(iv);
+    }
+    trace.ranks.push_back(std::move(rt));
+  }
+  trace.validate();
+  return trace;
+}
+
+void save_trace(const ExecutionTrace& trace, const std::string& path) {
+  util::write_file(path, trace_to_json(trace).dump());
+}
+
+ExecutionTrace load_trace(const std::string& path) {
+  return trace_from_json(Json::parse(util::read_file(path)));
+}
+
+}  // namespace histpc::simmpi

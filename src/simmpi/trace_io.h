@@ -1,0 +1,27 @@
+// Execution trace serialization.
+//
+// Traces round-trip through a JSON schema so performance data can be
+// archived next to the experiment store or produced by other tools and
+// diagnosed postmortem (history::postmortem_diagnose). The schema keeps
+// interval payloads as flat arrays [t0, t1, state, func, sync] per rank to
+// stay compact and fast to parse.
+#pragma once
+
+#include <string>
+
+#include "simmpi/trace.h"
+#include "util/json.h"
+
+namespace histpc::simmpi {
+
+util::Json trace_to_json(const ExecutionTrace& trace);
+
+/// Parse and validate; throws util::JsonError on malformed documents and
+/// std::logic_error when the decoded trace fails its invariants.
+ExecutionTrace trace_from_json(const util::Json& j);
+
+/// File convenience wrappers (atomic write).
+void save_trace(const ExecutionTrace& trace, const std::string& path);
+ExecutionTrace load_trace(const std::string& path);
+
+}  // namespace histpc::simmpi

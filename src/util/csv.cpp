@@ -1,0 +1,50 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+#include "util/json.h"  // for write_file
+
+namespace histpc::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+void append_cell(std::string& out, const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_row(std::string& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ',';
+    append_cell(out, row[i]);
+  }
+  out += '\n';
+}
+}  // namespace
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  append_row(out, headers_);
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void CsvWriter::save(const std::string& path) const { write_file(path, to_string()); }
+
+}  // namespace histpc::util

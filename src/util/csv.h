@@ -1,0 +1,26 @@
+// CSV emission for bench results (machine-readable sibling of TablePrinter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace histpc::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with RFC-4180 quoting for cells containing ',', '"' or newlines.
+  std::string to_string() const;
+
+  /// Write to a file via util::write_file (atomic).
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace histpc::util

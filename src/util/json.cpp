@@ -1,0 +1,386 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace histpc::util {
+
+Json& JsonObject::operator[](std::string_view key) {
+  if (Json* existing = find(key)) return *existing;
+  entries_.emplace_back(std::string(key), Json());
+  return entries_.back().second;
+}
+
+const Json* JsonObject::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json* JsonObject::find(std::string_view key) {
+  for (auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json::Json(const Json& other)
+    : type_(other.type_), bool_(other.bool_), num_(other.num_), str_(other.str_) {
+  if (other.arr_) arr_ = std::make_shared<JsonArray>(*other.arr_);
+  if (other.obj_) obj_ = std::make_shared<JsonObject>(*other.obj_);
+}
+
+Json& Json::operator=(const Json& other) {
+  if (this != &other) {
+    Json copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void Json::require(Type t) const {
+  if (type_ != t) throw JsonError("json: wrong type access");
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = as_object().find(key);
+  if (!v) throw JsonError("json: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+double Json::get_or(std::string_view key, double fallback) const {
+  const Json* v = as_object().find(key);
+  return v && v->is_number() ? v->as_double() : fallback;
+}
+
+std::string Json::get_or(std::string_view key, const std::string& fallback) const {
+  const Json* v = as_object().find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+bool Json::get_or(std::string_view key, bool fallback) const {
+  const Json* v = as_object().find(key);
+  return v && v->is_bool() ? v->as_bool() : fallback;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Number: return num_ == other.num_;
+    case Type::String: return str_ == other.str_;
+    case Type::Array: {
+      const auto& a = *arr_;
+      const auto& b = *other.arr_;
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i)
+        if (!(a[i] == b[i])) return false;
+      return true;
+    }
+    case Type::Object: {
+      const auto& a = *obj_;
+      const auto& b = *other.obj_;
+      if (a.size() != b.size()) return false;
+      for (const auto& [k, v] : a) {
+        const Json* bv = b.find(k);
+        if (!bv || !(*bv == v)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void escape_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    // JSON has no NaN/Inf; the store never produces them, but be defensive.
+    out += "null";
+    return;
+  }
+  double integral = 0.0;
+  if (std::modf(v, &integral) == 0.0 && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+  } else {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: append_number(out, num_); break;
+    case Type::String: escape_string(out, str_); break;
+    case Type::Array: {
+      const auto& a = *arr_;
+      if (a.empty()) { out += "[]"; break; }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        a[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      const auto& o = *obj_;
+      if (o.empty()) { out += "{}"; break; }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_string(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw JsonError("json parse error at offset " + std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': if (consume_literal("true")) return Json(true); fail("bad literal");
+      case 'f': if (consume_literal("false")) return Json(false); fail("bad literal");
+      case 'n': if (consume_literal("null")) return Json(); fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') { ++pos_; return Json(std::move(obj)); }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      char c = peek();
+      if (c == ',') { ++pos_; continue; }
+      if (c == '}') { ++pos_; break; }
+      fail("expected ',' or '}'");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') { ++pos_; return Json(std::move(arr)); }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') { ++pos_; continue; }
+      if (c == ']') { ++pos_; break; }
+      fail("expected ',' or ']'");
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit");
+            }
+            // Store names are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected value");
+    std::string num(text_.substr(start, pos_ - start));
+    try {
+      std::size_t consumed = 0;
+      double v = std::stod(num, &consumed);
+      if (consumed != num.size()) fail("bad number");
+      return Json(v);
+    } catch (const std::exception&) {
+      fail("bad number '" + num + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw JsonError("cannot open file for write: " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) throw JsonError("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw JsonError("rename failed: " + path);
+}
+
+}  // namespace histpc::util

@@ -1,0 +1,135 @@
+// Minimal self-contained JSON value, parser, and writer.
+//
+// HistPC persists experiment records (resource hierarchies, search history
+// graphs, measured fractions) across runs; JSON keeps the store inspectable
+// with standard tooling without pulling in an external dependency.
+//
+// Supported: null, bool, double, string, array, object (insertion-ordered).
+// Numbers are stored as double, which is exact for the integer ranges the
+// store uses (counts and ids well below 2^53).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace histpc::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+
+/// Insertion-ordered string->Json map. Lookup is linear; objects in the
+/// experiment store are small (tens of keys), and preserving order keeps
+/// serialized records diffable.
+class JsonObject {
+ public:
+  Json& operator[](std::string_view key);
+  const Json* find(std::string_view key) const;
+  Json* find(std::string_view key);
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  auto begin() { return entries_.begin(); }
+  auto end() { return entries_.end(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Json>> entries_;
+};
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(std::int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::size_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  /// Copies are deep: mutating a copy never affects the original.
+  Json(const Json& other);
+  Json& operator=(const Json& other);
+  Json(Json&&) = default;
+  Json& operator=(Json&&) = default;
+  ~Json() = default;
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { require(Type::Bool); return bool_; }
+  double as_double() const { require(Type::Number); return num_; }
+  std::int64_t as_int() const { require(Type::Number); return static_cast<std::int64_t>(num_); }
+  const std::string& as_string() const { require(Type::String); return str_; }
+
+  JsonArray& as_array() { require(Type::Array); return *arr_; }
+  const JsonArray& as_array() const { require(Type::Array); return *arr_; }
+  JsonObject& as_object() { require(Type::Object); return *obj_; }
+  const JsonObject& as_object() const { require(Type::Object); return *obj_; }
+
+  /// Object element access; creates members on mutable access.
+  Json& operator[](std::string_view key) { return as_object()[key]; }
+  /// Checked lookup: throws JsonError when the key is missing.
+  const Json& at(std::string_view key) const;
+  /// Lookup with fallback for optional fields.
+  double get_or(std::string_view key, double fallback) const;
+  std::string get_or(std::string_view key, const std::string& fallback) const;
+  bool get_or(std::string_view key, bool fallback) const;
+
+  void push_back(Json v) { as_array().push_back(std::move(v)); }
+
+  /// Serialize. `indent` <= 0 yields compact single-line output.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; throws JsonError with offset context.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void require(Type t) const;
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Containers live behind pointers so Json stays a small value type;
+  // copy operations clone them (see the copy constructor).
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+/// Read an entire file; throws JsonError on IO failure.
+std::string read_file(const std::string& path);
+/// Write `content` to `path` atomically (temp file + rename).
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace histpc::util

@@ -1,0 +1,42 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace histpc::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::Trace;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace histpc::util

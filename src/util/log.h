@@ -1,0 +1,52 @@
+// Leveled logging with a process-wide level, writing to stderr.
+//
+// The Performance Consultant emits Trace-level lines for every search event
+// (instrument, conclude, refine); benches run with Warn to keep table output
+// clean, and tests raise the level when debugging a search.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace histpc::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+const char* log_level_name(LogLevel level);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> Info.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Builds one log line; emits on destruction. Use via the HISTPC_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace histpc::util
+
+// Short-circuits stream construction when the level is filtered out.
+#define HISTPC_LOG(level)                                            \
+  if (::histpc::util::log_level() > ::histpc::util::LogLevel::level) \
+    ;                                                                \
+  else                                                               \
+    ::histpc::util::LogLine(::histpc::util::LogLevel::level)

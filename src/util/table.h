@@ -1,0 +1,31 @@
+// Fixed-width ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables; TablePrinter
+// keeps their output layout uniform (header row, separator, aligned cells).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace histpc::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; missing trailing cells render empty, extra cells throw.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with a header separator and 2-space column gaps.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace histpc::util

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "util/json.h"
+
+namespace histpc::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------- args
+
+TEST(Args, ParsesPositionalsOptionsAndFlags) {
+  Args args = Args::parse({"poisson_c", "--duration", "300", "--shg", "extra"},
+                          {"duration"}, {"shg"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positional(0, "app"), "poisson_c");
+  EXPECT_EQ(args.positional(1, "extra"), "extra");
+  EXPECT_TRUE(args.has_flag("shg"));
+  EXPECT_DOUBLE_EQ(args.option_or("duration", 0.0), 300.0);
+  EXPECT_EQ(args.option_or("missing", std::string("dflt")), "dflt");
+  EXPECT_EQ(args.option_or("missing", 7), 7);
+}
+
+TEST(Args, ErrorsAreSpecific) {
+  EXPECT_THROW(Args::parse({"--unknown"}, {}, {}), ArgsError);
+  EXPECT_THROW(Args::parse({"--duration"}, {"duration"}, {}), ArgsError);
+  Args args = Args::parse({"--duration", "abc"}, {"duration"}, {});
+  EXPECT_THROW(args.option_or("duration", 0.0), ArgsError);
+  EXPECT_THROW(args.option_or("duration", 0), ArgsError);
+  EXPECT_THROW(args.positional(5, "thing"), ArgsError);
+}
+
+// --------------------------------------------------------------- commands
+
+class CliTest : public testing::Test {
+ protected:
+  CliTest() : store_dir_(testing::TempDir() + "/histpc_cli_store") {
+    fs::remove_all(store_dir_);
+  }
+  ~CliTest() override { fs::remove_all(store_dir_); }
+
+  std::string run(const std::string& command, std::vector<std::string> tokens) {
+    std::ostringstream out;
+    EXPECT_EQ(run_command(command, tokens, out), 0) << command;
+    return out.str();
+  }
+
+  std::string store_dir_;
+};
+
+TEST_F(CliTest, AppsListsRegistry) {
+  const std::string out = run("apps", {});
+  EXPECT_NE(out.find("poisson_c"), std::string::npos);
+  EXPECT_NE(out.find("ocean"), std::string::npos);
+  EXPECT_NE(out.find("seismic"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportSummarizesTrace) {
+  const std::string out = run("report", {"tester", "--duration", "50"});
+  EXPECT_NE(out.find("rank 0"), std::string::npos);
+  EXPECT_NE(out.find("whole-program fractions"), std::string::npos);
+}
+
+TEST_F(CliTest, RunStoresAndListShows) {
+  const std::string out = run("run", {"poisson_c", "--duration", "300", "--store",
+                                      store_dir_, "--version", "C"});
+  EXPECT_NE(out.find("bottlenecks:"), std::string::npos);
+  EXPECT_NE(out.find("stored experiment record 'poisson_C_1'"), std::string::npos);
+
+  const std::string listing = run("list", {"--store", store_dir_});
+  EXPECT_NE(listing.find("poisson_C_1"), std::string::npos);
+
+  const std::string shown = run("show", {"poisson_C_1", "--store", store_dir_});
+  EXPECT_NE(shown.find("version C"), std::string::npos);
+  EXPECT_NE(shown.find("ExcessiveSyncWaitingTime"), std::string::npos);
+}
+
+TEST_F(CliTest, HarvestRoundTripsThroughRunDirectives) {
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+  const std::string dir_file = store_dir_ + "/directives.txt";
+  const std::string harvested =
+      run("harvest", {"poisson_C_1", "--store", store_dir_, "--out", dir_file});
+  EXPECT_NE(harvested.find("priorities"), std::string::npos);
+  ASSERT_TRUE(fs::exists(dir_file));
+  const std::string directed =
+      run("run", {"poisson_c", "--duration", "300", "--directives", dir_file});
+  EXPECT_NE(directed.find("bottlenecks:"), std::string::npos);
+}
+
+TEST_F(CliTest, HarvestToStdoutRespectsOptionFlags) {
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+  const std::string text = run(
+      "harvest", {"poisson_C_1", "--store", store_dir_, "--no-priorities", "--thresholds"});
+  EXPECT_EQ(text.find("priority "), std::string::npos);
+  EXPECT_NE(text.find("threshold "), std::string::npos);
+  EXPECT_NE(text.find("prune "), std::string::npos);
+}
+
+TEST_F(CliTest, MapAndDiffBetweenStoredRuns) {
+  run("run", {"poisson_a", "--duration", "300", "--store", store_dir_, "--version", "A"});
+  run("run", {"poisson_b", "--duration", "300", "--store", store_dir_, "--version", "B"});
+  const std::string maps =
+      run("map", {"poisson_A_1", "poisson_B_1", "--store", store_dir_});
+  EXPECT_NE(maps.find("map /Code/oned.f /Code/onednb.f"), std::string::npos);
+  const std::string diff =
+      run("diff", {"poisson_A_1", "poisson_B_1", "--store", store_dir_});
+  EXPECT_NE(diff.find("oned.f [1]"), std::string::npos);
+  EXPECT_NE(diff.find("onednb.f [2]"), std::string::npos);
+}
+
+TEST_F(CliTest, SaveAndDiagnoseTrace) {
+  const std::string trace_file = store_dir_ + "/trace.json";
+  fs::create_directories(store_dir_);
+  run("run", {"bubba", "--duration", "300", "--save-trace", trace_file});
+  ASSERT_TRUE(fs::exists(trace_file));
+  const std::string out = run("diagnose-trace", {trace_file});
+  EXPECT_NE(out.find("CPUbound"), std::string::npos);
+}
+
+TEST_F(CliTest, RunPostmortemAndExtended) {
+  const std::string out =
+      run("run", {"poisson_c", "--duration", "300", "--postmortem", "--extended"});
+  EXPECT_NE(out.find("postmortem evaluation"), std::string::npos);
+  EXPECT_NE(out.find("ExcessiveMessageWaitingTime"), std::string::npos);
+}
+
+TEST_F(CliTest, DotExportWritesFile) {
+  const std::string dot_file = store_dir_ + "/shg.dot";
+  fs::create_directories(store_dir_);
+  run("run", {"bubba", "--duration", "300", "--dot", dot_file});
+  ASSERT_TRUE(fs::exists(dot_file));
+  const std::string dot = histpc::util::read_file(dot_file);
+  EXPECT_NE(dot.find("digraph shg"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsSurfaceAsExceptions) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command("bogus", {}, out), ArgsError);
+  EXPECT_THROW(run_command("show", {"missing_run", "--store", store_dir_}, out), ArgsError);
+  EXPECT_THROW(run_command("run", {}, out), ArgsError);
+}
+
+TEST_F(CliTest, HarvestMultipleRunsAndCombine) {
+  run("run", {"poisson_a", "--duration", "300", "--store", store_dir_, "--version", "A"});
+  run("run", {"poisson_b", "--duration", "300", "--store", store_dir_, "--version", "B"});
+  const std::string pooled =
+      run("harvest", {"poisson_A_1", "poisson_B_1", "--store", store_dir_});
+  EXPECT_NE(pooled.find("priority "), std::string::npos);
+  const std::string intersect = run(
+      "harvest",
+      {"poisson_A_1", "poisson_B_1", "--store", store_dir_, "--combine", "intersect"});
+  const std::string uni = run(
+      "harvest", {"poisson_A_1", "poisson_B_1", "--store", store_dir_, "--combine", "union"});
+  // The union is never smaller than the intersection.
+  auto count = [](const std::string& text) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = text.find("priority ", pos)) != std::string::npos) {
+      ++n;
+      pos += 9;
+    }
+    return n;
+  };
+  EXPECT_GE(count(uni), count(intersect));
+  std::ostringstream sink;
+  EXPECT_THROW(run_command("harvest", {"poisson_A_1", "--store", store_dir_, "--combine",
+                                       "intersect"},
+                           sink),
+               ArgsError);
+  EXPECT_THROW(run_command("harvest", {"poisson_A_1", "poisson_B_1", "--store", store_dir_,
+                                       "--combine", "bogus"},
+                           sink),
+               ArgsError);
+}
+
+TEST_F(CliTest, ReportBinsRendersHistogram) {
+  const std::string out = run("report", {"seismic", "--duration", "120", "--bins", "20"});
+  EXPECT_NE(out.find("time histogram (20 bins"), std::string::npos);
+  // Three metric rows of 20 digits each.
+  for (const char* label : {"cpu ", "sync", "io  "})
+    EXPECT_NE(out.find(label), std::string::npos);
+}
+
+TEST_F(CliTest, CompareRendersMovement) {
+  run("run", {"poisson_a", "--duration", "300", "--store", store_dir_, "--version", "A"});
+  run("run", {"poisson_b", "--duration", "300", "--store", store_dir_, "--version", "B"});
+  const std::string out =
+      run("compare", {"poisson_A_1", "poisson_B_1", "--store", store_dir_});
+  EXPECT_NE(out.find("comparison: poisson_A_1 -> poisson_B_1"), std::string::npos);
+  EXPECT_NE(out.find("biggest movers"), std::string::npos);
+}
+
+TEST_F(CliTest, ShowReportRendersMarkdown) {
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+  const std::string report =
+      run("show", {"poisson_C_1", "--store", store_dir_, "--report"});
+  EXPECT_NE(report.find("# Tuning report"), std::string::npos);
+  EXPECT_NE(report.find("Hot spots by view"), std::string::npos);
+}
+
+TEST_F(CliTest, RunsJsonWorkloadSpec) {
+  fs::create_directories(store_dir_);
+  const std::string wl_file = store_dir_ + "/wl.json";
+  histpc::util::write_file(wl_file, R"({
+    "name": "clisolver",
+    "ranks": 2,
+    "iterations": 400,
+    "body": [
+      { "op": "compute", "seconds": 0.5, "factors": [1.0, 0.3],
+        "function": "solve", "module": "solver.c" },
+      { "op": "barrier" }
+    ]
+  })");
+  const std::string out = run("run", {"--workload", wl_file, "--store", store_dir_,
+                                      "--version", "1"});
+  EXPECT_NE(out.find("running clisolver"), std::string::npos);
+  EXPECT_NE(out.find("ExcessiveSyncWaitingTime"), std::string::npos);
+  EXPECT_NE(out.find("stored experiment record 'clisolver_1_1'"), std::string::npos);
+  const std::string report = run("report", {"--workload", wl_file});
+  EXPECT_NE(report.find("whole-program fractions"), std::string::npos);
+}
+
+TEST(CliUsage, MentionsEveryCommand) {
+  const std::string u = usage();
+  for (const char* cmd :
+       {"apps", "report", "run", "list", "show", "harvest", "map", "diff", "diagnose-trace"})
+    EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
+}
+
+}  // namespace
+}  // namespace histpc::cli

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+
+namespace histpc::core {
+namespace {
+
+apps::AppParams quick(double duration = 200.0) {
+  apps::AppParams p;
+  p.target_duration = duration;
+  return p;
+}
+
+TEST(Session, AppConstructorRunsTheApplication) {
+  DiagnosisSession s("tester", quick(60.0));
+  EXPECT_EQ(s.app_name(), "tester");
+  EXPECT_EQ(s.trace().num_ranks(), 4);
+  EXPECT_GT(s.trace().duration, 30.0);
+  EXPECT_TRUE(s.view().resources().contains("/Process/Tester:1"));
+}
+
+TEST(Session, UnknownAppThrows) {
+  EXPECT_THROW(DiagnosisSession("not-an-app", quick()), std::invalid_argument);
+}
+
+TEST(Session, LastShgPopulatedByDiagnose) {
+  DiagnosisSession s("bubba", quick());
+  EXPECT_TRUE(s.last_shg().empty());
+  s.diagnose();
+  EXPECT_NE(s.last_shg().find("TopLevelHypothesis"), std::string::npos);
+}
+
+TEST(Session, ConfigMutationAffectsNextDiagnosis) {
+  DiagnosisSession s("poisson_c", quick(400.0));
+  const pc::DiagnosisResult normal = s.diagnose();
+  s.config().threshold_override = 0.95;
+  const pc::DiagnosisResult strict = s.diagnose();
+  EXPECT_GT(normal.stats.bottlenecks, 0u);
+  EXPECT_EQ(strict.stats.bottlenecks, 0u);
+}
+
+TEST(Session, RepeatedDiagnosesAreIndependent) {
+  DiagnosisSession s("poisson_c", quick(400.0));
+  const pc::DiagnosisResult a = s.diagnose();
+  const pc::DiagnosisResult b = s.diagnose();
+  EXPECT_EQ(a.stats.pairs_tested, b.stats.pairs_tested);
+  EXPECT_EQ(a.stats.bottlenecks, b.stats.bottlenecks);
+}
+
+TEST(Session, MakeRecordStripsVersionSuffixFromAppFamily) {
+  DiagnosisSession s("poisson_c", quick(300.0));
+  const auto record = s.make_record(s.diagnose(), "C");
+  EXPECT_EQ(record.app, "poisson");
+  EXPECT_EQ(record.version, "C");
+  EXPECT_EQ(record.nranks, 4);
+  EXPECT_DOUBLE_EQ(record.duration, s.trace().duration);
+  EXPECT_TRUE(record.machine_process_one_to_one);
+  EXPECT_FALSE(record.code_usage.empty());
+}
+
+TEST(Session, TraceConstructorUsesGivenName) {
+  apps::AppParams p = quick(100.0);
+  DiagnosisSession s(apps::run_app("ocean", p), pc::PcConfig{}, "oceanic");
+  EXPECT_EQ(s.app_name(), "oceanic");
+  const auto record = s.make_record(s.diagnose(), "1");
+  EXPECT_EQ(record.app, "oceanic");
+}
+
+}  // namespace
+}  // namespace histpc::core

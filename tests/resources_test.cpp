@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "resources/focus.h"
+#include "resources/resource_db.h"
+#include "resources/resource_hierarchy.h"
+#include "util/rng.h"
+
+namespace histpc::resources {
+namespace {
+
+ResourceDb figure1_db() {
+  // The program "Tester" of paper Figure 1.
+  ResourceDb db = ResourceDb::with_standard_hierarchies();
+  for (const char* r : {"/Code/main.C/main", "/Code/main.C/printstatus",
+                        "/Code/testutil.C/verifyA", "/Code/testutil.C/verifyB",
+                        "/Code/vect.C/vect::addEl", "/Code/vect.C/vect::findEl",
+                        "/Code/vect.C/vect::print", "/Machine/CPU_1", "/Machine/CPU_2",
+                        "/Machine/CPU_3", "/Machine/CPU_4", "/Process/Tester:1",
+                        "/Process/Tester:2", "/Process/Tester:3", "/Process/Tester:4"})
+    db.add_resource(r);
+  return db;
+}
+
+// -------------------------------------------------------------- hierarchy
+
+TEST(Hierarchy, RootNaming) {
+  ResourceHierarchy h("Code");
+  EXPECT_EQ(h.name(), "Code");
+  EXPECT_EQ(h.node(h.root()).full_name, "/Code");
+  EXPECT_EQ(h.node(h.root()).depth, 0);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(Hierarchy, InvalidNameThrows) {
+  EXPECT_THROW(ResourceHierarchy(""), std::invalid_argument);
+  EXPECT_THROW(ResourceHierarchy("a/b"), std::invalid_argument);
+}
+
+TEST(Hierarchy, AddChildIdempotent) {
+  ResourceHierarchy h("Code");
+  ResourceId a = h.add_child(h.root(), "mod.f");
+  ResourceId b = h.add_child(h.root(), "mod.f");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.node(a).full_name, "/Code/mod.f");
+  EXPECT_EQ(h.node(a).depth, 1);
+}
+
+TEST(Hierarchy, AddChildValidatesLabel) {
+  ResourceHierarchy h("Code");
+  EXPECT_THROW(h.add_child(h.root(), ""), std::invalid_argument);
+  EXPECT_THROW(h.add_child(h.root(), "a/b"), std::invalid_argument);
+  EXPECT_THROW(h.add_child(99, "x"), std::out_of_range);
+}
+
+TEST(Hierarchy, AddPathCreatesIntermediates) {
+  ResourceHierarchy h("Code");
+  ResourceId f = h.add_path("/Code/mod.f/fn");
+  EXPECT_EQ(h.node(f).depth, 2);
+  EXPECT_NE(h.find("/Code/mod.f"), kNoResource);
+  EXPECT_EQ(h.node(h.node(f).parent).full_name, "/Code/mod.f");
+}
+
+TEST(Hierarchy, AddPathRejectsWrongHierarchy) {
+  ResourceHierarchy h("Code");
+  EXPECT_THROW(h.add_path("/Machine/x"), std::invalid_argument);
+  EXPECT_THROW(h.add_path("Code/x"), std::invalid_argument);
+}
+
+TEST(Hierarchy, FindMissing) {
+  ResourceHierarchy h("Code");
+  EXPECT_EQ(h.find("/Code/none"), kNoResource);
+  EXPECT_FALSE(h.contains("/Code/none"));
+}
+
+TEST(Hierarchy, LeavesUnder) {
+  ResourceHierarchy h("Code");
+  h.add_path("/Code/a/f1");
+  h.add_path("/Code/a/f2");
+  h.add_path("/Code/b");
+  auto leaves = h.leaves_under(h.root());
+  EXPECT_EQ(leaves.size(), 3u);
+  auto a_leaves = h.leaves_under(h.find("/Code/a"));
+  EXPECT_EQ(a_leaves.size(), 2u);
+  auto self_leaf = h.leaves_under(h.find("/Code/a/f1"));
+  ASSERT_EQ(self_leaf.size(), 1u);
+  EXPECT_EQ(self_leaf[0], h.find("/Code/a/f1"));
+}
+
+TEST(Hierarchy, AncestorOrSelf) {
+  ResourceHierarchy h("Code");
+  ResourceId f = h.add_path("/Code/a/f1");
+  ResourceId mod = h.find("/Code/a");
+  EXPECT_TRUE(h.is_ancestor_or_self(h.root(), f));
+  EXPECT_TRUE(h.is_ancestor_or_self(mod, f));
+  EXPECT_TRUE(h.is_ancestor_or_self(f, f));
+  EXPECT_FALSE(h.is_ancestor_or_self(f, mod));
+}
+
+TEST(Hierarchy, PreorderVisitsAllOnce) {
+  ResourceHierarchy h("Code");
+  h.add_path("/Code/a/f1");
+  h.add_path("/Code/b/f2");
+  auto order = h.preorder();
+  EXPECT_EQ(order.size(), h.size());
+  EXPECT_EQ(order.front(), h.root());
+  // Parent precedes child.
+  auto pos = [&](ResourceId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(h.find("/Code/a")), pos(h.find("/Code/a/f1")));
+}
+
+TEST(Hierarchy, RenderShowsTreeAndTags) {
+  ResourceHierarchy h("Code");
+  h.add_path("/Code/a/f1");
+  std::unordered_map<std::string, std::string> tags{{"/Code/a/f1", "3"}};
+  std::string s = h.render(&tags);
+  EXPECT_NE(s.find("Code"), std::string::npos);
+  EXPECT_NE(s.find("f1 [3]"), std::string::npos);
+}
+
+// --------------------------------------------------------------------- db
+
+TEST(Db, StandardHierarchies) {
+  ResourceDb db = ResourceDb::with_standard_hierarchies();
+  EXPECT_EQ(db.num_hierarchies(), 4u);
+  EXPECT_EQ(db.hierarchy(0).name(), "Code");
+  EXPECT_TRUE(db.has_hierarchy("SyncObject"));
+  EXPECT_EQ(db.hierarchy_index("Machine"), 1);
+  EXPECT_EQ(db.hierarchy_index("Nope"), -1);
+  EXPECT_THROW(db.hierarchy("Nope"), std::out_of_range);
+}
+
+TEST(Db, AddResourceCreatesHierarchyOnDemand) {
+  ResourceDb db;
+  db.add_resource("/Memory/bank0");
+  EXPECT_TRUE(db.has_hierarchy("Memory"));
+  EXPECT_TRUE(db.contains("/Memory/bank0"));
+  EXPECT_FALSE(db.contains("/Memory/bank1"));
+  EXPECT_FALSE(db.contains("/Other/x"));
+  EXPECT_THROW(db.add_resource("no-slash"), std::invalid_argument);
+}
+
+TEST(Db, JsonRoundTrip) {
+  ResourceDb db = figure1_db();
+  ResourceDb back = ResourceDb::from_json(db.to_json());
+  EXPECT_EQ(back.all_resource_names(), db.all_resource_names());
+}
+
+TEST(Db, CopyIsDeep) {
+  ResourceDb db = figure1_db();
+  ResourceDb copy = db;
+  copy.add_resource("/Code/new.C/f");
+  EXPECT_TRUE(copy.contains("/Code/new.C/f"));
+  EXPECT_FALSE(db.contains("/Code/new.C/f"));
+}
+
+// ------------------------------------------------------------------ focus
+
+TEST(Focus, WholeProgram) {
+  ResourceDb db = figure1_db();
+  Focus f = Focus::whole_program(db);
+  EXPECT_TRUE(f.is_whole_program());
+  EXPECT_EQ(f.name(), "</Code,/Machine,/Process,/SyncObject>");
+  EXPECT_EQ(f.total_depth(db), 0);
+}
+
+TEST(Focus, ParseCanonical) {
+  ResourceDb db = figure1_db();
+  auto f = Focus::parse("</Code/testutil.C/verifyA,/Machine,/Process/Tester:2,/SyncObject>",
+                        db);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->part(0), "/Code/testutil.C/verifyA");
+  EXPECT_EQ(f->part(2), "/Process/Tester:2");
+  EXPECT_EQ(f->total_depth(db), 3);
+}
+
+TEST(Focus, ParseReordersAndDefaults) {
+  ResourceDb db = figure1_db();
+  // Process part listed first, Machine and SyncObject omitted.
+  auto f = Focus::parse("/Process/Tester:2,/Code/main.C", db);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->part(0), "/Code/main.C");
+  EXPECT_EQ(f->part(1), "/Machine");
+  EXPECT_EQ(f->part(2), "/Process/Tester:2");
+  EXPECT_EQ(f->part(3), "/SyncObject");
+}
+
+TEST(Focus, ParseRejectsUnknownsAndDuplicates) {
+  ResourceDb db = figure1_db();
+  EXPECT_FALSE(Focus::parse("</Nope/x>", db).has_value());
+  EXPECT_FALSE(Focus::parse("</Code/a,/Code/b>", db).has_value());
+  EXPECT_FALSE(Focus::parse("</Code/missing.C>", db).has_value());
+  EXPECT_FALSE(Focus::parse("<//>", db).has_value());
+  EXPECT_FALSE(Focus::parse("</Code", db).has_value());
+}
+
+TEST(Focus, ParseWithoutValidationAcceptsMissingResources) {
+  ResourceDb db = figure1_db();
+  auto f = Focus::parse("</Code/missing.C>", db, /*validate_resources=*/false);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->part(0), "/Code/missing.C");
+}
+
+TEST(Focus, NameParsesBackToEqualFocus) {
+  ResourceDb db = figure1_db();
+  auto f = Focus::parse("</Code/vect.C,/Process/Tester:3>", db);
+  ASSERT_TRUE(f.has_value());
+  auto g = Focus::parse(f->name(), db);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*f, *g);
+}
+
+TEST(Focus, RefinementsMoveOneEdge) {
+  ResourceDb db = figure1_db();
+  Focus whole = Focus::whole_program(db);
+  auto refs = whole.refinements(db);
+  // Code has 3 modules, Machine 4 nodes, Process 4 processes, SyncObject 0.
+  EXPECT_EQ(refs.size(), 3u + 4u + 4u);
+  for (const Focus& r : refs) {
+    EXPECT_EQ(r.total_depth(db), 1);
+    EXPECT_TRUE(whole.contains(r));
+  }
+}
+
+TEST(Focus, RefinementOfLeafPartStops) {
+  ResourceDb db = figure1_db();
+  auto f = Focus::parse("</Code/testutil.C/verifyA,/Machine/CPU_1,/Process/Tester:1>", db);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->refinements(db).empty());
+}
+
+TEST(Focus, ContainsIsPartwisePrefix) {
+  ResourceDb db = figure1_db();
+  Focus whole = Focus::whole_program(db);
+  auto narrow = Focus::parse("</Code/vect.C/vect::print,/Process/Tester:1>", db);
+  auto mid = Focus::parse("</Code/vect.C>", db);
+  ASSERT_TRUE(narrow && mid);
+  EXPECT_TRUE(whole.contains(*narrow));
+  EXPECT_TRUE(mid->contains(*narrow));
+  EXPECT_FALSE(narrow->contains(*mid));
+  // Diverging parts are not contained.
+  auto other = Focus::parse("</Code/main.C>", db);
+  EXPECT_FALSE(mid->contains(*other));
+}
+
+/// Property: any focus assembled from db resources round-trips through
+/// its canonical name, and refinement preserves containment.
+class FocusFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FocusFuzz, NameRoundTripAndRefinementContainment) {
+  util::Rng rng(GetParam());
+  ResourceDb db = figure1_db();
+  // Random walk: start at whole program, take random refinement steps.
+  Focus f = Focus::whole_program(db);
+  for (int step = 0; step < 6; ++step) {
+    auto refs = f.refinements(db);
+    if (refs.empty()) break;
+    Focus child = refs[rng.next_below(refs.size())];
+    // Containment and depth increase at each step.
+    EXPECT_TRUE(f.contains(child));
+    EXPECT_FALSE(child.contains(f));
+    EXPECT_EQ(child.total_depth(db), f.total_depth(db) + 1);
+    // Canonical-name round trip.
+    auto parsed = Focus::parse(child.name(), db);
+    ASSERT_TRUE(parsed.has_value()) << child.name();
+    EXPECT_EQ(*parsed, child);
+    f = std::move(child);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FocusFuzz, testing::Range<std::uint64_t>(1, 11));
+
+TEST(Focus, WithPartReplaces) {
+  ResourceDb db = figure1_db();
+  Focus f = Focus::whole_program(db).with_part(2, "/Process/Tester:4");
+  EXPECT_EQ(f.part(2), "/Process/Tester:4");
+  EXPECT_EQ(f.part(0), "/Code");
+}
+
+}  // namespace
+}  // namespace histpc::resources
