@@ -1,17 +1,26 @@
 // Micro-benchmarks of the core data structures and engines
-// (google-benchmark): simulator throughput, metric accumulation, focus
-// refinement, SHG insertion/dedup, directive parsing, and a full
-// end-to-end diagnosis.
+// (google-benchmark): simulator throughput, metric accumulation (indexed
+// vs. the scan oracle, per-instance vs. batched), focus refinement, SHG
+// insertion/dedup, directive parsing, and a full end-to-end diagnosis.
+//
+// Besides the console table, main() writes BENCH_metrics.json (metric-query
+// ns/query and queries/s, table1-equivalent end-to-end seconds) so future
+// PRs have a perf trajectory to compare against.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "apps/apps.h"
 #include "apps/workload_spec.h"
+#include "core/session.h"
 #include "history/generator.h"
 #include "history/postmortem.h"
+#include "metrics/metric_batch.h"
 #include "metrics/metric_instance.h"
 #include "metrics/trace_view.h"
 #include "pc/consultant.h"
 #include "pc/shg.h"
+#include "util/json.h"
 
 using namespace histpc;
 
@@ -74,6 +83,35 @@ void BM_MetricWholeWindowQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricWholeWindowQuery);
 
+void BM_MetricWholeWindowQueryScan(benchmark::State& state) {
+  // The retained linear-scan oracle; the ratio to the indexed benchmark
+  // above is the headline metric-query speedup.
+  const auto& view = shared_view();
+  const auto& filter =
+      view.compiled(resources::Focus::whole_program(view.resources()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.query_scan(metrics::MetricKind::SyncWaitTime, filter,
+                                             0.0, view.trace().duration));
+  }
+}
+BENCHMARK(BM_MetricWholeWindowQueryScan);
+
+void BM_MetricConstrainedWindowQuery(benchmark::State& state) {
+  // Function-constrained focus: served by the index's per-function posting
+  // lists rather than the per-state prefix sums.
+  const auto& view = shared_view();
+  const auto& trace = view.trace();
+  const auto& fi = trace.functions.front();
+  const auto focus = resources::Focus::whole_program(view.resources())
+                         .with_part(0, "/Code/" + fi.module + "/" + fi.function);
+  const auto& filter = view.compiled(focus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.query(metrics::MetricKind::CpuTime, filter,
+                                        trace.duration * 0.25, trace.duration * 0.75));
+  }
+}
+BENCHMARK(BM_MetricConstrainedWindowQuery);
+
 void BM_MetricIncrementalTicks(benchmark::State& state) {
   const auto& view = shared_view();
   const auto whole = resources::Focus::whole_program(view.resources());
@@ -86,6 +124,31 @@ void BM_MetricIncrementalTicks(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetricIncrementalTicks);
+
+void BM_MetricBatchedTicks(benchmark::State& state) {
+  // Eight concurrent probes serviced by one MetricBatch pass per tick —
+  // the consultant's steady-state evaluation pattern.
+  const auto& view = shared_view();
+  const auto& trace = view.trace();
+  std::vector<const metrics::FocusFilter*> filters;
+  filters.push_back(&view.compiled(resources::Focus::whole_program(view.resources())));
+  for (std::size_t i = 0; i < trace.functions.size() && filters.size() < 8; ++i) {
+    const auto& fi = trace.functions[i];
+    filters.push_back(&view.compiled(
+        resources::Focus::whole_program(view.resources())
+            .with_part(0, "/Code/" + fi.module + "/" + fi.function)));
+  }
+  const double tick = 0.5;
+  for (auto _ : state) {
+    metrics::MetricBatch batch(view, 0);
+    for (const auto* f : filters)
+      batch.add(metrics::MetricKind::ExecTime, *f, 0.0);
+    for (double t = tick; t < trace.duration; t += tick) batch.advance_all(t);
+    benchmark::DoNotOptimize(batch.cursor());
+  }
+  state.counters["probes"] = static_cast<double>(filters.size());
+}
+BENCHMARK(BM_MetricBatchedTicks);
 
 void BM_FocusRefinement(benchmark::State& state) {
   const auto& view = shared_view();
@@ -138,6 +201,18 @@ void BM_FullDiagnosis(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDiagnosis);
 
+void BM_FullDiagnosisScanEval(benchmark::State& state) {
+  // Same search with the reference per-instance scan engine.
+  const auto& view = shared_view();
+  pc::PcConfig config;
+  config.batched_eval = false;
+  for (auto _ : state) {
+    pc::PerformanceConsultant consultant(view, config);
+    benchmark::DoNotOptimize(consultant.run());
+  }
+}
+BENCHMARK(BM_FullDiagnosisScanEval);
+
 void BM_WildcardFarmSimulation(benchmark::State& state) {
   apps::AppParams p;
   p.target_duration = 200.0;
@@ -184,6 +259,94 @@ void BM_DirectiveGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectiveGeneration);
 
+// ------------------------------------------------ BENCH_metrics.json
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// ns per call of `fn`, measured over enough repetitions to fill ~50 ms.
+template <typename Fn>
+double time_ns_per_call(Fn&& fn) {
+  std::size_t reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) fn();
+    const double elapsed = seconds_since(start);
+    if (elapsed >= 0.05 || reps >= (1u << 24)) return elapsed * 1e9 / static_cast<double>(reps);
+    reps *= 4;
+  }
+}
+
+/// The table1_directives workload, in-process: one version-C session, a
+/// base diagnosis, directive generation, and the five directed re-runs.
+double table1_end_to_end_seconds() {
+  const auto start = Clock::now();
+  apps::AppParams p;
+  p.target_duration = 3000.0;
+  p.node_base = 9;
+  core::DiagnosisSession session("poisson_c", p);
+  const pc::DiagnosisResult base = session.diagnose();
+  const auto record = session.make_record(base, "C");
+  std::vector<history::GeneratorOptions> variants(5);
+  variants[0].priorities = false;
+  variants[0].false_pair_prunes = true;
+  variants[1].priorities = false;
+  variants[1].historic_prunes = false;
+  variants[2].priorities = false;
+  variants[2].general_prunes = false;
+  variants[2].false_pair_prunes = true;
+  variants[3].general_prunes = false;
+  variants[3].historic_prunes = false;
+  // variants[4]: generator defaults (priorities plus all prunes).
+  for (const auto& options : variants) {
+    const auto directives = history::DirectiveGenerator(options).from_record(record);
+    benchmark::DoNotOptimize(session.diagnose(directives));
+  }
+  return seconds_since(start);
+}
+
+void write_bench_metrics() {
+  const auto& view = shared_view();
+  const auto& filter =
+      view.compiled(resources::Focus::whole_program(view.resources()));
+  const double duration = view.trace().duration;
+  const auto metric = metrics::MetricKind::SyncWaitTime;
+
+  const double indexed_ns =
+      time_ns_per_call([&] { benchmark::DoNotOptimize(view.query(metric, filter, 0.0, duration)); });
+  const double scan_ns = time_ns_per_call(
+      [&] { benchmark::DoNotOptimize(view.query_scan(metric, filter, 0.0, duration)); });
+  const double table1_s = table1_end_to_end_seconds();
+
+  util::Json out = util::Json::object();
+  util::Json query = util::Json::object();
+  query["indexed_ns_per_query"] = indexed_ns;
+  query["scan_ns_per_query"] = scan_ns;
+  query["speedup_vs_scan"] = scan_ns > 0 ? scan_ns / indexed_ns : 0.0;
+  query["queries_per_second"] = indexed_ns > 0 ? 1e9 / indexed_ns : 0.0;
+  out["metric_query"] = std::move(query);
+  util::Json table1 = util::Json::object();
+  table1["end_to_end_seconds"] = table1_s;
+  out["table1_directives"] = std::move(table1);
+
+  const std::string path = "BENCH_metrics.json";
+  util::write_file(path, out.dump(2) + "\n");
+  std::printf("wrote %s: metric query %.0f ns indexed / %.0f ns scan (%.1fx), "
+              "table1 workload %.3f s\n",
+              path.c_str(), indexed_ns, scan_ns,
+              scan_ns > 0 ? scan_ns / indexed_ns : 0.0, table1_s);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_metrics();
+  return 0;
+}

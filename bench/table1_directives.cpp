@@ -102,8 +102,10 @@ int main() {
       if (!variants[i].use_directives) return base;
       const pc::DirectiveSet directives =
           history::DirectiveGenerator(variants[i].options).from_record(record);
-      core::DiagnosisSession session("poisson_c", bench::params_for_version('C'));
-      return session.diagnose(directives);
+      // Every variant diagnoses the same version-C execution; each
+      // diagnose() call is an independent online search, so reuse the
+      // session instead of re-simulating the identical trace.
+      return base_session.diagnose(directives);
     }();
     for (double pct : percents) times[i].push_back(result.time_to_find(reference, pct));
     pairs_table.add_row({variants[i].name, std::to_string(result.stats.pairs_tested),

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build the release and asan-ubsan presets and run
+# the test suite under both. The sanitizer run exercises the threaded
+# metric-evaluation path (MetricEngineProperty.ThreadedBatchMatchesSequential)
+# under ASan/UBSan, catching data races' memory effects and UB in the index.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for preset in release asan-ubsan; do
+  echo "==> configure: $preset"
+  cmake --preset "$preset"
+  echo "==> build: $preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> test: $preset"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All checks passed."

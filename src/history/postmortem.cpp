@@ -67,8 +67,10 @@ DiagnosisResult postmortem_diagnose(const metrics::TraceView& view,
     const auto probe = scoped_focus(view, hyps.at(hyp), focus);
     if (!probe) continue;  // incompatible pair: the online PC never creates it
 
+    // Foci recur across hypotheses during expansion; the cached compiled
+    // filter avoids recompiling one per (hypothesis, focus) pair.
     const double fraction =
-        view.fraction(hyps.at(hyp).metric, *probe, 0.0, duration);
+        view.fraction(hyps.at(hyp).metric, view.compiled(*probe), 0.0, duration);
     snap.fraction = fraction;
     snap.conclude_time = 0.0;
     ++result.stats.pairs_tested;

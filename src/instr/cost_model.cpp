@@ -26,9 +26,9 @@ double CostModel::probe_cost(const metrics::TraceView& view, const resources::Fo
     if (comps.size() > 2) cost *= sync_constrained_multiplier;
   }
 
-  // Number of instrumented processes.
-  const metrics::FocusFilter filter = view.compile(focus);
-  cost *= std::max(1, filter.num_selected_ranks);
+  // Number of instrumented processes (cached compile: the manager compiles
+  // the same focus again when the probe is inserted).
+  cost *= std::max(1, view.compiled(focus).num_selected_ranks);
   return cost;
 }
 

@@ -6,21 +6,32 @@ namespace histpc::instr {
 
 InstrumentationManager::InstrumentationManager(const metrics::TraceView& view,
                                                CostModel cost_model, double insertion_latency,
-                                               double perturbation_factor)
+                                               double perturbation_factor, EvalConfig eval)
     : view_(view),
       cost_model_(cost_model),
       insertion_latency_(insertion_latency),
-      perturbation_factor_(perturbation_factor) {
+      perturbation_factor_(perturbation_factor),
+      eval_(eval) {
   if (insertion_latency < 0) throw std::invalid_argument("negative insertion latency");
   if (perturbation_factor < 0) throw std::invalid_argument("negative perturbation factor");
+  if (eval_.batched)
+    batch_ = std::make_unique<metrics::MetricBatch>(view_, eval_.threads);
 }
 
 ProbeId InstrumentationManager::insert(metrics::MetricKind metric,
                                        const resources::Focus& focus, double now) {
+  // The compiled-filter cache makes repeated insertions over the same
+  // focus (and the cost model's compile of it) a hash lookup.
+  const metrics::FocusFilter& filter = view_.compiled(focus);
   Probe p;
   p.metric = metric;
+  p.selected_ranks = filter.num_selected_ranks;
   p.cost = cost_model_.probe_cost(view_, focus, metric);
-  p.instance.emplace(view_, metric, view_.compile(focus), now + insertion_latency_);
+  if (eval_.batched) {
+    p.slot = batch_->add(metric, filter, now + insertion_latency_);
+  } else {
+    p.instance.emplace(view_, metric, filter, now + insertion_latency_);
+  }
   p.active = true;
   probes_.push_back(std::move(p));
   total_cost_ += probes_.back().cost;
@@ -34,6 +45,7 @@ void InstrumentationManager::remove(ProbeId id) {
   Probe& p = probes_.at(static_cast<std::size_t>(id));
   if (!p.active) throw std::logic_error("probe removed twice");
   p.active = false;
+  if (batch_) batch_->remove(p.slot);
   total_cost_ -= p.cost;
   --num_active_;
   // Numerical hygiene: total cost is a running sum of removals; clamp tiny
@@ -47,18 +59,28 @@ bool InstrumentationManager::is_active(ProbeId id) const {
 }
 
 void InstrumentationManager::advance(double now) {
+  if (batch_) {
+    batch_->advance_all(now);
+    return;
+  }
   for (Probe& p : probes_)
     if (p.active) p.instance->advance(now);
 }
 
 ProbeSample InstrumentationManager::read(ProbeId id) const {
   const Probe& p = probes_.at(static_cast<std::size_t>(id));
-  const auto& inst = *p.instance;
   ProbeSample s;
-  s.value = inst.value();
-  s.observed = inst.observed();
-  s.fraction = inst.fraction();
-  s.selected_ranks = inst.filter().num_selected_ranks;
+  if (batch_) {
+    s.value = batch_->value(p.slot);
+    s.observed = batch_->observed(p.slot);
+    s.fraction = batch_->fraction(p.slot);
+  } else {
+    const auto& inst = *p.instance;
+    s.value = inst.value();
+    s.observed = inst.observed();
+    s.fraction = inst.fraction();
+  }
+  s.selected_ranks = p.selected_ranks;
   // Perturbation: probe executions are CPU work the application would not
   // otherwise do, so CPU-time readings are inflated in proportion to the
   // instrumentation currently enabled.

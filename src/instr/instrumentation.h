@@ -3,6 +3,14 @@
 // observes data only after its insertion completes (request time +
 // insertion latency), and the sum of active probe costs is the load the
 // Performance Consultant's expansion throttle watches.
+//
+// Two metric-evaluation engines service the probes:
+//  * batched (default): all probes share one MetricBatch — each rank's new
+//    intervals are visited once per advance and fanned out to every
+//    matching probe;
+//  * per-instance scan: one MetricInstance per probe, each walking its own
+//    cursors. Kept as the reference oracle; the batched engine is
+//    property-tested bit-identical against it.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +19,7 @@
 #include <vector>
 
 #include "instr/cost_model.h"
+#include "metrics/metric_batch.h"
 #include "metrics/metric_instance.h"
 
 namespace histpc::instr {
@@ -25,6 +34,16 @@ struct ProbeSample {
   int selected_ranks = 0;
 };
 
+/// Metric-evaluation engine selection (PcConfig carries one of these).
+struct EvalConfig {
+  /// Batched engine (one interval pass fanned out to all probes) vs the
+  /// reference per-instance scan. Values are bit-identical.
+  bool batched = true;
+  /// > 1 enables rank-parallel batched evaluation with that many worker
+  /// threads (sequential when <= 1 or when the scan engine is selected).
+  int threads = 0;
+};
+
 class InstrumentationManager {
  public:
   /// `perturbation_factor` models the measurement error instrumentation
@@ -33,7 +52,8 @@ class InstrumentationManager {
   /// ideal measurements; the cost ceiling exists precisely to keep this
   /// term small on a real machine.
   InstrumentationManager(const metrics::TraceView& view, CostModel cost_model,
-                         double insertion_latency, double perturbation_factor = 0.0);
+                         double insertion_latency, double perturbation_factor = 0.0,
+                         EvalConfig eval = {});
 
   /// Request insertion of a probe for (metric : focus) at time `now`. Data
   /// collection begins at now + insertion latency.
@@ -63,11 +83,14 @@ class InstrumentationManager {
   std::size_t num_active() const { return num_active_; }
 
   double insertion_latency() const { return insertion_latency_; }
+  const EvalConfig& eval_config() const { return eval_; }
 
  private:
   struct Probe {
-    std::optional<metrics::MetricInstance> instance;
+    std::optional<metrics::MetricInstance> instance;  ///< scan engine only
+    metrics::MetricBatch::SlotId slot = -1;           ///< batched engine only
     metrics::MetricKind metric = metrics::MetricKind::CpuTime;
+    int selected_ranks = 0;
     double cost = 0.0;
     bool active = false;
   };
@@ -76,6 +99,8 @@ class InstrumentationManager {
   CostModel cost_model_;
   double insertion_latency_;
   double perturbation_factor_;
+  EvalConfig eval_;
+  std::unique_ptr<metrics::MetricBatch> batch_;
   std::vector<Probe> probes_;
   double total_cost_ = 0.0;
   double peak_cost_ = 0.0;

@@ -1,0 +1,185 @@
+#include "metrics/interval_index.h"
+
+#include <algorithm>
+
+#include "metrics/trace_view.h"
+
+namespace histpc::metrics {
+
+using simmpi::ExecutionTrace;
+using simmpi::Interval;
+using simmpi::IntervalState;
+
+namespace {
+
+constexpr std::size_t kSyncWaitState = static_cast<std::size_t>(IntervalState::SyncWait);
+
+/// Which interval states contribute to a metric (mirrors the state switch
+/// in FocusFilter::matches).
+std::array<bool, 3> accepted_states(MetricKind metric) {
+  switch (metric) {
+    case MetricKind::CpuTime: return {true, false, false};
+    case MetricKind::SyncWaitTime: return {false, true, false};
+    case MetricKind::IoWaitTime: return {false, false, true};
+    case MetricKind::ExecTime: return {true, true, true};
+  }
+  return {false, false, false};
+}
+
+bool func_accepted(const FocusFilter& filter, simmpi::FuncId func) {
+  if (func == simmpi::kNoFunc) return filter.accept_nofunc;
+  return filter.funcs[static_cast<std::size_t>(func)];
+}
+
+/// First posting entry at or after interval position `bound`.
+std::size_t posting_lower_bound(const std::vector<std::uint32_t>& pos, std::size_t bound) {
+  return static_cast<std::size_t>(
+      std::lower_bound(pos.begin(), pos.end(), static_cast<std::uint32_t>(bound)) -
+      pos.begin());
+}
+
+}  // namespace
+
+IntervalIndex::IntervalIndex(const ExecutionTrace& trace) : trace_(trace) {
+  const std::size_t nfuncs = trace.functions.size();
+  const std::size_t nsync = trace.sync_objects.size();
+  ranks_.resize(trace.ranks.size());
+  for (std::size_t r = 0; r < trace.ranks.size(); ++r) {
+    const auto& ivs = trace.ranks[r].intervals;
+    RankIndex& ri = ranks_[r];
+    const std::size_t n = ivs.size();
+    ri.t0.reserve(n);
+    ri.t1.reserve(n);
+    for (auto& c : ri.cum) c.assign(n + 1, 0.0);
+    ri.func_postings.resize(nfuncs + 1);  // trailing slot = kNoFunc intervals
+    ri.sync_postings.resize(nsync);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Interval& iv = ivs[i];
+      ri.t0.push_back(iv.t0);
+      ri.t1.push_back(iv.t1);
+      const std::size_t s = static_cast<std::size_t>(iv.state);
+      const double d = iv.t1 - iv.t0;
+      for (std::size_t st = 0; st < kNumStates; ++st)
+        ri.cum[st][i + 1] = ri.cum[st][i] + (st == s ? d : 0.0);
+      const std::size_t fslot =
+          iv.func == simmpi::kNoFunc ? nfuncs : static_cast<std::size_t>(iv.func);
+      ri.func_postings[fslot].pos.push_back(static_cast<std::uint32_t>(i));
+      if (iv.state == IntervalState::SyncWait && iv.sync_object != simmpi::kNoSyncObject)
+        ri.sync_postings[static_cast<std::size_t>(iv.sync_object)].pos.push_back(
+            static_cast<std::uint32_t>(i));
+    }
+
+    for (Posting& p : ri.func_postings) {
+      for (auto& c : p.cum) c.assign(p.pos.size() + 1, 0.0);
+      for (std::size_t k = 0; k < p.pos.size(); ++k) {
+        const Interval& iv = ivs[p.pos[k]];
+        const std::size_t s = static_cast<std::size_t>(iv.state);
+        const double d = iv.t1 - iv.t0;
+        for (std::size_t st = 0; st < kNumStates; ++st)
+          p.cum[st][k + 1] = p.cum[st][k] + (st == s ? d : 0.0);
+      }
+    }
+    for (Posting& p : ri.sync_postings) {
+      // Sync postings only ever hold SyncWait intervals; one row suffices.
+      auto& c = p.cum[kSyncWaitState];
+      c.assign(p.pos.size() + 1, 0.0);
+      for (std::size_t k = 0; k < p.pos.size(); ++k) {
+        const Interval& iv = ivs[p.pos[k]];
+        c[k + 1] = c[k] + (iv.t1 - iv.t0);
+      }
+    }
+  }
+}
+
+std::size_t IntervalIndex::first_ending_after(int rank, double t) const {
+  const auto& t1 = ranks_[static_cast<std::size_t>(rank)].t1;
+  return static_cast<std::size_t>(std::upper_bound(t1.begin(), t1.end(), t) - t1.begin());
+}
+
+double IntervalIndex::interior_sum(const RankIndex& ri,
+                                   const std::vector<Interval>& ivs,
+                                   const FocusFilter& filter, MetricKind metric,
+                                   std::size_t a, std::size_t b) const {
+  const auto states = accepted_states(metric);
+  double v = 0.0;
+
+  if (!filter.sync_unconstrained) {
+    // Only SyncWait intervals carrying a selected object can match.
+    if (!states[kSyncWaitState]) return 0.0;
+    for (std::int32_t obj : filter.selected_syncs) {
+      const Posting& p = ri.sync_postings[static_cast<std::size_t>(obj)];
+      const std::size_t j1 = posting_lower_bound(p.pos, a);
+      const std::size_t j2 = posting_lower_bound(p.pos, b);
+      if (filter.all_funcs) {
+        v += p.cum[kSyncWaitState][j2] - p.cum[kSyncWaitState][j1];
+      } else {
+        for (std::size_t j = j1; j < j2; ++j) {
+          const Interval& iv = ivs[p.pos[j]];
+          if (func_accepted(filter, iv.func)) v += iv.t1 - iv.t0;
+        }
+      }
+    }
+    return v;
+  }
+
+  if (filter.all_funcs) {
+    for (std::size_t st = 0; st < kNumStates; ++st)
+      if (states[st]) v += ri.cum[st][b] - ri.cum[st][a];
+    return v;
+  }
+
+  auto add_posting = [&](const Posting& p) {
+    const std::size_t j1 = posting_lower_bound(p.pos, a);
+    const std::size_t j2 = posting_lower_bound(p.pos, b);
+    for (std::size_t st = 0; st < kNumStates; ++st)
+      if (states[st]) v += p.cum[st][j2] - p.cum[st][j1];
+  };
+  for (std::int32_t f : filter.selected_funcs)
+    add_posting(ri.func_postings[static_cast<std::size_t>(f)]);
+  if (filter.accept_nofunc) add_posting(ri.func_postings.back());
+  return v;
+}
+
+double IntervalIndex::query_rank(int rank, const FocusFilter& filter, MetricKind metric,
+                                 double t0, double t1) const {
+  const RankIndex& ri = ranks_[static_cast<std::size_t>(rank)];
+  if (t1 <= t0 || ri.t0.empty()) return 0.0;
+  const auto& ivs = trace_.ranks[static_cast<std::size_t>(rank)].intervals;
+  // Intervals intersecting [t0, t1) are the contiguous range [lo, hi).
+  const std::size_t lo = static_cast<std::size_t>(
+      std::upper_bound(ri.t1.begin(), ri.t1.end(), t0) - ri.t1.begin());
+  const std::size_t hi = static_cast<std::size_t>(
+      std::lower_bound(ri.t0.begin(), ri.t0.end(), t1) - ri.t0.begin());
+  if (lo >= hi) return 0.0;
+
+  double v = 0.0;
+  // Only the range's first and last interval can straddle a window edge;
+  // evaluate them directly so clipping matches the scan path exactly.
+  auto clip_add = [&](std::size_t i) {
+    const Interval& iv = ivs[i];
+    if (!filter.matches(iv, metric)) return;
+    const double a = std::max(iv.t0, t0);
+    const double b = std::min(iv.t1, t1);
+    if (b > a) v += b - a;
+  };
+  if (hi - lo <= 2) {
+    for (std::size_t i = lo; i < hi; ++i) clip_add(i);
+    return v;
+  }
+  clip_add(lo);
+  v += interior_sum(ri, ivs, filter, metric, lo + 1, hi - 1);
+  clip_add(hi - 1);
+  return v;
+}
+
+double IntervalIndex::query(const FocusFilter& filter, MetricKind metric, double t0,
+                            double t1) const {
+  double v = 0.0;
+  for (std::size_t r = 0; r < ranks_.size(); ++r)
+    if (filter.rank_selected(static_cast<int>(r)))
+      v += query_rank(static_cast<int>(r), filter, metric, t0, t1);
+  return v;
+}
+
+}  // namespace histpc::metrics

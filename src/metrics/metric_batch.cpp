@@ -1,0 +1,170 @@
+#include "metrics/metric_batch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace histpc::metrics {
+
+using simmpi::Interval;
+
+MetricBatch::MetricBatch(const TraceView& view, int eval_threads)
+    : view_(view),
+      rank_pos_(static_cast<std::size_t>(view.trace().num_ranks()), 0),
+      rank_slots_(static_cast<std::size_t>(view.trace().num_ranks())) {
+  const std::size_t nranks = rank_pos_.size();
+  if (eval_threads > 1 && nranks > 1) {
+    nthreads_ = std::min<std::size_t>(static_cast<std::size_t>(eval_threads), nranks);
+    partials_.resize(nthreads_);
+    workers_.reserve(nthreads_);
+    for (std::size_t t = 0; t < nthreads_; ++t)
+      workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+MetricBatch::~MetricBatch() {
+  if (nthreads_ > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+MetricBatch::SlotId MetricBatch::add(MetricKind metric, const FocusFilter& filter,
+                                     double start_time) {
+  Slot s;
+  s.filter = &filter;
+  s.metric = metric;
+  s.start = start_time;
+  s.active = true;
+  slots_.push_back(s);
+  ++num_active_;
+  rank_slots_dirty_ = true;
+  return static_cast<SlotId>(slots_.size() - 1);
+}
+
+void MetricBatch::remove(SlotId id) {
+  Slot& s = slots_.at(static_cast<std::size_t>(id));
+  if (!s.active) throw std::logic_error("MetricBatch: slot removed twice");
+  s.active = false;
+  --num_active_;
+  rank_slots_dirty_ = true;
+}
+
+void MetricBatch::rebuild_rank_slots() {
+  for (std::size_t r = 0; r < rank_slots_.size(); ++r) {
+    rank_slots_[r].clear();
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (slots_[i].active && slots_[i].filter->rank_selected(static_cast<int>(r)))
+        rank_slots_[r].push_back(static_cast<SlotId>(i));
+  }
+  rank_slots_dirty_ = false;
+}
+
+template <typename Accum>
+void MetricBatch::process_rank(std::size_t r, double to, Accum&& accum) {
+  const auto& ivs = view_.trace().ranks[r].intervals;
+  const std::vector<SlotId>& fanout = rank_slots_[r];
+  std::size_t pos = rank_pos_[r];
+  while (pos < ivs.size() && ivs[pos].t0 < to) {
+    const Interval& iv = ivs[pos];
+    if (!fanout.empty()) {
+      for (SlotId sid : fanout) {
+        const Slot& s = slots_[static_cast<std::size_t>(sid)];
+        if (!s.filter->matches(iv, s.metric)) continue;
+        const double lo = std::max({iv.t0, cursor_, s.start});
+        const double hi = std::min(iv.t1, to);
+        if (hi > lo) accum(sid, hi - lo);
+      }
+    }
+    if (iv.t1 <= to) {
+      ++pos;  // fully consumed
+    } else {
+      break;  // straddles `to`; revisit next advance
+    }
+  }
+  rank_pos_[r] = pos;
+}
+
+void MetricBatch::advance_sequential(double to) {
+  for (std::size_t r = 0; r < rank_pos_.size(); ++r)
+    process_rank(r, to,
+                 [this](SlotId sid, double d) { slots_[static_cast<std::size_t>(sid)].value += d; });
+}
+
+void MetricBatch::advance_parallel(double to) {
+  for (auto& p : partials_) p.assign(slots_.size(), 0.0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_to_ = to;
+    remaining_ = nthreads_;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  }
+  // Reduce in thread (= rank-chunk) order: deterministic for a fixed
+  // thread count.
+  for (const auto& partial : partials_)
+    for (std::size_t i = 0; i < partial.size(); ++i)
+      if (partial[i] != 0.0) slots_[i].value += partial[i];
+}
+
+void MetricBatch::worker_loop(std::size_t tid) {
+  const std::size_t nranks = rank_pos_.size();
+  const std::size_t chunk = (nranks + nthreads_ - 1) / nthreads_;
+  const std::size_t begin = tid * chunk;
+  const std::size_t end = std::min(nranks, begin + chunk);
+  std::uint64_t seen = 0;
+  while (true) {
+    double to;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      to = job_to_;
+    }
+    std::vector<double>& partial = partials_[tid];
+    for (std::size_t r = begin; r < end; ++r)
+      process_rank(r, to, [&partial](SlotId sid, double d) {
+        partial[static_cast<std::size_t>(sid)] += d;
+      });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void MetricBatch::advance_all(double to) {
+  if (to <= cursor_) return;
+  if (rank_slots_dirty_) rebuild_rank_slots();
+  if (nthreads_ > 0 && num_active_ > 0) {
+    advance_parallel(to);
+  } else {
+    advance_sequential(to);
+  }
+  cursor_ = to;
+}
+
+double MetricBatch::value(SlotId id) const {
+  return slots_.at(static_cast<std::size_t>(id)).value;
+}
+
+double MetricBatch::observed(SlotId id) const {
+  return std::max(0.0, cursor_ - slots_.at(static_cast<std::size_t>(id)).start);
+}
+
+double MetricBatch::fraction(SlotId id) const {
+  const Slot& s = slots_.at(static_cast<std::size_t>(id));
+  const double obs = std::max(0.0, cursor_ - s.start);
+  if (obs <= 0.0 || s.filter->num_selected_ranks == 0) return 0.0;
+  return s.value / (obs * s.filter->num_selected_ranks);
+}
+
+}  // namespace histpc::metrics

@@ -1,0 +1,103 @@
+// MetricBatch: batched evaluation of many concurrent metric-focus pairs.
+//
+// The Performance Consultant keeps tens of probes live at once and ticks
+// them all to the same virtual time. Advancing each MetricInstance
+// separately walks every rank's cursor once per instance per tick; the
+// batch inverts the loop — each rank's new intervals are visited once per
+// tick and fanned out to every active slot whose filter selects that rank.
+//
+// Slots share one time cursor and one per-rank position, so a tick costs
+// O(new intervals * matching slots) instead of
+// O(instances * (ranks + new intervals)).
+//
+// Equivalence: with eval_threads <= 1 a slot's value is accumulated in
+// exactly the same order as a MetricInstance advanced over the same tick
+// pattern (rank-major, interval order), so values are bit-identical to the
+// scan path. With eval_threads > 1 ranks are partitioned across a
+// persistent worker pool and per-thread partial sums are reduced in thread
+// order — deterministic for a fixed thread count, but grouped differently,
+// so values may differ from the sequential path in the last few ulps.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "metrics/trace_view.h"
+
+namespace histpc::metrics {
+
+class MetricBatch {
+ public:
+  using SlotId = std::int32_t;
+
+  /// `eval_threads` > 1 enables the rank-parallel mode with that many
+  /// workers (capped at the rank count).
+  explicit MetricBatch(const TraceView& view, int eval_threads = 0);
+  ~MetricBatch();
+  MetricBatch(const MetricBatch&) = delete;
+  MetricBatch& operator=(const MetricBatch&) = delete;
+
+  /// Register a metric-focus pair observing data from `start_time` on.
+  /// Keeps a pointer to `filter`; the caller guarantees it outlives the
+  /// batch (TraceView::compiled references qualify).
+  SlotId add(MetricKind metric, const FocusFilter& filter, double start_time);
+  void remove(SlotId id);
+
+  /// Accumulate every active slot's data in [cursor, to). All slots share
+  /// the cursor; backwards targets are no-ops.
+  void advance_all(double to);
+
+  double value(SlotId id) const;
+  /// Length of the observed window: cursor minus slot start (never negative).
+  double observed(SlotId id) const;
+  /// value / (observed * selected ranks); 0 when nothing observed.
+  double fraction(SlotId id) const;
+
+  std::size_t num_active() const { return num_active_; }
+  double cursor() const { return cursor_; }
+
+ private:
+  struct Slot {
+    const FocusFilter* filter = nullptr;
+    MetricKind metric = MetricKind::CpuTime;
+    double start = 0.0;
+    double value = 0.0;
+    bool active = false;
+  };
+
+  /// Walk rank `r`'s new intervals in [cursor_, to) and fan each out to the
+  /// rank's active slots; `accum(slot, seconds)` receives the matches.
+  template <typename Accum>
+  void process_rank(std::size_t r, double to, Accum&& accum);
+
+  void rebuild_rank_slots();
+  void advance_sequential(double to);
+  void advance_parallel(double to);
+  void worker_loop(std::size_t tid);
+
+  const TraceView& view_;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> rank_pos_;          ///< shared per-rank cursor
+  std::vector<std::vector<SlotId>> rank_slots_;  ///< active slots per rank
+  bool rank_slots_dirty_ = true;
+  double cursor_ = 0.0;
+  std::size_t num_active_ = 0;
+
+  // Persistent worker pool (only spun up when eval_threads > 1). Workers
+  // own disjoint rank chunks; each accumulates into its partials_ row,
+  // which the caller reduces in thread order after the tick.
+  std::size_t nthreads_ = 0;
+  std::vector<std::thread> workers_;
+  std::vector<std::vector<double>> partials_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  double job_to_ = 0.0;
+  bool shutdown_ = false;
+};
+
+}  // namespace histpc::metrics

@@ -13,13 +13,15 @@ MetricInstance::MetricInstance(const TraceView& view, MetricKind metric, FocusFi
       cursor_(start_time),
       rank_pos_(static_cast<std::size_t>(view.trace().num_ranks()), 0) {
   // Skip intervals that end before the start time so the first advance()
-  // does not scan history invisible to this instance.
+  // does not scan history invisible to this instance. End times are sorted
+  // (ExecutionTrace::validate), so the start position is a binary search.
   const auto& ranks = view_.trace().ranks;
   for (std::size_t r = 0; r < ranks.size(); ++r) {
     const auto& ivs = ranks[r].intervals;
-    std::size_t pos = 0;
-    while (pos < ivs.size() && ivs[pos].t1 <= start_) ++pos;
-    rank_pos_[r] = pos;
+    rank_pos_[r] = static_cast<std::size_t>(
+        std::upper_bound(ivs.begin(), ivs.end(), start_,
+                         [](double t, const simmpi::Interval& iv) { return t < iv.t1; }) -
+        ivs.begin());
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "metrics/interval_index.h"
 #include "metrics/metric_instance.h"
 #include "util/strings.h"
 
@@ -40,6 +41,21 @@ bool FocusFilter::matches(const Interval& iv, MetricKind metric) const {
   return funcs[static_cast<std::size_t>(iv.func)];
 }
 
+void FocusFilter::finalize() {
+  num_selected_ranks =
+      static_cast<int>(std::count(ranks.begin(), ranks.end(), true));
+  all_funcs =
+      accept_nofunc && std::find(funcs.begin(), funcs.end(), false) == funcs.end();
+  selected_funcs.clear();
+  if (!all_funcs)
+    for (std::size_t f = 0; f < funcs.size(); ++f)
+      if (funcs[f]) selected_funcs.push_back(static_cast<std::int32_t>(f));
+  selected_syncs.clear();
+  if (!sync_unconstrained)
+    for (std::size_t s = 0; s < sync_objects.size(); ++s)
+      if (sync_objects[s]) selected_syncs.push_back(static_cast<std::int32_t>(s));
+}
+
 TraceView::TraceView(const ExecutionTrace& trace)
     : trace_(trace), db_(ResourceDb::with_standard_hierarchies()) {
   auto& code = db_.hierarchy(resources::kCodeHierarchy);
@@ -55,7 +71,10 @@ TraceView::TraceView(const ExecutionTrace& trace)
   for (const auto& s : trace.sync_objects) sync.add_path("/SyncObject/" + s);
 
   compute_discovery_times();
+  index_ = std::make_unique<IntervalIndex>(trace_);
 }
+
+TraceView::~TraceView() = default;
 
 void TraceView::compute_discovery_times() {
   // Machine and process resources are known at startup.
@@ -156,13 +175,30 @@ FocusFilter TraceView::compile(const Focus& focus) const {
     // the PC never refines into them because the db lacks them.
   }
 
-  filter.num_selected_ranks = static_cast<int>(
-      std::count(filter.ranks.begin(), filter.ranks.end(), true));
+  filter.finalize();
   return filter;
 }
 
+const FocusFilter& TraceView::compiled(const Focus& focus) const {
+  std::string key = focus.name();
+  auto it = filter_cache_.find(key);
+  if (it == filter_cache_.end())
+    it = filter_cache_.emplace(std::move(key), compile(focus)).first;
+  return it->second;
+}
+
 double TraceView::query(MetricKind metric, const Focus& focus, double t0, double t1) const {
-  MetricInstance inst(*this, metric, compile(focus), t0);
+  return query(metric, compiled(focus), t0, t1);
+}
+
+double TraceView::query(MetricKind metric, const FocusFilter& filter, double t0,
+                        double t1) const {
+  return index_->query(filter, metric, t0, t1);
+}
+
+double TraceView::query_scan(MetricKind metric, const FocusFilter& filter, double t0,
+                             double t1) const {
+  MetricInstance inst(*this, metric, filter, t0);
   inst.advance(t1);
   return inst.value();
 }
@@ -172,7 +208,7 @@ std::vector<double> TraceView::fraction_series(MetricKind metric, const Focus& f
                                                std::size_t bins) const {
   std::vector<double> out;
   if (bins == 0 || t1 <= t0) return out;
-  const FocusFilter filter = compile(focus);
+  const FocusFilter& filter = compiled(focus);
   MetricInstance inst(*this, metric, filter, t0);
   const double bin_width = (t1 - t0) / static_cast<double>(bins);
   const double denom = bin_width * std::max(1, filter.num_selected_ranks);
@@ -187,12 +223,14 @@ std::vector<double> TraceView::fraction_series(MetricKind metric, const Focus& f
 }
 
 double TraceView::fraction(MetricKind metric, const Focus& focus, double t0, double t1) const {
-  FocusFilter filter = compile(focus);
-  MetricInstance inst(*this, metric, filter, t0);
-  inst.advance(t1);
+  return fraction(metric, compiled(focus), t0, t1);
+}
+
+double TraceView::fraction(MetricKind metric, const FocusFilter& filter, double t0,
+                           double t1) const {
   const double window = t1 - t0;
   if (window <= 0.0 || filter.num_selected_ranks == 0) return 0.0;
-  return inst.value() / (window * filter.num_selected_ranks);
+  return query(metric, filter, t0, t1) / (window * filter.num_selected_ranks);
 }
 
 }  // namespace histpc::metrics

@@ -1,8 +1,11 @@
 // TraceView: the bridge between a simulated execution and the diagnosis
-// layers. It derives the program's resource hierarchies from the trace and
-// compiles foci into fast per-interval filters.
+// layers. It derives the program's resource hierarchies from the trace,
+// compiles foci into fast per-interval filters (cached by canonical focus
+// name), and answers window queries through a columnar interval index.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +16,8 @@
 #include "simmpi/trace.h"
 
 namespace histpc::metrics {
+
+class IntervalIndex;
 
 /// A Focus compiled against one trace: constant-time per-interval matching.
 struct FocusFilter {
@@ -29,32 +34,59 @@ struct FocusFilter {
 
   int num_selected_ranks = 0;
 
+  /// Derived selections (finalize() computes them; the interval index
+  /// dispatches on them instead of re-scanning the bitmaps per query).
+  bool all_funcs = true;                     ///< every function + nofunc accepted
+  std::vector<std::int32_t> selected_funcs;  ///< accepted FuncIds when !all_funcs
+  std::vector<std::int32_t> selected_syncs;  ///< accepted ids when !sync_unconstrained
+
   bool rank_selected(int rank) const { return ranks[static_cast<std::size_t>(rank)]; }
 
   /// Does `iv` contribute to `metric` under this filter?
   bool matches(const simmpi::Interval& iv, MetricKind metric) const;
+
+  /// Recompute num_selected_ranks and the derived selection lists from the
+  /// bitmaps. TraceView::compile calls this; hand-built filters must too
+  /// before reaching the interval index.
+  void finalize();
 };
 
 class TraceView {
  public:
-  /// Builds resource hierarchies from the trace. The view keeps a reference
-  /// to `trace`; the trace must outlive the view.
+  /// Builds resource hierarchies and the interval index from the trace.
+  /// The view keeps a reference to `trace`; the trace must outlive the
+  /// view.
   explicit TraceView(const simmpi::ExecutionTrace& trace);
+  ~TraceView();
+  TraceView(TraceView&&) = default;
 
   const simmpi::ExecutionTrace& trace() const { return trace_; }
   const resources::ResourceDb& resources() const { return db_; }
+  const IntervalIndex& index() const { return *index_; }
 
   /// Compile `focus` for interval matching. Parts naming resources missing
   /// from this trace select nothing (relevant when directives from another
   /// run were not fully mapped).
   FocusFilter compile(const resources::Focus& focus) const;
 
+  /// Cached compile: one filter per canonical focus name for the lifetime
+  /// of the view. The returned reference is stable (never invalidated by
+  /// later calls). Not thread-safe; call from the owning thread only.
+  const FocusFilter& compiled(const resources::Focus& focus) const;
+
   /// Direct whole-window query: metric seconds accumulated in [t0, t1).
-  /// Used postmortem and by tests; the online path uses MetricInstance.
+  /// Served by the interval index in O(log n) per rank.
   double query(MetricKind metric, const resources::Focus& focus, double t0, double t1) const;
+  /// Overload for callers that already hold a compiled filter.
+  double query(MetricKind metric, const FocusFilter& filter, double t0, double t1) const;
+
+  /// Reference oracle: the same window query answered by a linear
+  /// MetricInstance scan. Kept for property-testing the indexed path.
+  double query_scan(MetricKind metric, const FocusFilter& filter, double t0, double t1) const;
 
   /// Fraction of execution: query(...) normalized by window * selected ranks.
   double fraction(MetricKind metric, const resources::Focus& focus, double t0, double t1) const;
+  double fraction(MetricKind metric, const FocusFilter& filter, double t0, double t1) const;
 
   /// Time histogram (Paradyn's phase view): the metric's fraction of
   /// execution in each of `bins` equal slices of [t0, t1). Useful for
@@ -75,6 +107,9 @@ class TraceView {
   const simmpi::ExecutionTrace& trace_;
   resources::ResourceDb db_;
   std::unordered_map<std::string, double> discovery_;
+  std::unique_ptr<IntervalIndex> index_;
+  /// Keyed by canonical focus name; node-based map keeps references stable.
+  mutable std::unordered_map<std::string, FocusFilter> filter_cache_;
 };
 
 }  // namespace histpc::metrics

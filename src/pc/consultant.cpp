@@ -37,7 +37,8 @@ PerformanceConsultant::PerformanceConsultant(const metrics::TraceView& view, PcC
       config_(std::move(config)),
       directives_(std::move(directives)),
       instr_(view, config_.cost_model, config_.insertion_latency,
-             config_.perturbation_factor),
+             config_.perturbation_factor,
+             instr::EvalConfig{config_.batched_eval, config_.eval_threads}),
       shg_(config_.hypotheses) {
   if (config_.tick <= 0 || config_.min_observation <= 0)
     throw std::invalid_argument("PcConfig: tick and min_observation must be positive");

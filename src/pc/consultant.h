@@ -65,6 +65,15 @@ struct PcConfig {
   /// time. Off by default (resources known up front, as when a static
   /// analysis pre-populated the hierarchies).
   bool respect_discovery_times = false;
+  /// Metric-evaluation engine. Batched (default) services every active
+  /// probe with one pass over each rank's new intervals per tick; off =
+  /// the reference per-instance scan. Results are bit-identical
+  /// (property-tested); the scan engine is kept as the oracle.
+  bool batched_eval = true;
+  /// > 1 enables rank-parallel batched evaluation with that many worker
+  /// threads. Values can differ from the sequential engines in the last
+  /// few ulps (floating-point summation order), never beyond.
+  int eval_threads = 0;
 };
 
 struct BottleneckReport {

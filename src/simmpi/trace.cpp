@@ -30,6 +30,12 @@ ExecutionTrace::StateTotals ExecutionTrace::totals() const {
   return sum;
 }
 
+std::size_t ExecutionTrace::total_intervals() const {
+  std::size_t n = 0;
+  for (const RankTrace& rt : ranks) n += rt.intervals.size();
+  return n;
+}
+
 void ExecutionTrace::validate() const {
   if (static_cast<int>(ranks.size()) != machine.num_ranks())
     throw std::logic_error("trace: rank count does not match machine spec");
@@ -43,6 +49,9 @@ void ExecutionTrace::validate() const {
                                std::to_string(r));
       if (iv.t0 + 1e-9 < prev_end)
         throw std::logic_error("trace: overlapping intervals on rank " + std::to_string(r));
+      if (iv.t1 + 1e-9 < prev_end)
+        throw std::logic_error("trace: interval end times not sorted on rank " +
+                               std::to_string(r));
       if (iv.func != kNoFunc &&
           (iv.func < 0 || iv.func >= static_cast<FuncId>(functions.size())))
         throw std::logic_error("trace: invalid function id");

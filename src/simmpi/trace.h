@@ -37,7 +37,10 @@ struct Interval {
 };
 
 struct RankTrace {
-  std::vector<Interval> intervals;  ///< sorted by time, non-overlapping
+  /// Sorted by time and non-overlapping: both t0 and t1 are non-decreasing
+  /// across the vector. The metric layer's interval index binary-searches
+  /// these columns; validate() enforces the invariant.
+  std::vector<Interval> intervals;
   double end_time = 0.0;
 };
 
@@ -52,6 +55,10 @@ struct ExecutionTrace {
   double duration = 0.0;
 
   int num_ranks() const { return static_cast<int>(ranks.size()); }
+
+  /// Sum of interval counts across ranks (sizing hook for the metric
+  /// layer's columnar index).
+  std::size_t total_intervals() const;
 
   /// Total time each rank spent in each state; index [rank][state].
   struct StateTotals {
