@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1a2_detail.dir/bench/a1a2_detail.cpp.o"
+  "CMakeFiles/a1a2_detail.dir/bench/a1a2_detail.cpp.o.d"
+  "bench/a1a2_detail"
+  "bench/a1a2_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1a2_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a1a2_detail.
+# This may be replaced when dependencies are built.

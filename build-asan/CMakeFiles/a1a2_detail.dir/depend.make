@@ -1,0 +1,2 @@
+# Empty dependencies file for a1a2_detail.
+# This may be replaced when dependencies are built.

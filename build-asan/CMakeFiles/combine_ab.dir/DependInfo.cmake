@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/combine_ab.cpp" "CMakeFiles/combine_ab.dir/bench/combine_ab.cpp.o" "gcc" "CMakeFiles/combine_ab.dir/bench/combine_ab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/histpc_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/history/CMakeFiles/histpc_history.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/apps/CMakeFiles/histpc_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pc/CMakeFiles/histpc_pc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/instr/CMakeFiles/histpc_instr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/metrics/CMakeFiles/histpc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simmpi/CMakeFiles/histpc_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/resources/CMakeFiles/histpc_resources.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/histpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

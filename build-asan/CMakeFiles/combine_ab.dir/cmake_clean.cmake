@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combine_ab.dir/bench/combine_ab.cpp.o"
+  "CMakeFiles/combine_ab.dir/bench/combine_ab.cpp.o.d"
+  "bench/combine_ab"
+  "bench/combine_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combine_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

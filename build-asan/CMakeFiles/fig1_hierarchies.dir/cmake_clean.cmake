@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_hierarchies.dir/bench/fig1_hierarchies.cpp.o"
+  "CMakeFiles/fig1_hierarchies.dir/bench/fig1_hierarchies.cpp.o.d"
+  "bench/fig1_hierarchies"
+  "bench/fig1_hierarchies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_hierarchies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_shg.dir/bench/fig2_shg.cpp.o"
+  "CMakeFiles/fig2_shg.dir/bench/fig2_shg.cpp.o.d"
+  "bench/fig2_shg"
+  "bench/fig2_shg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_shg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

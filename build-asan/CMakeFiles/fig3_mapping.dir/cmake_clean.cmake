@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mapping.dir/bench/fig3_mapping.cpp.o"
+  "CMakeFiles/fig3_mapping.dir/bench/fig3_mapping.cpp.o.d"
+  "bench/fig3_mapping"
+  "bench/fig3_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_thresholds.dir/bench/ocean_thresholds.cpp.o"
+  "CMakeFiles/ocean_thresholds.dir/bench/ocean_thresholds.cpp.o.d"
+  "bench/ocean_thresholds"
+  "bench/ocean_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_directives.dir/bench/table1_directives.cpp.o"
+  "CMakeFiles/table1_directives.dir/bench/table1_directives.cpp.o.d"
+  "bench/table1_directives"
+  "bench/table1_directives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_directives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_thresholds.dir/bench/table2_thresholds.cpp.o"
+  "CMakeFiles/table2_thresholds.dir/bench/table2_thresholds.cpp.o.d"
+  "bench/table2_thresholds"
+  "bench/table2_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

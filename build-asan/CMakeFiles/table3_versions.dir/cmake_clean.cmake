@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_versions.dir/bench/table3_versions.cpp.o"
+  "CMakeFiles/table3_versions.dir/bench/table3_versions.cpp.o.d"
+  "bench/table3_versions"
+  "bench/table3_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_similarity.dir/bench/table4_similarity.cpp.o"
+  "CMakeFiles/table4_similarity.dir/bench/table4_similarity.cpp.o.d"
+  "bench/table4_similarity"
+  "bench/table4_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_report.dir/poisson_report.cpp.o"
+  "CMakeFiles/poisson_report.dir/poisson_report.cpp.o.d"
+  "poisson_report"
+  "poisson_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

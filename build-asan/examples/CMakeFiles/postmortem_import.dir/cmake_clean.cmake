@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postmortem_import.dir/postmortem_import.cpp.o"
+  "CMakeFiles/postmortem_import.dir/postmortem_import.cpp.o.d"
+  "postmortem_import"
+  "postmortem_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postmortem_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

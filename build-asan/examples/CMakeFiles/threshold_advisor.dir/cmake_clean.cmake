@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_advisor.dir/threshold_advisor.cpp.o"
+  "CMakeFiles/threshold_advisor.dir/threshold_advisor.cpp.o.d"
+  "threshold_advisor"
+  "threshold_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

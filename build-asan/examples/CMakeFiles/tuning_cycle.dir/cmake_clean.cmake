@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_cycle.dir/tuning_cycle.cpp.o"
+  "CMakeFiles/tuning_cycle.dir/tuning_cycle.cpp.o.d"
+  "tuning_cycle"
+  "tuning_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

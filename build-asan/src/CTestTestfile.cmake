@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("resources")
+subdirs("simmpi")
+subdirs("metrics")
+subdirs("instr")
+subdirs("pc")
+subdirs("history")
+subdirs("apps")
+subdirs("core")
+subdirs("cli")

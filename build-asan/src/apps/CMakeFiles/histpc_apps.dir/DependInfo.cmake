@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/misc_apps.cpp" "src/apps/CMakeFiles/histpc_apps.dir/misc_apps.cpp.o" "gcc" "src/apps/CMakeFiles/histpc_apps.dir/misc_apps.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/apps/CMakeFiles/histpc_apps.dir/ocean.cpp.o" "gcc" "src/apps/CMakeFiles/histpc_apps.dir/ocean.cpp.o.d"
+  "/root/repo/src/apps/poisson.cpp" "src/apps/CMakeFiles/histpc_apps.dir/poisson.cpp.o" "gcc" "src/apps/CMakeFiles/histpc_apps.dir/poisson.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/histpc_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/histpc_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/seismic.cpp" "src/apps/CMakeFiles/histpc_apps.dir/seismic.cpp.o" "gcc" "src/apps/CMakeFiles/histpc_apps.dir/seismic.cpp.o.d"
+  "/root/repo/src/apps/taskfarm.cpp" "src/apps/CMakeFiles/histpc_apps.dir/taskfarm.cpp.o" "gcc" "src/apps/CMakeFiles/histpc_apps.dir/taskfarm.cpp.o.d"
+  "/root/repo/src/apps/workload_spec.cpp" "src/apps/CMakeFiles/histpc_apps.dir/workload_spec.cpp.o" "gcc" "src/apps/CMakeFiles/histpc_apps.dir/workload_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/simmpi/CMakeFiles/histpc_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/histpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_apps.dir/misc_apps.cpp.o"
+  "CMakeFiles/histpc_apps.dir/misc_apps.cpp.o.d"
+  "CMakeFiles/histpc_apps.dir/ocean.cpp.o"
+  "CMakeFiles/histpc_apps.dir/ocean.cpp.o.d"
+  "CMakeFiles/histpc_apps.dir/poisson.cpp.o"
+  "CMakeFiles/histpc_apps.dir/poisson.cpp.o.d"
+  "CMakeFiles/histpc_apps.dir/registry.cpp.o"
+  "CMakeFiles/histpc_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/histpc_apps.dir/seismic.cpp.o"
+  "CMakeFiles/histpc_apps.dir/seismic.cpp.o.d"
+  "CMakeFiles/histpc_apps.dir/taskfarm.cpp.o"
+  "CMakeFiles/histpc_apps.dir/taskfarm.cpp.o.d"
+  "CMakeFiles/histpc_apps.dir/workload_spec.cpp.o"
+  "CMakeFiles/histpc_apps.dir/workload_spec.cpp.o.d"
+  "libhistpc_apps.a"
+  "libhistpc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc.dir/main.cpp.o"
+  "CMakeFiles/histpc.dir/main.cpp.o.d"
+  "histpc"
+  "histpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_cli.dir/args.cpp.o"
+  "CMakeFiles/histpc_cli.dir/args.cpp.o.d"
+  "CMakeFiles/histpc_cli.dir/commands.cpp.o"
+  "CMakeFiles/histpc_cli.dir/commands.cpp.o.d"
+  "libhistpc_cli.a"
+  "libhistpc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_core.dir/session.cpp.o"
+  "CMakeFiles/histpc_core.dir/session.cpp.o.d"
+  "libhistpc_core.a"
+  "libhistpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/history/analysis.cpp" "src/history/CMakeFiles/histpc_history.dir/analysis.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/analysis.cpp.o.d"
+  "/root/repo/src/history/combiner.cpp" "src/history/CMakeFiles/histpc_history.dir/combiner.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/combiner.cpp.o.d"
+  "/root/repo/src/history/compare.cpp" "src/history/CMakeFiles/histpc_history.dir/compare.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/compare.cpp.o.d"
+  "/root/repo/src/history/execution_map.cpp" "src/history/CMakeFiles/histpc_history.dir/execution_map.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/execution_map.cpp.o.d"
+  "/root/repo/src/history/experiment.cpp" "src/history/CMakeFiles/histpc_history.dir/experiment.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/experiment.cpp.o.d"
+  "/root/repo/src/history/generator.cpp" "src/history/CMakeFiles/histpc_history.dir/generator.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/generator.cpp.o.d"
+  "/root/repo/src/history/mapper.cpp" "src/history/CMakeFiles/histpc_history.dir/mapper.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/mapper.cpp.o.d"
+  "/root/repo/src/history/postmortem.cpp" "src/history/CMakeFiles/histpc_history.dir/postmortem.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/postmortem.cpp.o.d"
+  "/root/repo/src/history/report.cpp" "src/history/CMakeFiles/histpc_history.dir/report.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/report.cpp.o.d"
+  "/root/repo/src/history/store.cpp" "src/history/CMakeFiles/histpc_history.dir/store.cpp.o" "gcc" "src/history/CMakeFiles/histpc_history.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/pc/CMakeFiles/histpc_pc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/metrics/CMakeFiles/histpc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/instr/CMakeFiles/histpc_instr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simmpi/CMakeFiles/histpc_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/resources/CMakeFiles/histpc_resources.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/histpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_history.dir/analysis.cpp.o"
+  "CMakeFiles/histpc_history.dir/analysis.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/combiner.cpp.o"
+  "CMakeFiles/histpc_history.dir/combiner.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/compare.cpp.o"
+  "CMakeFiles/histpc_history.dir/compare.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/execution_map.cpp.o"
+  "CMakeFiles/histpc_history.dir/execution_map.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/experiment.cpp.o"
+  "CMakeFiles/histpc_history.dir/experiment.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/generator.cpp.o"
+  "CMakeFiles/histpc_history.dir/generator.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/mapper.cpp.o"
+  "CMakeFiles/histpc_history.dir/mapper.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/postmortem.cpp.o"
+  "CMakeFiles/histpc_history.dir/postmortem.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/report.cpp.o"
+  "CMakeFiles/histpc_history.dir/report.cpp.o.d"
+  "CMakeFiles/histpc_history.dir/store.cpp.o"
+  "CMakeFiles/histpc_history.dir/store.cpp.o.d"
+  "libhistpc_history.a"
+  "libhistpc_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

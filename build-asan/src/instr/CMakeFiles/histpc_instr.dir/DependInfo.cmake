@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instr/cost_model.cpp" "src/instr/CMakeFiles/histpc_instr.dir/cost_model.cpp.o" "gcc" "src/instr/CMakeFiles/histpc_instr.dir/cost_model.cpp.o.d"
+  "/root/repo/src/instr/instrumentation.cpp" "src/instr/CMakeFiles/histpc_instr.dir/instrumentation.cpp.o" "gcc" "src/instr/CMakeFiles/histpc_instr.dir/instrumentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/metrics/CMakeFiles/histpc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simmpi/CMakeFiles/histpc_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/resources/CMakeFiles/histpc_resources.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/histpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

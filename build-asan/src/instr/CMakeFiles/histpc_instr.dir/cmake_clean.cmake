@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_instr.dir/cost_model.cpp.o"
+  "CMakeFiles/histpc_instr.dir/cost_model.cpp.o.d"
+  "CMakeFiles/histpc_instr.dir/instrumentation.cpp.o"
+  "CMakeFiles/histpc_instr.dir/instrumentation.cpp.o.d"
+  "libhistpc_instr.a"
+  "libhistpc_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

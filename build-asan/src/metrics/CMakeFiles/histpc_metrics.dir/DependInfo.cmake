@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/interval_index.cpp" "src/metrics/CMakeFiles/histpc_metrics.dir/interval_index.cpp.o" "gcc" "src/metrics/CMakeFiles/histpc_metrics.dir/interval_index.cpp.o.d"
+  "/root/repo/src/metrics/metric.cpp" "src/metrics/CMakeFiles/histpc_metrics.dir/metric.cpp.o" "gcc" "src/metrics/CMakeFiles/histpc_metrics.dir/metric.cpp.o.d"
+  "/root/repo/src/metrics/metric_batch.cpp" "src/metrics/CMakeFiles/histpc_metrics.dir/metric_batch.cpp.o" "gcc" "src/metrics/CMakeFiles/histpc_metrics.dir/metric_batch.cpp.o.d"
+  "/root/repo/src/metrics/metric_instance.cpp" "src/metrics/CMakeFiles/histpc_metrics.dir/metric_instance.cpp.o" "gcc" "src/metrics/CMakeFiles/histpc_metrics.dir/metric_instance.cpp.o.d"
+  "/root/repo/src/metrics/trace_view.cpp" "src/metrics/CMakeFiles/histpc_metrics.dir/trace_view.cpp.o" "gcc" "src/metrics/CMakeFiles/histpc_metrics.dir/trace_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/simmpi/CMakeFiles/histpc_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/resources/CMakeFiles/histpc_resources.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/histpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

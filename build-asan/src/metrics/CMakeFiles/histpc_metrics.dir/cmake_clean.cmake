@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_metrics.dir/interval_index.cpp.o"
+  "CMakeFiles/histpc_metrics.dir/interval_index.cpp.o.d"
+  "CMakeFiles/histpc_metrics.dir/metric.cpp.o"
+  "CMakeFiles/histpc_metrics.dir/metric.cpp.o.d"
+  "CMakeFiles/histpc_metrics.dir/metric_batch.cpp.o"
+  "CMakeFiles/histpc_metrics.dir/metric_batch.cpp.o.d"
+  "CMakeFiles/histpc_metrics.dir/metric_instance.cpp.o"
+  "CMakeFiles/histpc_metrics.dir/metric_instance.cpp.o.d"
+  "CMakeFiles/histpc_metrics.dir/trace_view.cpp.o"
+  "CMakeFiles/histpc_metrics.dir/trace_view.cpp.o.d"
+  "libhistpc_metrics.a"
+  "libhistpc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_pc.dir/consultant.cpp.o"
+  "CMakeFiles/histpc_pc.dir/consultant.cpp.o.d"
+  "CMakeFiles/histpc_pc.dir/directives.cpp.o"
+  "CMakeFiles/histpc_pc.dir/directives.cpp.o.d"
+  "CMakeFiles/histpc_pc.dir/hypothesis.cpp.o"
+  "CMakeFiles/histpc_pc.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/histpc_pc.dir/shg.cpp.o"
+  "CMakeFiles/histpc_pc.dir/shg.cpp.o.d"
+  "libhistpc_pc.a"
+  "libhistpc_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

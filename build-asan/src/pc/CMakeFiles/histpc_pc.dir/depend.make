@@ -1,0 +1,2 @@
+# Empty dependencies file for histpc_pc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/focus.cpp" "src/resources/CMakeFiles/histpc_resources.dir/focus.cpp.o" "gcc" "src/resources/CMakeFiles/histpc_resources.dir/focus.cpp.o.d"
+  "/root/repo/src/resources/resource_db.cpp" "src/resources/CMakeFiles/histpc_resources.dir/resource_db.cpp.o" "gcc" "src/resources/CMakeFiles/histpc_resources.dir/resource_db.cpp.o.d"
+  "/root/repo/src/resources/resource_hierarchy.cpp" "src/resources/CMakeFiles/histpc_resources.dir/resource_hierarchy.cpp.o" "gcc" "src/resources/CMakeFiles/histpc_resources.dir/resource_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/histpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

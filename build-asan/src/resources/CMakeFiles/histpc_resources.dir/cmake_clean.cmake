@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_resources.dir/focus.cpp.o"
+  "CMakeFiles/histpc_resources.dir/focus.cpp.o.d"
+  "CMakeFiles/histpc_resources.dir/resource_db.cpp.o"
+  "CMakeFiles/histpc_resources.dir/resource_db.cpp.o.d"
+  "CMakeFiles/histpc_resources.dir/resource_hierarchy.cpp.o"
+  "CMakeFiles/histpc_resources.dir/resource_hierarchy.cpp.o.d"
+  "libhistpc_resources.a"
+  "libhistpc_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

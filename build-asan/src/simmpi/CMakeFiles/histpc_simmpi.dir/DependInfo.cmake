@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/program.cpp" "src/simmpi/CMakeFiles/histpc_simmpi.dir/program.cpp.o" "gcc" "src/simmpi/CMakeFiles/histpc_simmpi.dir/program.cpp.o.d"
+  "/root/repo/src/simmpi/simulator.cpp" "src/simmpi/CMakeFiles/histpc_simmpi.dir/simulator.cpp.o" "gcc" "src/simmpi/CMakeFiles/histpc_simmpi.dir/simulator.cpp.o.d"
+  "/root/repo/src/simmpi/trace.cpp" "src/simmpi/CMakeFiles/histpc_simmpi.dir/trace.cpp.o" "gcc" "src/simmpi/CMakeFiles/histpc_simmpi.dir/trace.cpp.o.d"
+  "/root/repo/src/simmpi/trace_io.cpp" "src/simmpi/CMakeFiles/histpc_simmpi.dir/trace_io.cpp.o" "gcc" "src/simmpi/CMakeFiles/histpc_simmpi.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/histpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

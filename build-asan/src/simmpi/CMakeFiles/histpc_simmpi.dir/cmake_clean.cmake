@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_simmpi.dir/program.cpp.o"
+  "CMakeFiles/histpc_simmpi.dir/program.cpp.o.d"
+  "CMakeFiles/histpc_simmpi.dir/simulator.cpp.o"
+  "CMakeFiles/histpc_simmpi.dir/simulator.cpp.o.d"
+  "CMakeFiles/histpc_simmpi.dir/trace.cpp.o"
+  "CMakeFiles/histpc_simmpi.dir/trace.cpp.o.d"
+  "CMakeFiles/histpc_simmpi.dir/trace_io.cpp.o"
+  "CMakeFiles/histpc_simmpi.dir/trace_io.cpp.o.d"
+  "libhistpc_simmpi.a"
+  "libhistpc_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histpc_util.dir/csv.cpp.o"
+  "CMakeFiles/histpc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/histpc_util.dir/json.cpp.o"
+  "CMakeFiles/histpc_util.dir/json.cpp.o.d"
+  "CMakeFiles/histpc_util.dir/log.cpp.o"
+  "CMakeFiles/histpc_util.dir/log.cpp.o.d"
+  "CMakeFiles/histpc_util.dir/strings.cpp.o"
+  "CMakeFiles/histpc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/histpc_util.dir/table.cpp.o"
+  "CMakeFiles/histpc_util.dir/table.cpp.o.d"
+  "libhistpc_util.a"
+  "libhistpc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histpc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instr_test.dir/instr_test.cpp.o"
+  "CMakeFiles/instr_test.dir/instr_test.cpp.o.d"
+  "instr_test"
+  "instr_test.pdb"
+  "instr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

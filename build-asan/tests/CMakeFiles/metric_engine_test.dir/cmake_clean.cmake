@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_engine_test.dir/metric_engine_test.cpp.o"
+  "CMakeFiles/metric_engine_test.dir/metric_engine_test.cpp.o.d"
+  "metric_engine_test"
+  "metric_engine_test.pdb"
+  "metric_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_test.dir/simmpi_test.cpp.o"
+  "CMakeFiles/simmpi_test.dir/simmpi_test.cpp.o.d"
+  "simmpi_test"
+  "simmpi_test.pdb"
+  "simmpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

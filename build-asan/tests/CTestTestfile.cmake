@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/resources_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/simmpi_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/metric_engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/instr_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pc_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/history_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cli_test[1]_include.cmake")
