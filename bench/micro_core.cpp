@@ -20,6 +20,7 @@
 #include "metrics/trace_view.h"
 #include "pc/consultant.h"
 #include "pc/shg.h"
+#include "telemetry/tracer.h"
 #include "util/json.h"
 
 using namespace histpc;
@@ -201,6 +202,21 @@ void BM_FullDiagnosis(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDiagnosis);
 
+void BM_FullDiagnosisTraced(benchmark::State& state) {
+  // Same search with a live event sink; the delta against BM_FullDiagnosis
+  // is the all-in cost of event recording.
+  const auto& view = shared_view();
+  for (auto _ : state) {
+    telemetry::VectorSink sink;
+    pc::PcConfig config;
+    config.trace_sink = &sink;
+    pc::PerformanceConsultant consultant(view, config);
+    benchmark::DoNotOptimize(consultant.run());
+    state.counters["events"] = static_cast<double>(sink.size());
+  }
+}
+BENCHMARK(BM_FullDiagnosisTraced);
+
 void BM_FullDiagnosisScanEval(benchmark::State& state) {
   // Same search with the reference per-instance scan engine.
   const auto& view = shared_view();
@@ -331,6 +347,17 @@ void write_bench_metrics() {
   util::Json table1 = util::Json::object();
   table1["end_to_end_seconds"] = table1_s;
   out["table1_directives"] = std::move(table1);
+
+  // Telemetry volume of one traced diagnosis over the shared view.
+  telemetry::VectorSink sink;
+  pc::PcConfig traced_config;
+  traced_config.trace_sink = &sink;
+  pc::PerformanceConsultant consultant(view, traced_config);
+  const pc::DiagnosisResult traced = consultant.run();
+  util::Json telemetry_section = util::Json::object();
+  telemetry_section["events_recorded"] = static_cast<double>(sink.size());
+  telemetry_section["summary"] = traced.telemetry.to_json();
+  out["telemetry"] = std::move(telemetry_section);
 
   const std::string path = "BENCH_metrics.json";
   util::write_file(path, out.dump(2) + "\n");

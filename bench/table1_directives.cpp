@@ -5,7 +5,10 @@
 //
 // Workload: the 2-D Poisson application (version C) on four nodes,
 // identical thresholds in every run (Section 4.1).
+#include <filesystem>
+
 #include "bench_common.h"
+#include "util/json.h"
 
 using namespace histpc;
 
@@ -97,6 +100,7 @@ int main() {
   util::TablePrinter pairs_table({"Variant", "Pairs Tested", "Bottlenecks Found"});
 
   std::vector<std::vector<double>> times(variants.size());
+  util::Json telemetry_by_variant = util::Json::object();
   for (std::size_t i = 0; i < variants.size(); ++i) {
     pc::DiagnosisResult result = [&] {
       if (!variants[i].use_directives) return base;
@@ -110,6 +114,19 @@ int main() {
     for (double pct : percents) times[i].push_back(result.time_to_find(reference, pct));
     pairs_table.add_row({variants[i].name, std::to_string(result.stats.pairs_tested),
                          std::to_string(result.stats.bottlenecks)});
+    telemetry_by_variant[variants[i].name] = result.telemetry.to_json();
+  }
+
+  // Merge the per-variant summaries into BENCH_metrics.json (micro_core
+  // writes the other sections; keep whatever is already there).
+  {
+    const std::string path = "BENCH_metrics.json";
+    util::Json metrics = std::filesystem::exists(path)
+                             ? util::Json::parse(util::read_file(path))
+                             : util::Json::object();
+    metrics["table1_variant_telemetry"] = std::move(telemetry_by_variant);
+    util::write_file(path, metrics.dump(2) + "\n");
+    std::printf("wrote per-variant telemetry summaries to %s\n\n", path.c_str());
   }
 
   for (std::size_t p = 0; p < percents.size(); ++p) {

@@ -1,6 +1,9 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -16,6 +19,8 @@
 #include "history/report.h"
 #include "history/store.h"
 #include "simmpi/trace_io.h"
+#include "telemetry/event.h"
+#include "telemetry/tracer.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -39,7 +44,8 @@ void print_result_summary(std::ostream& out, const pc::DiagnosisResult& result) 
       << "pruned candidates:" << " " << result.stats.pruned_candidates << "\n"
       << "search ended at:  " << util::fmt_double(result.stats.end_time, 1) << "s\n"
       << "last true found:  " << util::fmt_double(result.stats.last_true_time, 1) << "s\n"
-      << "peak instr. cost: " << util::fmt_percent(result.stats.peak_cost, 1) << "\n";
+      << "peak instr. cost: " << util::fmt_percent(result.stats.peak_cost, 1) << "\n"
+      << "avg instr. cost:  " << util::fmt_percent(result.telemetry.avg_cost, 1) << "\n";
   if (!result.bottlenecks.empty()) {
     out << "\nbottlenecks (discovery order):\n";
     for (const auto& b : result.bottlenecks)
@@ -54,14 +60,24 @@ int cmd_apps(const Args&, std::ostream& out) {
   return 0;
 }
 
+/// The --trace-format option, defaulting to jsonl.
+telemetry::TraceFormat parse_trace_format(const Args& args) {
+  const std::string name = args.option_or("trace-format", std::string("jsonl"));
+  auto fmt = telemetry::trace_format_from_name(name);
+  if (!fmt) throw ArgsError("--trace-format expects 'jsonl' or 'chrome'");
+  return *fmt;
+}
+
 /// Build the trace for `run`/`report`: a registered app by name, or a
-/// JSON workload via --workload.
+/// JSON workload via --workload. `tracer`, when given, records the
+/// simulation phase of a --workload run.
 simmpi::ExecutionTrace make_trace(const Args& args, std::string& name_out,
-                                  double default_duration) {
+                                  double default_duration,
+                                  telemetry::Tracer* tracer = nullptr) {
   if (auto workload = args.option("workload")) {
     apps::Workload w = apps::load_workload(*workload);
     name_out = w.name;
-    return simmpi::Simulator(w.network).run(w.program);
+    return simmpi::Simulator(w.network).run(w.program, tracer);
   }
   name_out = args.positional(0, "application name (or --workload FILE)");
   apps::AppParams params;
@@ -117,8 +133,15 @@ int cmd_run(const Args& args, std::ostream& out) {
   pc::DirectiveSet directives;
   if (auto file = args.option("directives")) directives = pc::DirectiveSet::load(*file);
 
+  const auto trace_path = args.option("trace");
+  const telemetry::TraceFormat trace_format = parse_trace_format(args);
+  telemetry::VectorSink event_sink;
+  telemetry::Tracer sim_tracer(&event_sink);
+  if (trace_path) config.trace_sink = &event_sink;
+
   std::string app;
-  simmpi::ExecutionTrace trace = make_trace(args, app, 1500.0);
+  simmpi::ExecutionTrace trace =
+      make_trace(args, app, 1500.0, trace_path ? &sim_tracer : nullptr);
   core::DiagnosisSession session(std::move(trace), config, app);
   out << "running " << app << " (" << session.trace().num_ranks() << " ranks, "
       << util::fmt_double(session.trace().duration, 1) << "s)\n";
@@ -136,7 +159,9 @@ int cmd_run(const Args& args, std::ostream& out) {
     if (auto dot = args.option("dot")) {
       // Re-run is avoided: the session retains the last SHG only as text;
       // produce DOT from a dedicated consultant run for exact structure.
-      pc::PerformanceConsultant consultant(session.view(), config, directives);
+      pc::PcConfig dot_config = config;
+      dot_config.trace_sink = nullptr;  // don't record the re-run twice
+      pc::PerformanceConsultant consultant(session.view(), dot_config, directives);
       consultant.run();
       util::write_file(*dot, consultant.shg().to_dot());
       out << "wrote " << *dot << "\n";
@@ -144,6 +169,11 @@ int cmd_run(const Args& args, std::ostream& out) {
   }
   print_result_summary(out, result);
 
+  if (trace_path) {
+    telemetry::save_trace_file(*trace_path, event_sink.events(), trace_format);
+    out << "\nwrote " << event_sink.size() << " telemetry events to " << *trace_path
+        << "\n";
+  }
   if (auto trace_file = args.option("save-trace")) {
     simmpi::save_trace(session.trace(), *trace_file);
     out << "\nwrote trace to " << *trace_file << "\n";
@@ -279,10 +309,104 @@ int cmd_diagnose_trace(const Args& args, std::ostream& out) {
   const std::string path = args.positional(0, "trace file");
   pc::DirectiveSet directives;
   if (auto file = args.option("directives")) directives = pc::DirectiveSet::load(*file);
-  core::DiagnosisSession session(simmpi::load_trace(path));
+
+  const auto trace_path = args.option("trace");
+  const telemetry::TraceFormat trace_format = parse_trace_format(args);
+  telemetry::VectorSink event_sink;
+  pc::PcConfig config;
+  if (trace_path) config.trace_sink = &event_sink;
+
+  core::DiagnosisSession session(simmpi::load_trace(path), config);
   const pc::DiagnosisResult result = session.diagnose(directives);
   if (args.has_flag("shg")) out << session.last_shg() << "\n";
   print_result_summary(out, result);
+  if (trace_path) {
+    telemetry::save_trace_file(*trace_path, event_sink.events(), trace_format);
+    out << "\nwrote " << event_sink.size() << " telemetry events to " << *trace_path
+        << "\n";
+  }
+  return 0;
+}
+
+int cmd_trace_report(const Args& args, std::ostream& out) {
+  const std::string path = args.positional(0, "trace file");
+  const std::vector<telemetry::Event> events = telemetry::load_trace_file(path);
+  out << path << ": " << events.size() << " events\n";
+  if (events.empty()) return 0;
+
+  struct HypRow {
+    std::uint64_t instruments = 0, trues = 0, falses = 0, refines = 0, prunes = 0;
+    double first = std::numeric_limits<double>::infinity();
+    double last = -std::numeric_limits<double>::infinity();
+  };
+  std::map<std::string, HypRow> by_hyp;
+  struct PhaseRow {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::string, PhaseRow> phases;
+  std::map<std::string, double> open_phases;
+  std::uint64_t probe_inserts = 0, probe_removes = 0, gate_engagements = 0;
+  double peak_cost = 0.0;
+
+  for (const auto& e : events) {
+    peak_cost = std::max(peak_cost, e.cost);
+    switch (e.kind) {
+      case telemetry::EventKind::PhaseBegin:
+        open_phases[e.detail] = e.t;
+        continue;
+      case telemetry::EventKind::PhaseEnd:
+        if (auto it = open_phases.find(e.detail); it != open_phases.end()) {
+          PhaseRow& p = phases[e.detail];
+          ++p.count;
+          p.seconds += e.t - it->second;
+          open_phases.erase(it);
+        }
+        continue;
+      case telemetry::EventKind::ProbeInsert: ++probe_inserts; continue;
+      case telemetry::EventKind::ProbeRemove: ++probe_removes; continue;
+      case telemetry::EventKind::CostGate:
+        if (e.detail == "engaged") ++gate_engagements;
+        continue;
+      default:
+        break;
+    }
+    if (e.hypothesis.empty()) continue;
+    HypRow& row = by_hyp[e.hypothesis];
+    row.first = std::min(row.first, e.t);
+    row.last = std::max(row.last, e.t);
+    switch (e.kind) {
+      case telemetry::EventKind::Instrument: ++row.instruments; break;
+      case telemetry::EventKind::ConcludeTrue: ++row.trues; break;
+      case telemetry::EventKind::ConcludeFalse: ++row.falses; break;
+      case telemetry::EventKind::Refine: ++row.refines; break;
+      case telemetry::EventKind::PruneHit: ++row.prunes; break;
+      default: break;
+    }
+  }
+
+  if (!by_hyp.empty()) {
+    out << "\nby hypothesis:\n";
+    util::TablePrinter table(
+        {"hypothesis", "instr", "true", "false", "refine", "prune", "first", "last"});
+    for (const auto& [hyp, row] : by_hyp)
+      table.add_row({hyp, std::to_string(row.instruments), std::to_string(row.trues),
+                     std::to_string(row.falses), std::to_string(row.refines),
+                     std::to_string(row.prunes), util::fmt_double(row.first, 1) + "s",
+                     util::fmt_double(row.last, 1) + "s"});
+    table.print(out);
+  }
+  if (!phases.empty()) {
+    out << "\nphases (virtual time):\n";
+    util::TablePrinter table({"phase", "count", "seconds"});
+    for (const auto& [name, p] : phases)
+      table.add_row({name, std::to_string(p.count), util::fmt_double(p.seconds, 1)});
+    table.print(out);
+  }
+  out << "\nprobe inserts:     " << probe_inserts << "\n"
+      << "probe removes:     " << probe_removes << "\n"
+      << "cost-gate engages: " << gate_engagements << "\n"
+      << "peak active cost:  " << util::fmt_percent(peak_cost, 1) << "\n";
   return 0;
 }
 
@@ -299,7 +423,7 @@ const Command kCommands[] = {
     {"run",
      cmd_run,
      {"duration", "node-base", "threshold", "cost-limit", "directives", "store", "version",
-      "save-trace", "dot", "workload"},
+      "save-trace", "dot", "workload", "trace", "trace-format"},
      {"shg", "extended", "postmortem", "discovery"}},
     {"list", cmd_list, {"store", "app", "version"}, {}},
     {"show", cmd_show, {"store"}, {"report"}},
@@ -311,7 +435,8 @@ const Command kCommands[] = {
     {"map", cmd_map, {"store"}, {}},
     {"compare", cmd_compare, {"store"}, {"no-map"}},
     {"diff", cmd_diff, {"store"}, {}},
-    {"diagnose-trace", cmd_diagnose_trace, {"directives"}, {"shg"}},
+    {"diagnose-trace", cmd_diagnose_trace, {"directives", "trace", "trace-format"}, {"shg"}},
+    {"trace-report", cmd_trace_report, {}, {}},
 };
 
 }  // namespace
@@ -329,7 +454,10 @@ std::string usage() {
         "  map <from_id> <to_id>        suggest resource mappings between two runs\n"
         "  compare <id1> <id2>          bottlenecks resolved/appeared/moved between runs\n"
         "  diff <id1> <id2>             execution map of two runs' resources\n"
-        "  diagnose-trace <file.json>   diagnose a serialized trace\n";
+        "  diagnose-trace <file.json>   diagnose a serialized trace\n"
+        "  trace-report <trace>         summarize a saved telemetry trace\n"
+        "\nrun/diagnose-trace also take --trace FILE [--trace-format jsonl|chrome]\n"
+        "to record the search's telemetry events (chrome = load in Perfetto).\n";
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 //                    [--threshold F] [--cost-limit F] [--directives FILE]
 //                    [--extended] [--discovery] [--store DIR] [--version V]
 //                    [--save-trace FILE] [--shg] [--dot FILE] [--postmortem]
+//                    [--trace FILE] [--trace-format jsonl|chrome]
 //   histpc report <app|--workload FILE> [--duration S] [--bins N]
 //   histpc list [--store DIR] [--app NAME] [--version V]
 //   histpc show <run_id> [--store DIR] [--report]
@@ -16,6 +17,8 @@
 //   histpc compare <run_id_1> <run_id_2> [--store DIR] [--no-map]
 //   histpc diff <run_id_1> <run_id_2> [--store DIR]
 //   histpc diagnose-trace <trace.json> [--directives FILE] [--shg]
+//                    [--trace FILE] [--trace-format jsonl|chrome]
+//   histpc trace-report <telemetry-trace>
 //
 // Every command writes human-readable output to `out` and returns a
 // process exit code. main() dispatches and turns exceptions into error

@@ -4,22 +4,34 @@ namespace histpc::core {
 
 DiagnosisSession::DiagnosisSession(const std::string& app_name, apps::AppParams params,
                                    pc::PcConfig config)
-    : app_name_(app_name),
-      trace_(std::make_unique<simmpi::ExecutionTrace>(apps::run_app(app_name, params))),
-      view_(std::make_unique<metrics::TraceView>(*trace_)),
-      config_(std::move(config)) {}
+    : app_name_(app_name), config_(std::move(config)) {
+  {
+    telemetry::ScopedTimer timer(registry_, "session.simulate");
+    trace_ = std::make_unique<simmpi::ExecutionTrace>(apps::run_app(app_name, params));
+  }
+  telemetry::ScopedTimer timer(registry_, "session.view_build");
+  view_ = std::make_unique<metrics::TraceView>(*trace_);
+}
 
 DiagnosisSession::DiagnosisSession(simmpi::ExecutionTrace trace, pc::PcConfig config,
                                    std::string name)
     : app_name_(std::move(name)),
       trace_(std::make_unique<simmpi::ExecutionTrace>(std::move(trace))),
-      view_(std::make_unique<metrics::TraceView>(*trace_)),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  telemetry::ScopedTimer timer(registry_, "session.view_build");
+  view_ = std::make_unique<metrics::TraceView>(*trace_);
+}
 
 pc::DiagnosisResult DiagnosisSession::diagnose(const pc::DirectiveSet& directives) {
   pc::PerformanceConsultant consultant(*view_, config_, directives);
-  pc::DiagnosisResult result = consultant.run();
+  pc::DiagnosisResult result;
+  {
+    telemetry::ScopedTimer timer(registry_, "session.diagnose");
+    result = consultant.run();
+  }
   last_shg_ = consultant.shg().render();
+  for (const auto& [name, stat] : registry_.timers())
+    result.telemetry.phase_seconds[name] = stat.seconds;
   return result;
 }
 

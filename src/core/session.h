@@ -26,6 +26,7 @@
 #include "history/experiment.h"
 #include "metrics/trace_view.h"
 #include "pc/consultant.h"
+#include "telemetry/registry.h"
 
 namespace histpc::core {
 
@@ -54,12 +55,18 @@ class DiagnosisSession {
   /// Figure 2-style rendering of the most recent diagnosis's SHG.
   const std::string& last_shg() const { return last_shg_; }
 
+  /// Session-level wall-clock telemetry ("session.simulate",
+  /// "session.view_build", "session.diagnose" timers). diagnose() merges
+  /// these into the result's phase_seconds.
+  const telemetry::Registry& registry() const { return registry_; }
+
   /// Build a storable experiment record from a diagnosis of this session.
   history::ExperimentRecord make_record(const pc::DiagnosisResult& result,
                                         const std::string& version) const;
 
  private:
   std::string app_name_;
+  telemetry::Registry registry_;
   std::unique_ptr<simmpi::ExecutionTrace> trace_;
   std::unique_ptr<metrics::TraceView> view_;
   pc::PcConfig config_;

@@ -1,21 +1,27 @@
 #include "instr/instrumentation.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "metrics/metric.h"
 
 namespace histpc::instr {
 
 InstrumentationManager::InstrumentationManager(const metrics::TraceView& view,
                                                CostModel cost_model, double insertion_latency,
-                                               double perturbation_factor, EvalConfig eval)
+                                               double perturbation_factor, EvalConfig eval,
+                                               telemetry::Tracer* tracer)
     : view_(view),
       cost_model_(cost_model),
       insertion_latency_(insertion_latency),
       perturbation_factor_(perturbation_factor),
-      eval_(eval) {
+      eval_(eval),
+      tracer_(tracer) {
   if (insertion_latency < 0) throw std::invalid_argument("negative insertion latency");
   if (perturbation_factor < 0) throw std::invalid_argument("negative perturbation factor");
   if (eval_.batched)
-    batch_ = std::make_unique<metrics::MetricBatch>(view_, eval_.threads);
+    batch_ = std::make_unique<metrics::MetricBatch>(
+        view_, eval_.threads, tracer_ ? &tracer_->registry() : nullptr);
 }
 
 ProbeId InstrumentationManager::insert(metrics::MetricKind metric,
@@ -38,6 +44,21 @@ ProbeId InstrumentationManager::insert(metrics::MetricKind metric,
   peak_cost_ = std::max(peak_cost_, total_cost_);
   ++total_inserted_;
   ++num_active_;
+  last_time_ = std::max(last_time_, now);
+  if (tracer_) {
+    tracer_->registry().add("instr.inserts");
+    tracer_->registry().gauge_max("instr.peak_cost", peak_cost_);
+    if (tracer_->tracing()) {
+      telemetry::Event e;
+      e.kind = telemetry::EventKind::ProbeInsert;
+      e.t = now;
+      e.focus = probes_.back().focus_name = focus.name();
+      e.value = probes_.back().cost;
+      e.cost = total_cost_;
+      e.detail = metrics::metric_name(metric);
+      tracer_->emit(std::move(e));
+    }
+  }
   return static_cast<ProbeId>(probes_.size() - 1);
 }
 
@@ -51,6 +72,18 @@ void InstrumentationManager::remove(ProbeId id) {
   // Numerical hygiene: total cost is a running sum of removals; clamp tiny
   // negative residue.
   if (total_cost_ < 0 && total_cost_ > -1e-12) total_cost_ = 0;
+  if (tracer_) {
+    tracer_->registry().add("instr.removes");
+    if (tracer_->tracing()) {
+      telemetry::Event e;
+      e.kind = telemetry::EventKind::ProbeRemove;
+      e.t = last_time_;
+      e.focus = p.focus_name;
+      e.value = p.cost;
+      e.cost = total_cost_;
+      tracer_->emit(std::move(e));
+    }
+  }
 }
 
 bool InstrumentationManager::is_active(ProbeId id) const {
@@ -59,6 +92,7 @@ bool InstrumentationManager::is_active(ProbeId id) const {
 }
 
 void InstrumentationManager::advance(double now) {
+  last_time_ = std::max(last_time_, now);
   if (batch_) {
     batch_->advance_all(now);
     return;

@@ -16,11 +16,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "instr/cost_model.h"
 #include "metrics/metric_batch.h"
 #include "metrics/metric_instance.h"
+#include "telemetry/tracer.h"
 
 namespace histpc::instr {
 
@@ -51,9 +53,12 @@ class InstrumentationManager {
   /// read high by factor * (current total cost). Zero (the default) gives
   /// ideal measurements; the cost ceiling exists precisely to keep this
   /// term small on a real machine.
+  /// `tracer`, when given, receives probe_insert/probe_remove events and
+  /// instrumentation counters; the batched engine reports its per-tick
+  /// evaluation volume into the same registry. Null = no telemetry.
   InstrumentationManager(const metrics::TraceView& view, CostModel cost_model,
                          double insertion_latency, double perturbation_factor = 0.0,
-                         EvalConfig eval = {});
+                         EvalConfig eval = {}, telemetry::Tracer* tracer = nullptr);
 
   /// Request insertion of a probe for (metric : focus) at time `now`. Data
   /// collection begins at now + insertion latency.
@@ -90,6 +95,7 @@ class InstrumentationManager {
     std::optional<metrics::MetricInstance> instance;  ///< scan engine only
     metrics::MetricBatch::SlotId slot = -1;           ///< batched engine only
     metrics::MetricKind metric = metrics::MetricKind::CpuTime;
+    std::string focus_name;  ///< populated only while event tracing is on
     int selected_ranks = 0;
     double cost = 0.0;
     bool active = false;
@@ -100,8 +106,10 @@ class InstrumentationManager {
   double insertion_latency_;
   double perturbation_factor_;
   EvalConfig eval_;
+  telemetry::Tracer* tracer_ = nullptr;
   std::unique_ptr<metrics::MetricBatch> batch_;
   std::vector<Probe> probes_;
+  double last_time_ = 0.0;  ///< most recent insert/advance time (for removals)
   double total_cost_ = 0.0;
   double peak_cost_ = 0.0;
   std::size_t total_inserted_ = 0;

@@ -7,8 +7,10 @@ namespace histpc::metrics {
 
 using simmpi::Interval;
 
-MetricBatch::MetricBatch(const TraceView& view, int eval_threads)
+MetricBatch::MetricBatch(const TraceView& view, int eval_threads,
+                         telemetry::Registry* registry)
     : view_(view),
+      registry_(registry),
       rank_pos_(static_cast<std::size_t>(view.trace().num_ranks()), 0),
       rank_slots_(static_cast<std::size_t>(view.trace().num_ranks())) {
   const std::size_t nranks = rank_pos_.size();
@@ -144,12 +146,23 @@ void MetricBatch::worker_loop(std::size_t tid) {
 void MetricBatch::advance_all(double to) {
   if (to <= cursor_) return;
   if (rank_slots_dirty_) rebuild_rank_slots();
+  // Consumed-interval telemetry from the rank cursors, so the fan-out loop
+  // itself stays untouched (and the worker threads never see registry_).
+  std::size_t consumed_before = 0;
+  if (registry_)
+    for (std::size_t p : rank_pos_) consumed_before += p;
   if (nthreads_ > 0 && num_active_ > 0) {
     advance_parallel(to);
   } else {
     advance_sequential(to);
   }
   cursor_ = to;
+  if (registry_) {
+    std::size_t consumed_after = 0;
+    for (std::size_t p : rank_pos_) consumed_after += p;
+    registry_->add("metrics.batch.ticks");
+    registry_->add("metrics.batch.intervals", consumed_after - consumed_before);
+  }
 }
 
 double MetricBatch::value(SlotId id) const {

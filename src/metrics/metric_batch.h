@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "metrics/trace_view.h"
+#include "telemetry/registry.h"
 
 namespace histpc::metrics {
 
@@ -34,8 +35,12 @@ class MetricBatch {
   using SlotId = std::int32_t;
 
   /// `eval_threads` > 1 enables the rank-parallel mode with that many
-  /// workers (capped at the rank count).
-  explicit MetricBatch(const TraceView& view, int eval_threads = 0);
+  /// workers (capped at the rank count). `registry`, when given, receives
+  /// per-tick evaluation counters ("metrics.batch.ticks",
+  /// "metrics.batch.intervals"); it is bumped from advance_all on the
+  /// caller's thread only, so the unsynchronized Registry is safe here.
+  explicit MetricBatch(const TraceView& view, int eval_threads = 0,
+                       telemetry::Registry* registry = nullptr);
   ~MetricBatch();
   MetricBatch(const MetricBatch&) = delete;
   MetricBatch& operator=(const MetricBatch&) = delete;
@@ -79,6 +84,7 @@ class MetricBatch {
   void worker_loop(std::size_t tid);
 
   const TraceView& view_;
+  telemetry::Registry* registry_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<std::size_t> rank_pos_;          ///< shared per-rank cursor
   std::vector<std::vector<SlotId>> rank_slots_;  ///< active slots per rank

@@ -31,18 +31,63 @@ double DiagnosisResult::time_to_find(const std::vector<BottleneckReport>& refere
   return needed == 0 ? 0.0 : found_times[needed - 1];
 }
 
+util::Json TelemetrySummary::to_json() const {
+  util::Json j = util::Json::object();
+  j["pairs_tested"] = pairs_tested;
+  j["conclusions_true"] = conclusions_true;
+  j["conclusions_false"] = conclusions_false;
+  j["refinements"] = refinements;
+  j["prune_hits_subtree"] = prune_hits_subtree;
+  j["prune_hits_pair"] = prune_hits_pair;
+  j["priority_seeds"] = priority_seeds;
+  j["cost_gate_engagements"] = cost_gate_engagements;
+  j["peak_cost"] = peak_cost;
+  j["avg_cost"] = avg_cost;
+  util::Json phases = util::Json::object();
+  for (const auto& [name, seconds] : phase_seconds) phases[name] = seconds;
+  j["phase_seconds"] = std::move(phases);
+  return j;
+}
+
 PerformanceConsultant::PerformanceConsultant(const metrics::TraceView& view, PcConfig config,
                                              DirectiveSet directives)
     : view_(view),
       config_(std::move(config)),
       directives_(std::move(directives)),
+      tracer_(config_.trace_sink),
       instr_(view, config_.cost_model, config_.insertion_latency,
              config_.perturbation_factor,
-             instr::EvalConfig{config_.batched_eval, config_.eval_threads}),
+             instr::EvalConfig{config_.batched_eval, config_.eval_threads}, &tracer_),
       shg_(config_.hypotheses) {
   if (config_.tick <= 0 || config_.min_observation <= 0)
     throw std::invalid_argument("PcConfig: tick and min_observation must be positive");
   directives_.apply_mappings();
+}
+
+void PerformanceConsultant::trace_event(telemetry::EventKind kind, double t, int hyp,
+                                        const std::string& focus_name, double value,
+                                        double threshold, const char* detail) {
+  if (!tracer_.tracing()) return;
+  telemetry::Event e;
+  e.kind = kind;
+  e.t = t;
+  if (hyp >= 0) e.hypothesis = config_.hypotheses.at(hyp).name;
+  e.focus = focus_name;
+  e.value = value;
+  e.threshold = threshold;
+  e.cost = instr_.total_cost();
+  e.detail = detail;
+  tracer_.emit(std::move(e));
+}
+
+void PerformanceConsultant::note_prune_hit(DirectiveSet::PruneKind kind, int hyp,
+                                           const resources::Focus& focus, double now) {
+  ++pruned_candidates_;
+  const bool pair = kind == DirectiveSet::PruneKind::Pair;
+  tracer_.registry().add(pair ? "pc.prune_hit.pair" : "pc.prune_hit.subtree");
+  if (tracer_.tracing())
+    trace_event(telemetry::EventKind::PruneHit, now, hyp, focus.name(), 0.0, 0.0,
+                pair ? "pair" : "subtree");
 }
 
 double PerformanceConsultant::threshold_for(int hyp) const {
@@ -87,6 +132,8 @@ void PerformanceConsultant::seed_high_priority_nodes() {
     if (n.status != NodeStatus::Pending || n.probe != instr::kNoProbe) continue;  // deduped
     n.priority = Priority::High;
     n.persistent = config_.persistent_high_priority;
+    tracer_.registry().add("pc.priority_seed");
+    trace_event(telemetry::EventKind::PrioritySeed, 0.0, *hyp, n.focus_name);
     // Queued ahead of everything else: instrumented from search start, but
     // still subject to the instrumentation cost ceiling (a large seed set
     // is enabled in throttled waves, exactly like ordinary expansion).
@@ -97,8 +144,9 @@ void PerformanceConsultant::seed_high_priority_nodes() {
 void PerformanceConsultant::seed_top_level() {
   const Focus whole = Focus::whole_program(view_.resources());
   for (int hyp : config_.hypotheses.roots()) {
-    if (directives_.is_pruned(config_.hypotheses.at(hyp).name, whole)) {
-      ++pruned_candidates_;
+    if (auto kind = directives_.prune_match(config_.hypotheses.at(hyp).name, whole);
+        kind != DirectiveSet::PruneKind::None) {
+      note_prune_hit(kind, hyp, whole, 0.0);
       continue;
     }
     int id = shg_.add_node(hyp, whole, shg_.root(), 0.0);
@@ -139,6 +187,9 @@ void PerformanceConsultant::activate(int id, double now) {
   n.activate_time = now;
   active_.push_back(id);
   ++unconcluded_active_;
+  tracer_.registry().add("pc.instrument");
+  trace_event(telemetry::EventKind::Instrument, now, n.hyp, n.focus_name,
+              instr_.probe_cost(n.probe), threshold_for(n.hyp));
   HISTPC_LOG(Trace) << "t=" << now << " activate " << h.name << " : " << n.focus_name
                     << " (cost " << instr_.probe_cost(n.probe) << ", total "
                     << instr_.total_cost() << ")";
@@ -152,8 +203,25 @@ void PerformanceConsultant::activate_pending(double now) {
   // meter (it was deliberately enabled at search start).
   while (instr_.total_cost() - persistent_cost_ < config_.cost_limit) {
     int id = pop_pending();
+    if (cost_gated_) {
+      // Cost fell back under the ceiling: expansion resumes (or the queue
+      // drained while gated — the stall is over either way).
+      cost_gated_ = false;
+      tracer_.registry().add("pc.cost_gate_release");
+      trace_event(telemetry::EventKind::CostGate, now, -1, std::string(),
+                  instr_.total_cost() - persistent_cost_, config_.cost_limit,
+                  "released");
+    }
     if (id < 0) return;
     activate(id, now);
+  }
+  // The ceiling halted expansion with work still queued: record the
+  // engagement edge (one event per stall, not one per tick).
+  if (!cost_gated_ && has_pending()) {
+    cost_gated_ = true;
+    tracer_.registry().add("pc.cost_gate");
+    trace_event(telemetry::EventKind::CostGate, now, -1, std::string(),
+                instr_.total_cost() - persistent_cost_, config_.cost_limit, "engaged");
   }
 }
 
@@ -161,8 +229,9 @@ void PerformanceConsultant::consider_candidate(int hyp, Focus&& focus, int paren
                                                double now) {
   const std::string& hyp_name = config_.hypotheses.at(hyp).name;
   if (!probe_focus(hyp, focus)) return;  // scope-incompatible, never true
-  if (directives_.is_pruned(hyp_name, focus)) {
-    ++pruned_candidates_;
+  if (auto kind = directives_.prune_match(hyp_name, focus);
+      kind != DirectiveSet::PruneKind::None) {
+    note_prune_hit(kind, hyp, focus, now);
     return;
   }
   if (config_.respect_discovery_times) {
@@ -202,6 +271,8 @@ void PerformanceConsultant::refine(int id, double now) {
   // and invalidate references into it.
   const int parent_hyp = shg_.node(id).hyp;
   const Focus parent_focus = shg_.node(id).focus;
+  tracer_.registry().add("pc.refine");
+  trace_event(telemetry::EventKind::Refine, now, parent_hyp, shg_.node(id).focus_name);
 
   // Expansion kind 1: a more specific focus, same hypothesis.
   for (Focus& child : parent_focus.refinements(view_.resources()))
@@ -218,15 +289,22 @@ void PerformanceConsultant::conclude(int id, const instr::ProbeSample& sample, d
     n.fraction = sample.fraction;
     n.conclude_time = now;
     --unconcluded_active_;
-    const bool is_true = sample.fraction >= threshold_for(n.hyp);
+    const double threshold = threshold_for(n.hyp);
+    const bool is_true = sample.fraction >= threshold;
     if (is_true) {
       n.status = NodeStatus::True;
       n.first_true_time = now;
       found_.push_back({h.name, n.focus_name, now, sample.fraction});
+      tracer_.registry().add("pc.conclude_true");
+      trace_event(telemetry::EventKind::ConcludeTrue, now, n.hyp, n.focus_name,
+                  sample.fraction, threshold);
       HISTPC_LOG(Debug) << "t=" << now << " TRUE " << h.name << " : " << n.focus_name << " ("
                         << sample.fraction << ")";
     } else {
       n.status = NodeStatus::False;
+      tracer_.registry().add("pc.conclude_false");
+      trace_event(telemetry::EventKind::ConcludeFalse, now, n.hyp, n.focus_name,
+                  sample.fraction, threshold);
       HISTPC_LOG(Trace) << "t=" << now << " false " << h.name << " : " << n.focus_name << " ("
                         << sample.fraction << ")";
     }
@@ -250,7 +328,8 @@ void PerformanceConsultant::check_persistent_flip(int id, const instr::ProbeSamp
   {
     ShgNode& n = shg_.node(id);
     n.fraction = sample.fraction;
-    if (n.status == NodeStatus::False && sample.fraction >= threshold_for(n.hyp)) {
+    const double threshold = threshold_for(n.hyp);
+    if (n.status == NodeStatus::False && sample.fraction >= threshold) {
       // A behaviour that emerged after the first conclusion: persistent
       // testing catches it (the reason high-priority pairs stay
       // instrumented for the whole run).
@@ -258,10 +337,20 @@ void PerformanceConsultant::check_persistent_flip(int id, const instr::ProbeSamp
       n.first_true_time = now;
       found_.push_back(
           {config_.hypotheses.at(n.hyp).name, n.focus_name, now, sample.fraction});
+      tracer_.registry().add("pc.conclude_true");
+      trace_event(telemetry::EventKind::ConcludeTrue, now, n.hyp, n.focus_name,
+                  sample.fraction, threshold, "persistent_flip");
       flipped = true;
     }
   }
   if (flipped) refine(id, now);  // may reallocate SHG nodes
+}
+
+bool PerformanceConsultant::has_pending() const {
+  for (const auto* q : {&queue_high_, &queue_medium_, &queue_low_})
+    for (int id : *q)
+      if (shg_.node(id).status == NodeStatus::Pending) return true;
+  return false;
 }
 
 bool PerformanceConsultant::search_finished() const {
@@ -280,6 +369,8 @@ DiagnosisResult PerformanceConsultant::run() {
   if (ran_) throw std::logic_error("PerformanceConsultant::run called twice");
   ran_ = true;
 
+  trace_event(telemetry::EventKind::PhaseBegin, 0.0, -1, std::string(), 0.0, 0.0,
+              "search");
   seed_high_priority_nodes();
   seed_top_level();
 
@@ -288,23 +379,35 @@ DiagnosisResult PerformanceConsultant::run() {
   activate_pending(t);
   while (t < horizon) {
     if (search_finished()) break;
+    const double t_prev = t;
     t = std::min(t + config_.tick, horizon);
-    instr_.advance(t);
+    cost_integral_ += instr_.total_cost() * (t - t_prev);
+    {
+      telemetry::ScopedTimer timer(tracer_.registry(), "pc.advance");
+      instr_.advance(t);
+    }
     release_discovered(t);
-    // Snapshot: conclusions may refine, which appends to active_.
-    const std::vector<int> active_now = active_;
-    for (int id : active_now) {
-      ShgNode& n = shg_.node(id);
-      if (n.probe == instr::kNoProbe || !instr_.is_active(n.probe)) continue;
-      const instr::ProbeSample sample = instr_.read(n.probe);
-      if (n.status == NodeStatus::Active) {
-        if (sample.observed >= config_.min_observation) conclude(id, sample, t);
-      } else if (n.persistent) {
-        check_persistent_flip(id, sample, t);
+    {
+      telemetry::ScopedTimer timer(tracer_.registry(), "pc.evaluate");
+      // Snapshot: conclusions may refine, which appends to active_.
+      const std::vector<int> active_now = active_;
+      for (int id : active_now) {
+        ShgNode& n = shg_.node(id);
+        if (n.probe == instr::kNoProbe || !instr_.is_active(n.probe)) continue;
+        const instr::ProbeSample sample = instr_.read(n.probe);
+        if (n.status == NodeStatus::Active) {
+          if (sample.observed >= config_.min_observation) conclude(id, sample, t);
+        } else if (n.persistent) {
+          check_persistent_flip(id, sample, t);
+        }
       }
     }
-    activate_pending(t);
+    {
+      telemetry::ScopedTimer timer(tracer_.registry(), "pc.expand");
+      activate_pending(t);
+    }
   }
+  trace_event(telemetry::EventKind::PhaseEnd, t, -1, std::string(), 0.0, 0.0, "search");
   return build_result(t);
 }
 
@@ -340,6 +443,21 @@ DiagnosisResult PerformanceConsultant::build_result(double end_time) {
   result.stats.last_true_time =
       result.bottlenecks.empty() ? 0.0 : result.bottlenecks.back().t_found;
   result.stats.peak_cost = instr_.peak_cost();
+
+  const telemetry::Registry& reg = tracer_.registry();
+  TelemetrySummary& tel = result.telemetry;
+  tel.pairs_tested = instr_.total_inserted();
+  tel.conclusions_true = reg.counter("pc.conclude_true");
+  tel.conclusions_false = reg.counter("pc.conclude_false");
+  tel.refinements = reg.counter("pc.refine");
+  tel.prune_hits_subtree = reg.counter("pc.prune_hit.subtree");
+  tel.prune_hits_pair = reg.counter("pc.prune_hit.pair");
+  tel.priority_seeds = reg.counter("pc.priority_seed");
+  tel.cost_gate_engagements = reg.counter("pc.cost_gate");
+  tel.peak_cost = instr_.peak_cost();
+  tel.avg_cost = end_time > 0.0 ? cost_integral_ / end_time : 0.0;
+  for (const auto& [name, stat] : reg.timers())
+    tel.phase_seconds[name] = stat.seconds;
   return result;
 }
 

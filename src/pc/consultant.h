@@ -22,7 +22,9 @@
 //  * thresholds override hypothesis defaults.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "pc/directives.h"
 #include "pc/hypothesis.h"
 #include "pc/shg.h"
+#include "telemetry/tracer.h"
 
 namespace histpc::pc {
 
@@ -74,6 +77,11 @@ struct PcConfig {
   /// threads. Values can differ from the sequential engines in the last
   /// few ulps (floating-point summation order), never beyond.
   int eval_threads = 0;
+  /// Structured-event destination (see telemetry/tracer.h). Null — the
+  /// default — discards events at the cost of one pointer test per
+  /// decision; counters and the DiagnosisResult telemetry summary are
+  /// collected either way.
+  telemetry::EventSink* trace_sink = nullptr;
 };
 
 struct BottleneckReport {
@@ -102,10 +110,32 @@ struct DiagnosisStats {
   double peak_cost = 0.0;
 };
 
+/// Search-telemetry rollup, filled for every diagnosis (tracing on or
+/// off): what the search did, what the directives saved it from doing, and
+/// where the wall-clock went.
+struct TelemetrySummary {
+  std::uint64_t pairs_tested = 0;       ///< probes inserted (== stats.pairs_tested)
+  std::uint64_t conclusions_true = 0;   ///< includes persistent-pair flips
+  std::uint64_t conclusions_false = 0;
+  std::uint64_t refinements = 0;        ///< true nodes expanded
+  std::uint64_t prune_hits_subtree = 0; ///< candidates cut by subtree prunes
+  std::uint64_t prune_hits_pair = 0;    ///< candidates cut by exact-pair prunes
+  std::uint64_t priority_seeds = 0;     ///< high-priority pairs queued at start
+  std::uint64_t cost_gate_engagements = 0;  ///< times the cost ceiling halted expansion
+  double peak_cost = 0.0;               ///< max active instrumentation cost
+  double avg_cost = 0.0;                ///< time-weighted mean over the search
+  /// Wall seconds by phase ("pc.advance", "pc.evaluate", "pc.expand",
+  /// plus "session.*" entries when run through a DiagnosisSession).
+  std::map<std::string, double> phase_seconds;
+
+  util::Json to_json() const;
+};
+
 struct DiagnosisResult {
   std::vector<BottleneckReport> bottlenecks;  ///< sorted by t_found
   std::vector<NodeSnapshot> nodes;            ///< full SHG snapshot
   DiagnosisStats stats;
+  TelemetrySummary telemetry;
 
   /// Time by which `percent` (0..100] of the bottlenecks in `reference`
   /// had been found in this result; +inf if never. `reference` entries are
@@ -124,6 +154,7 @@ class PerformanceConsultant {
   /// Valid after run(); used for Figure 2 style rendering.
   const SearchHistoryGraph& shg() const { return shg_; }
   const instr::InstrumentationManager& instrumentation() const { return instr_; }
+  const telemetry::Tracer& tracer() const { return tracer_; }
 
  private:
   double threshold_for(int hyp) const;
@@ -146,11 +177,23 @@ class PerformanceConsultant {
   void refine(int id, double now);
   void check_persistent_flip(int id, const instr::ProbeSample& sample, double now);
   bool search_finished() const;
+  bool has_pending() const;
   DiagnosisResult build_result(double end_time);
+  /// Record a prune hit (registry counter + event) for a rejected candidate.
+  void note_prune_hit(DirectiveSet::PruneKind kind, int hyp,
+                      const resources::Focus& focus, double now);
+  /// Emit a search event when tracing is on; no-op (and no string
+  /// materialization) otherwise. `hyp` < 0 omits the hypothesis.
+  void trace_event(telemetry::EventKind kind, double t, int hyp,
+                   const std::string& focus_name, double value = 0.0,
+                   double threshold = 0.0, const char* detail = "");
 
   const metrics::TraceView& view_;
   PcConfig config_;
   DirectiveSet directives_;
+  // Declared before instr_: the instrumentation manager (and through it the
+  // batched metric engine) reports into this tracer.
+  telemetry::Tracer tracer_;
   instr::InstrumentationManager instr_;
   SearchHistoryGraph shg_;
 
@@ -171,6 +214,12 @@ class PerformanceConsultant {
   /// for the whole run.
   double persistent_cost_ = 0.0;
   std::size_t pruned_candidates_ = 0;
+  /// Expansion currently halted by the cost ceiling (edge-detected so one
+  /// long stall emits a single cost_gate event, not one per tick).
+  bool cost_gated_ = false;
+  /// Integral of total instrumentation cost over virtual time (for the
+  /// summary's time-weighted average).
+  double cost_integral_ = 0.0;
   std::vector<BottleneckReport> found_;
   bool ran_ = false;
 };

@@ -32,22 +32,22 @@ bool is_constrained_part(std::string_view part) {
 }
 }  // namespace
 
-bool DirectiveSet::is_pruned(std::string_view hypothesis,
-                             const resources::Focus& focus) const {
+DirectiveSet::PruneKind DirectiveSet::prune_match(std::string_view hypothesis,
+                                                  const resources::Focus& focus) const {
   for (const PruneDirective& p : prunes) {
     if (p.hypothesis != kAnyHypothesis && p.hypothesis != hypothesis) continue;
     for (const std::string& part : focus.parts()) {
       if (!is_constrained_part(part)) continue;  // a root part is never pruned
-      if (util::is_path_prefix(p.resource_prefix, part)) return true;
+      if (util::is_path_prefix(p.resource_prefix, part)) return PruneKind::Subtree;
     }
   }
   if (!pair_prunes.empty()) {
     const std::string name = focus.name();
     for (const PairPruneDirective& p : pair_prunes)
       if (p.focus == name && (p.hypothesis == kAnyHypothesis || p.hypothesis == hypothesis))
-        return true;
+        return PruneKind::Pair;
   }
-  return false;
+  return PruneKind::None;
 }
 
 Priority DirectiveSet::priority_of(std::string_view hypothesis,

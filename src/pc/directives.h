@@ -82,11 +82,18 @@ class DirectiveSet {
            thresholds.empty() && maps.empty();
   }
 
-  /// Is (hypothesis : focus) excluded by a prune? A focus is pruned when
-  /// any of its parts constrains below a hierarchy root and lies within a
-  /// pruned prefix for that hypothesis, or when the exact pair is listed
-  /// as a pair prune.
-  bool is_pruned(std::string_view hypothesis, const resources::Focus& focus) const;
+  /// Which directive kind (if any) excludes (hypothesis : focus). A focus
+  /// is subtree-pruned when any of its parts constrains below a hierarchy
+  /// root and lies within a pruned prefix for that hypothesis, and
+  /// pair-pruned when the exact pair is listed. Subtree prunes are checked
+  /// first, so a pair covered by both reports Subtree.
+  enum class PruneKind { None, Subtree, Pair };
+  PruneKind prune_match(std::string_view hypothesis, const resources::Focus& focus) const;
+
+  /// Is (hypothesis : focus) excluded by any prune directive?
+  bool is_pruned(std::string_view hypothesis, const resources::Focus& focus) const {
+    return prune_match(hypothesis, focus) != PruneKind::None;
+  }
 
   /// Priority of (hypothesis : focus name); Medium when no directive
   /// matches.

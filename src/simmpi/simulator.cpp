@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -523,11 +524,33 @@ class SimRun {
 
 }  // namespace
 
-ExecutionTrace Simulator::run(const SimProgram& program) const {
+ExecutionTrace Simulator::run(const SimProgram& program, telemetry::Tracer* tracer) const {
   if (program.num_ranks() == 0) throw std::invalid_argument("empty program");
+  std::optional<telemetry::ScopedTimer> timer;
+  if (tracer) timer.emplace(tracer->registry(), "sim.run");
   SimRun run(net_, program);
   ExecutionTrace trace = run.execute();
   trace.validate();
+  if (tracer) {
+    telemetry::Registry& reg = tracer->registry();
+    reg.add("sim.ranks", static_cast<std::uint64_t>(program.num_ranks()));
+    std::uint64_t ops = 0, intervals = 0;
+    for (const auto& proc : program.procs) ops += proc.ops.size();
+    for (const auto& rank : trace.ranks) intervals += rank.intervals.size();
+    reg.add("sim.ops", ops);
+    reg.add("sim.intervals", intervals);
+    if (tracer->tracing()) {
+      telemetry::Event begin;
+      begin.kind = telemetry::EventKind::PhaseBegin;
+      begin.detail = "simulate";
+      tracer->emit(std::move(begin));
+      telemetry::Event end;
+      end.kind = telemetry::EventKind::PhaseEnd;
+      end.t = trace.duration;
+      end.detail = "simulate";
+      tracer->emit(std::move(end));
+    }
+  }
   return trace;
 }
 

@@ -22,6 +22,7 @@
 
 #include "simmpi/program.h"
 #include "simmpi/trace.h"
+#include "telemetry/tracer.h"
 
 namespace histpc::simmpi {
 
@@ -50,7 +51,12 @@ class Simulator {
   /// Execute `program` to completion. Throws std::runtime_error on
   /// deadlock (with a per-rank diagnostic) and std::logic_error on
   /// malformed programs (collective kind mismatch, double wait, ...).
-  ExecutionTrace run(const SimProgram& program) const;
+  ExecutionTrace run(const SimProgram& program) const { return run(program, nullptr); }
+
+  /// As above, with telemetry: a "simulate" phase spanning the virtual
+  /// execution, simulation volume counters (ranks, ops, intervals), and a
+  /// wall-clock "sim.run" timer in the tracer's registry.
+  ExecutionTrace run(const SimProgram& program, telemetry::Tracer* tracer) const;
 
  private:
   NetworkModel net_;

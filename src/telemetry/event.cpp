@@ -1,0 +1,260 @@
+#include "telemetry/event.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace histpc::telemetry {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Instrument: return "instrument";
+    case EventKind::ConcludeTrue: return "conclude_true";
+    case EventKind::ConcludeFalse: return "conclude_false";
+    case EventKind::Refine: return "refine";
+    case EventKind::PruneHit: return "prune_hit";
+    case EventKind::PrioritySeed: return "priority_seed";
+    case EventKind::CostGate: return "cost_gate";
+    case EventKind::ProbeInsert: return "probe_insert";
+    case EventKind::ProbeRemove: return "probe_remove";
+    case EventKind::PhaseBegin: return "phase_begin";
+    case EventKind::PhaseEnd: return "phase_end";
+  }
+  return "?";
+}
+
+std::optional<EventKind> event_kind_from_name(std::string_view name) {
+  for (EventKind k : kAllEventKinds)
+    if (name == event_kind_name(k)) return k;
+  return std::nullopt;
+}
+
+std::optional<TraceFormat> trace_format_from_name(std::string_view name) {
+  if (name == "jsonl") return TraceFormat::Jsonl;
+  if (name == "chrome") return TraceFormat::Chrome;
+  return std::nullopt;
+}
+
+util::Json Event::to_json() const {
+  util::Json j = util::Json::object();
+  j["kind"] = event_kind_name(kind);
+  j["t"] = t;
+  if (!hypothesis.empty()) j["hyp"] = hypothesis;
+  if (!focus.empty()) j["focus"] = focus;
+  if (value != 0.0) j["value"] = value;
+  if (threshold != 0.0) j["threshold"] = threshold;
+  if (cost != 0.0) j["cost"] = cost;
+  if (!detail.empty()) j["detail"] = detail;
+  return j;
+}
+
+Event Event::from_json(const util::Json& j) {
+  Event e;
+  const std::string& kind_name = j.at("kind").as_string();
+  auto kind = event_kind_from_name(kind_name);
+  if (!kind) throw util::JsonError("unknown event kind '" + kind_name + "'");
+  e.kind = *kind;
+  e.t = j.get_or("t", 0.0);
+  e.hypothesis = j.get_or("hyp", std::string());
+  e.focus = j.get_or("focus", std::string());
+  e.value = j.get_or("value", 0.0);
+  e.threshold = j.get_or("threshold", 0.0);
+  e.cost = j.get_or("cost", 0.0);
+  e.detail = j.get_or("detail", std::string());
+  return e;
+}
+
+std::string to_jsonl(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    out += e.to_json().dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Event> from_jsonl(std::string_view text) {
+  std::vector<Event> events;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    events.push_back(Event::from_json(util::Json::parse(line)));
+  }
+  return events;
+}
+
+namespace {
+
+constexpr int kSearchTrack = 0;  ///< tid for events with no hypothesis
+
+/// Microsecond timestamps, the unit chrome://tracing expects.
+double to_us(double seconds) { return seconds * 1e6; }
+
+util::Json chrome_metadata(const char* what, int tid, const std::string& name) {
+  util::Json m = util::Json::object();
+  m["name"] = what;
+  m["ph"] = "M";
+  m["pid"] = 1;
+  m["tid"] = tid;
+  util::Json args = util::Json::object();
+  args["name"] = name;
+  m["args"] = std::move(args);
+  return m;
+}
+
+}  // namespace
+
+util::Json to_chrome_trace(const std::vector<Event>& events) {
+  util::JsonArray out;
+
+  // Track layout: tid 0 is the search itself; each hypothesis gets its own
+  // track in order of first appearance.
+  std::map<std::string, int> hyp_tid;
+  auto track_of = [&](const Event& e) {
+    if (e.hypothesis.empty()) return kSearchTrack;
+    auto [it, inserted] =
+        hyp_tid.emplace(e.hypothesis, static_cast<int>(hyp_tid.size()) + 1);
+    (void)inserted;
+    return it->second;
+  };
+
+  out.push_back(chrome_metadata("process_name", kSearchTrack, "histpc search"));
+  out.push_back(chrome_metadata("thread_name", kSearchTrack, "search"));
+
+  // Instrument -> conclude spans: ph:"X" complete events so each test shows
+  // as a bar on its hypothesis track.
+  std::map<std::pair<std::string, std::string>, double> open_tests;
+
+  for (const Event& e : events) {
+    const int tid = track_of(e);
+
+    // The full payload as an instant event: lossless round trip, and every
+    // decision is findable in the Perfetto query UI.
+    {
+      util::Json inst = util::Json::object();
+      inst["name"] = event_kind_name(e.kind);
+      inst["cat"] = "telemetry";
+      inst["ph"] = "i";
+      inst["s"] = "t";
+      inst["pid"] = 1;
+      inst["tid"] = tid;
+      inst["ts"] = to_us(e.t);
+      inst["args"] = e.to_json();
+      out.push_back(std::move(inst));
+    }
+
+    switch (e.kind) {
+      case EventKind::Instrument:
+        open_tests[{e.hypothesis, e.focus}] = e.t;
+        break;
+      case EventKind::ConcludeTrue:
+      case EventKind::ConcludeFalse: {
+        auto it = open_tests.find({e.hypothesis, e.focus});
+        if (it != open_tests.end()) {
+          util::Json span = util::Json::object();
+          span["name"] = e.focus;
+          span["cat"] = e.kind == EventKind::ConcludeTrue ? "test_true" : "test_false";
+          span["ph"] = "X";
+          span["pid"] = 1;
+          span["tid"] = tid;
+          span["ts"] = to_us(it->second);
+          span["dur"] = to_us(std::max(0.0, e.t - it->second));
+          util::Json args = util::Json::object();
+          args["fraction"] = e.value;
+          args["threshold"] = e.threshold;
+          span["args"] = std::move(args);
+          out.push_back(std::move(span));
+          open_tests.erase(it);
+        }
+        break;
+      }
+      case EventKind::PhaseBegin:
+      case EventKind::PhaseEnd: {
+        util::Json ph = util::Json::object();
+        ph["name"] = e.detail;
+        ph["cat"] = "phase";
+        ph["ph"] = e.kind == EventKind::PhaseBegin ? "B" : "E";
+        ph["pid"] = 1;
+        ph["tid"] = kSearchTrack;
+        ph["ts"] = to_us(e.t);
+        out.push_back(std::move(ph));
+        break;
+      }
+      default:
+        break;
+    }
+
+    // The cost-ceiling counter track: one sample per event that observed
+    // the active instrumentation cost.
+    if (e.cost != 0.0 || e.kind == EventKind::ProbeRemove) {
+      util::Json ctr = util::Json::object();
+      ctr["name"] = "active_cost";
+      ctr["ph"] = "C";
+      ctr["pid"] = 1;
+      ctr["ts"] = to_us(e.t);
+      util::Json args = util::Json::object();
+      args["cost"] = e.cost;
+      ctr["args"] = std::move(args);
+      out.push_back(std::move(ctr));
+    }
+  }
+
+  for (const auto& [hyp, tid] : hyp_tid)
+    out.push_back(chrome_metadata("thread_name", tid, hyp));
+
+  util::Json trace = util::Json::object();
+  trace["traceEvents"] = util::Json(std::move(out));
+  trace["displayTimeUnit"] = "ms";
+  return trace;
+}
+
+std::vector<Event> from_chrome_trace(const util::Json& trace) {
+  const util::JsonArray& arr = trace.is_array()
+                                   ? trace.as_array()
+                                   : trace.at("traceEvents").as_array();
+  std::vector<Event> events;
+  for (const util::Json& j : arr) {
+    if (!j.is_object()) continue;
+    if (j.get_or("ph", std::string()) != "i") continue;
+    const util::Json* args = j.as_object().find("args");
+    if (!args || !args->is_object() || !args->as_object().contains("kind")) continue;
+    events.push_back(Event::from_json(*args));
+  }
+  return events;
+}
+
+void save_trace_file(const std::string& path, const std::vector<Event>& events,
+                     TraceFormat format) {
+  if (format == TraceFormat::Jsonl) {
+    util::write_file(path, to_jsonl(events));
+  } else {
+    util::write_file(path, to_chrome_trace(events).dump(2) + "\n");
+  }
+}
+
+std::vector<Event> load_trace_file(const std::string& path) {
+  const std::string text = util::read_file(path);
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  // A Chrome trace is one JSON document ({"traceEvents": ...} or a bare
+  // array); JSONL starts with an object per line. Distinguish by trying the
+  // whole-document parse: valid multi-line JSONL fails it immediately, and
+  // a single-line file parses as one object that we can inspect.
+  if (first != std::string::npos && (text[first] == '{' || text[first] == '[')) {
+    try {
+      const util::Json doc = util::Json::parse(text);
+      if (doc.is_array() ||
+          (doc.is_object() && doc.as_object().contains("traceEvents")))
+        return from_chrome_trace(doc);
+      // A single JSONL line parses as a plain object: fall through.
+    } catch (const util::JsonError&) {
+      // Multiple lines: JSONL.
+    }
+  }
+  return from_jsonl(text);
+}
+
+}  // namespace histpc::telemetry

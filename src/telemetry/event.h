@@ -1,0 +1,86 @@
+// Structured search-telemetry events.
+//
+// Every decision the Performance Consultant (and the layers under it)
+// makes during an online search is recorded as one typed Event: what
+// happened, at which *virtual* time, for which (hypothesis : focus) pair,
+// with the measured value, the test level it was compared against, and the
+// instrumentation cost active at that moment. Events are plain data;
+// sinks (see tracer.h) decide whether they are kept, and the serializers
+// here turn a recorded stream into JSONL or a Chrome trace-event file
+// loadable in chrome://tracing and Perfetto.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace histpc::telemetry {
+
+enum class EventKind {
+  Instrument,     ///< a (hypothesis : focus) pair started collecting data
+  ConcludeTrue,   ///< pair tested true (bottleneck found)
+  ConcludeFalse,  ///< pair tested false
+  Refine,         ///< a true node expanded into child candidates
+  PruneHit,       ///< a candidate was excluded by a directive (detail = kind)
+  PrioritySeed,   ///< a high-priority pair was queued at search start
+  CostGate,       ///< the cost ceiling engaged/released (detail says which)
+  ProbeInsert,    ///< instrumentation request issued (detail = metric)
+  ProbeRemove,    ///< instrumentation deleted
+  PhaseBegin,     ///< a named phase opened (detail = phase name)
+  PhaseEnd,       ///< a named phase closed
+};
+
+inline constexpr EventKind kAllEventKinds[] = {
+    EventKind::Instrument, EventKind::ConcludeTrue, EventKind::ConcludeFalse,
+    EventKind::Refine,     EventKind::PruneHit,     EventKind::PrioritySeed,
+    EventKind::CostGate,   EventKind::ProbeInsert,  EventKind::ProbeRemove,
+    EventKind::PhaseBegin, EventKind::PhaseEnd,
+};
+
+/// Stable wire name ("instrument", "conclude_true", ...).
+const char* event_kind_name(EventKind kind);
+std::optional<EventKind> event_kind_from_name(std::string_view name);
+
+struct Event {
+  EventKind kind = EventKind::Instrument;
+  double t = 0.0;          ///< virtual time (seconds into the execution)
+  std::string hypothesis;  ///< empty when the event has no hypothesis
+  std::string focus;       ///< canonical focus name; empty when n/a
+  double value = 0.0;      ///< measured fraction, probe cost, ... (per kind)
+  double threshold = 0.0;  ///< test level the value was compared against
+  double cost = 0.0;       ///< total active instrumentation cost at event time
+  std::string detail;      ///< kind-specific tag (directive kind, phase, metric)
+
+  bool operator==(const Event&) const = default;
+
+  /// Compact object; zero/empty fields are omitted (get_or restores them).
+  util::Json to_json() const;
+  static Event from_json(const util::Json& j);  ///< throws util::JsonError
+};
+
+enum class TraceFormat { Jsonl, Chrome };
+std::optional<TraceFormat> trace_format_from_name(std::string_view name);
+
+/// One JSON object per line, in recording order.
+std::string to_jsonl(const std::vector<Event>& events);
+std::vector<Event> from_jsonl(std::string_view text);
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}): one track per
+/// hypothesis plus a "search" track (phases, cost gates, probe churn),
+/// instrument→conclude spans, and an "active_cost" counter track showing
+/// the load the expansion throttle watches. Every telemetry event is also
+/// present as an instant event carrying its full payload in "args", so
+/// from_chrome_trace() round-trips losslessly.
+util::Json to_chrome_trace(const std::vector<Event>& events);
+std::vector<Event> from_chrome_trace(const util::Json& trace);
+
+/// Serialize to `path` in the given format (atomic write).
+void save_trace_file(const std::string& path, const std::vector<Event>& events,
+                     TraceFormat format);
+/// Load a trace saved by save_trace_file, auto-detecting the format.
+std::vector<Event> load_trace_file(const std::string& path);
+
+}  // namespace histpc::telemetry

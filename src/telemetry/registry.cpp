@@ -1,0 +1,84 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+
+namespace histpc::telemetry {
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::gauge_set(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Registry::gauge_max(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+double Registry::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void Registry::add_seconds(std::string_view name, double seconds) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    timers_.emplace(std::string(name), TimerStat{1, seconds});
+  } else {
+    ++it->second.count;
+    it->second.seconds += seconds;
+  }
+}
+
+Registry::TimerStat Registry::timer(std::string_view name) const {
+  auto it = timers_.find(name);
+  return it == timers_.end() ? TimerStat{} : it->second;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+util::Json Registry::to_json() const {
+  util::Json j = util::Json::object();
+  util::Json counters = util::Json::object();
+  for (const auto& [name, v] : counters_) counters[name] = v;
+  j["counters"] = std::move(counters);
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, v] : gauges_) gauges[name] = v;
+  j["gauges"] = std::move(gauges);
+  util::Json timers = util::Json::object();
+  for (const auto& [name, stat] : timers_) {
+    util::Json t = util::Json::object();
+    t["count"] = stat.count;
+    t["seconds"] = stat.seconds;
+    timers[name] = std::move(t);
+  }
+  j["timers"] = std::move(timers);
+  return j;
+}
+
+}  // namespace histpc::telemetry

@@ -1,0 +1,80 @@
+// Counters / gauges / timers registry.
+//
+// A Registry is per-session (one per PerformanceConsultant or
+// DiagnosisSession) and deliberately unsynchronized: the search loop is
+// single-threaded, and keeping the hot-path increment a map bump with no
+// lock is what makes it cheap enough to leave always on. Timers measure
+// wall-clock (std::chrono::steady_clock) seconds — virtual time lives in
+// the event stream, not here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace histpc::telemetry {
+
+class Registry {
+ public:
+  struct TimerStat {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+  };
+
+  /// Monotonic counter bump (creates the counter at 0 on first use).
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// 0 when the counter has never been touched.
+  std::uint64_t counter(std::string_view name) const;
+
+  void gauge_set(std::string_view name, double value);
+  /// Keep the maximum seen (peak-style gauges).
+  void gauge_max(std::string_view name, double value);
+  double gauge(std::string_view name) const;
+
+  /// Accumulate wall seconds under `name` (one timer "lap").
+  void add_seconds(std::string_view name, double seconds);
+  TimerStat timer(std::string_view name) const;
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, TimerStat, std::less<>>& timers() const { return timers_; }
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && timers_.empty(); }
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "timers": {name: {count, seconds}}}
+  util::Json to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+/// RAII wall-clock lap: adds elapsed seconds to `registry` on destruction.
+/// `name` must outlive the timer (string literals qualify).
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& registry, std::string_view name)
+      : registry_(registry), name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    registry_.add_seconds(
+        name_, std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                   .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry& registry_;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace histpc::telemetry

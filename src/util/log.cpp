@@ -1,15 +1,18 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <set>
 
 namespace histpc::util {
 
 namespace {
 LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;  // empty = default stderr sink
 }
 
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
@@ -30,11 +33,20 @@ LogLevel parse_log_level(const std::string& name) {
   if (name == "warn") return LogLevel::Warn;
   if (name == "error") return LogLevel::Error;
   if (name == "off") return LogLevel::Off;
+  // A mistyped level would otherwise silently change verbosity; warn once
+  // per distinct bad value.
+  static std::set<std::string> warned;
+  if (warned.insert(name).second)
+    HISTPC_LOG(Warn) << "unknown log level '" << name << "', defaulting to info";
   return LogLevel::Info;
 }
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
 }
 }  // namespace detail

@@ -1,10 +1,14 @@
-// Leveled logging with a process-wide level, writing to stderr.
+// Leveled logging with a process-wide level and a pluggable sink
+// (defaulting to stderr).
 //
 // The Performance Consultant emits Trace-level lines for every search event
 // (instrument, conclude, refine); benches run with Warn to keep table output
-// clean, and tests raise the level when debugging a search.
+// clean, and tests raise the level when debugging a search. Structured
+// machine-readable search telemetry lives in src/telemetry — the log is for
+// humans.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,7 +20,17 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 const char* log_level_name(LogLevel level);
 
-/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> Info.
+/// Where emitted lines go. The default sink writes "[LEVEL] message\n" to
+/// stderr; tests install a capturing sink so ctest output stays clean.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replace the sink; an empty function restores the stderr default.
+/// Like the level, the sink is process-wide and not synchronized.
+void set_log_sink(LogSink sink);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off". Unknown names map to
+/// Info and emit a one-time Warn line naming the bad value (once per
+/// distinct value, so a mistyped flag is reported, not spammed).
 LogLevel parse_log_level(const std::string& name);
 
 namespace detail {

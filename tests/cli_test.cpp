@@ -2,9 +2,11 @@
 
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "telemetry/event.h"
 #include "util/json.h"
 
 namespace histpc::cli {
@@ -224,10 +226,53 @@ TEST_F(CliTest, RunsJsonWorkloadSpec) {
   EXPECT_NE(report.find("whole-program fractions"), std::string::npos);
 }
 
+TEST_F(CliTest, RunRecordsChromeTelemetryTrace) {
+  fs::create_directories(store_dir_);
+  const std::string trace_file = store_dir_ + "/search.trace.json";
+  const std::string out =
+      run("run", {"poisson_a", "--duration", "400", "--trace", trace_file,
+                  "--trace-format", "chrome"});
+  EXPECT_NE(out.find("telemetry events to " + trace_file), std::string::npos);
+
+  // The export must parse with the in-repo JSON reader and carry at least
+  // one instant event per decision type the search exercised.
+  const util::Json doc = util::Json::parse(util::read_file(trace_file));
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  const std::vector<telemetry::Event> events = telemetry::from_chrome_trace(doc);
+  std::size_t counts[std::size(telemetry::kAllEventKinds)] = {};
+  for (const auto& e : events) ++counts[static_cast<std::size_t>(e.kind)];
+  using telemetry::EventKind;
+  for (EventKind kind : {EventKind::Instrument, EventKind::ConcludeTrue,
+                         EventKind::ConcludeFalse, EventKind::Refine,
+                         EventKind::ProbeInsert, EventKind::ProbeRemove,
+                         EventKind::PhaseBegin, EventKind::PhaseEnd})
+    EXPECT_GT(counts[static_cast<std::size_t>(kind)], 0u)
+        << telemetry::event_kind_name(kind);
+
+  const std::string report = run("trace-report", {trace_file});
+  EXPECT_NE(report.find("by hypothesis:"), std::string::npos);
+  EXPECT_NE(report.find("CPUbound"), std::string::npos);
+  EXPECT_NE(report.find("probe inserts:"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceRoundTripsThroughDiagnoseTrace) {
+  fs::create_directories(store_dir_);
+  const std::string sim_trace = store_dir_ + "/exec.json";
+  run("run", {"poisson_a", "--duration", "300", "--save-trace", sim_trace});
+  const std::string tele_trace = store_dir_ + "/search.jsonl";
+  const std::string out = run("diagnose-trace", {sim_trace, "--trace", tele_trace});
+  EXPECT_NE(out.find("telemetry events to " + tele_trace), std::string::npos);
+  const std::vector<telemetry::Event> events = telemetry::load_trace_file(tele_trace);
+  EXPECT_FALSE(events.empty());
+  const std::string report = run("trace-report", {tele_trace});
+  EXPECT_NE(report.find("peak active cost:"), std::string::npos);
+}
+
 TEST(CliUsage, MentionsEveryCommand) {
   const std::string u = usage();
   for (const char* cmd :
-       {"apps", "report", "run", "list", "show", "harvest", "map", "diff", "diagnose-trace"})
+       {"apps", "report", "run", "list", "show", "harvest", "map", "diff", "diagnose-trace",
+        "trace-report"})
     EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
 }
 

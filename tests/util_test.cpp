@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/json.h"
@@ -364,6 +367,33 @@ TEST(Log, SetAndGetLevel) {
   EXPECT_EQ(log_level(), LogLevel::Error);
   HISTPC_LOG(Debug) << "filtered out, should not crash";
   set_log_level(prev);
+}
+
+TEST(Log, SinkCapturesLines) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel level, const std::string& msg) {
+    captured.emplace_back(level, msg);
+  });
+  HISTPC_LOG(Warn) << "captured " << 42;
+  set_log_sink({});  // restore the stderr default
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::Warn);
+  EXPECT_EQ(captured[0].second, "captured 42");
+  HISTPC_LOG(Warn) << "back to stderr, sink must no longer fire";
+  EXPECT_EQ(captured.size(), 1u);
+}
+
+TEST(Log, UnknownLevelWarnsOnceThenStaysQuiet) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel, const std::string& msg) { captured.push_back(msg); });
+  // A value no other test uses: the once-per-distinct-value memory is
+  // process-wide, so reuse would make this order-dependent.
+  EXPECT_EQ(parse_log_level("utterly-bogus-level"), LogLevel::Info);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("utterly-bogus-level"), std::string::npos);
+  EXPECT_EQ(parse_log_level("utterly-bogus-level"), LogLevel::Info);
+  EXPECT_EQ(captured.size(), 1u);  // warned once, not per call
+  set_log_sink({});
 }
 
 }  // namespace
