@@ -19,6 +19,7 @@
 #include "metrics/metric_instance.h"
 #include "metrics/trace_view.h"
 #include "pc/consultant.h"
+#include "pc/directive_index.h"
 #include "pc/shg.h"
 #include "telemetry/tracer.h"
 #include "util/json.h"
@@ -193,6 +194,89 @@ void BM_DirectiveParseSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectiveParseSerialize);
 
+/// A synthetic harvested directive set of `n` directives in the shape the
+/// generator emits: subtree prunes (some wildcard-hypothesis), false-pair
+/// prunes, priorities, and per-hypothesis thresholds.
+pc::DirectiveSet synthetic_directives(int n) {
+  pc::DirectiveSet set;
+  for (int i = 0; i < n; ++i) {
+    const std::string hyp = "Hypothesis" + std::to_string(i % 16);
+    const std::string module = "/Code/mod" + std::to_string(i) + ".f";
+    const std::string focus = "<" + module + ",/Machine,/Process,/SyncObject>";
+    switch (i % 4) {
+      case 0:
+        set.prunes.push_back({i % 8 == 0 ? std::string(pc::kAnyHypothesis) : hyp, module});
+        break;
+      case 1: set.pair_prunes.push_back({hyp, focus}); break;
+      case 2:
+        set.priorities.push_back(
+            {hyp, focus, i % 8 == 0 ? pc::Priority::High : pc::Priority::Low});
+        break;
+      case 3: set.thresholds.push_back({hyp, 0.05 + 0.001 * (i % 100)}); break;
+    }
+  }
+  return set;
+}
+
+struct DirectiveLookupQuery {
+  std::string hypothesis;
+  resources::Focus focus;
+  std::string focus_name;
+};
+
+/// 64 queries mixing prune/priority hits and misses against
+/// synthetic_directives(n).
+std::vector<DirectiveLookupQuery> synthetic_lookup_queries(int n) {
+  const auto& view = shared_view();
+  const auto whole = resources::Focus::whole_program(view.resources());
+  std::vector<DirectiveLookupQuery> out;
+  for (int i = 0; i < 64; ++i) {
+    // Even queries land inside the directive module range (hits), odd ones
+    // name modules past it (misses — the consultant's common case).
+    const int m = i % 2 == 0 ? (i * 7) % std::max(n, 1) : n + i;
+    auto focus = whole.with_part(0, "/Code/mod" + std::to_string(m) + ".f/solve");
+    std::string name = focus.name();
+    out.push_back({"Hypothesis" + std::to_string(i % 16), std::move(focus), std::move(name)});
+  }
+  return out;
+}
+
+void BM_DirectiveLookupScan(benchmark::State& state) {
+  // The retained oracle: per-candidate linear scans over the directives.
+  const int n = static_cast<int>(state.range(0));
+  const pc::DirectiveSet set = synthetic_directives(n);
+  const auto queries = synthetic_lookup_queries(n);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const DirectiveLookupQuery& q = queries[qi];
+    qi = (qi + 1) % queries.size();
+    benchmark::DoNotOptimize(set.prune_match(q.hypothesis, q.focus));
+    benchmark::DoNotOptimize(set.priority_of(q.hypothesis, q.focus_name));
+    benchmark::DoNotOptimize(set.threshold_for(q.hypothesis));
+  }
+  state.counters["directives"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DirectiveLookupScan)->Arg(128)->Arg(1024)->Arg(4096);
+
+void BM_DirectiveLookupIndexed(benchmark::State& state) {
+  // Same queries through the DirectiveIndex, built once outside the loop
+  // exactly as the consultant builds it after apply_mappings().
+  const int n = static_cast<int>(state.range(0));
+  const pc::DirectiveSet set = synthetic_directives(n);
+  const pc::DirectiveIndex index(set);
+  const auto queries = synthetic_lookup_queries(n);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const DirectiveLookupQuery& q = queries[qi];
+    qi = (qi + 1) % queries.size();
+    benchmark::DoNotOptimize(index.prune_match(q.hypothesis, q.focus));
+    benchmark::DoNotOptimize(index.priority_of(q.hypothesis, q.focus_name));
+    benchmark::DoNotOptimize(index.threshold_for(q.hypothesis));
+  }
+  state.counters["directives"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DirectiveLookupIndexed)->Arg(128)->Arg(1024)->Arg(4096);
+
 void BM_FullDiagnosis(benchmark::State& state) {
   const auto& view = shared_view();
   for (auto _ : state) {
@@ -348,6 +432,37 @@ void write_bench_metrics() {
   table1["end_to_end_seconds"] = table1_s;
   out["table1_directives"] = std::move(table1);
 
+  // Directive lookup: scan oracle vs DirectiveIndex on a harvested-scale
+  // set (the acceptance bar is >=10x at >=1000 directives).
+  const int n_directives = 1024;
+  const pc::DirectiveSet dir_set = synthetic_directives(n_directives);
+  const pc::DirectiveIndex dir_index(dir_set);
+  const auto dir_queries = synthetic_lookup_queries(n_directives);
+  std::size_t dir_qi = 0;
+  auto next_query = [&]() -> const DirectiveLookupQuery& {
+    const DirectiveLookupQuery& q = dir_queries[dir_qi];
+    dir_qi = (dir_qi + 1) % dir_queries.size();
+    return q;
+  };
+  const double dir_scan_ns = time_ns_per_call([&] {
+    const DirectiveLookupQuery& q = next_query();
+    benchmark::DoNotOptimize(dir_set.prune_match(q.hypothesis, q.focus));
+    benchmark::DoNotOptimize(dir_set.priority_of(q.hypothesis, q.focus_name));
+    benchmark::DoNotOptimize(dir_set.threshold_for(q.hypothesis));
+  });
+  const double dir_indexed_ns = time_ns_per_call([&] {
+    const DirectiveLookupQuery& q = next_query();
+    benchmark::DoNotOptimize(dir_index.prune_match(q.hypothesis, q.focus));
+    benchmark::DoNotOptimize(dir_index.priority_of(q.hypothesis, q.focus_name));
+    benchmark::DoNotOptimize(dir_index.threshold_for(q.hypothesis));
+  });
+  util::Json lookup = util::Json::object();
+  lookup["directives"] = static_cast<double>(n_directives);
+  lookup["scan_ns_per_lookup"] = dir_scan_ns;
+  lookup["indexed_ns_per_lookup"] = dir_indexed_ns;
+  lookup["speedup_vs_scan"] = dir_indexed_ns > 0 ? dir_scan_ns / dir_indexed_ns : 0.0;
+  out["directive_lookup"] = std::move(lookup);
+
   // Telemetry volume of one traced diagnosis over the shared view.
   telemetry::VectorSink sink;
   pc::PcConfig traced_config;
@@ -362,9 +477,12 @@ void write_bench_metrics() {
   const std::string path = "BENCH_metrics.json";
   util::write_file(path, out.dump(2) + "\n");
   std::printf("wrote %s: metric query %.0f ns indexed / %.0f ns scan (%.1fx), "
+              "directive lookup %.0f ns indexed / %.0f ns scan (%.1fx @ %d directives), "
               "table1 workload %.3f s\n",
               path.c_str(), indexed_ns, scan_ns,
-              scan_ns > 0 ? scan_ns / indexed_ns : 0.0, table1_s);
+              scan_ns > 0 ? scan_ns / indexed_ns : 0.0, dir_indexed_ns, dir_scan_ns,
+              dir_indexed_ns > 0 ? dir_scan_ns / dir_indexed_ns : 0.0, n_directives,
+              table1_s);
 }
 
 }  // namespace

@@ -192,7 +192,9 @@ int cmd_list(const Args& args, std::ostream& out) {
   util::TablePrinter table({"run id", "app", "version", "ranks", "duration", "bottlenecks"});
   for (const auto& id :
        store.list(args.option_or("app", std::string()), args.option_or("version", std::string()))) {
-    auto rec = store.load(id);
+    // try_load: one corrupt file should drop out of the listing (with a
+    // warning), not abort it. `show <id>` stays strict.
+    auto rec = store.try_load(id);
     if (!rec) continue;
     table.add_row({id, rec->app, rec->version, std::to_string(rec->nranks),
                    util::fmt_double(rec->duration, 1) + "s",

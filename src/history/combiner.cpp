@@ -23,6 +23,10 @@ DirectiveSet combine(const DirectiveSet& a, const DirectiveSet& b, CombineMode m
   out.prunes.erase(std::unique(out.prunes.begin(), out.prunes.end()), out.prunes.end());
   out.thresholds = a.thresholds;
   out.thresholds.insert(out.thresholds.end(), b.thresholds.begin(), b.thresholds.end());
+  // Deterministic regardless of argument order: duplicate thresholds keep
+  // the max (conservative), with a warning when a and b disagree. Without
+  // this, threshold_for's first-match rule silently let `a` win.
+  out.resolve_threshold_conflicts();
   out.maps = a.maps;
   out.maps.insert(out.maps.end(), b.maps.begin(), b.maps.end());
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 
+#include "pc/directive_index.h"
 #include "util/strings.h"
 
 namespace histpc::history {
@@ -29,14 +29,12 @@ void DirectiveGenerator::add_historic_prunes(const ExperimentRecord& record,
                                              DirectiveSet& out) const {
   // Prune small code resources. Emitting only subtree roots keeps the
   // directive list short: if a whole module is negligible, its functions
-  // need no directives of their own.
-  std::set<std::string> pruned;
+  // need no directives of their own. code_usage iterates in lexicographic
+  // order, so a module is always seen before its functions.
+  pc::PrefixSet pruned;
   for (const auto& [res, frac] : record.code_usage) {
     if (frac >= options_.small_code_fraction) continue;
-    bool covered = false;
-    for (const auto& p : pruned)
-      if (util::is_path_prefix(p, res)) covered = true;
-    if (covered) continue;
+    if (pruned.contains_prefix_of(res)) continue;
     pruned.insert(res);
     out.prunes.push_back({std::string(pc::kAnyHypothesis), res});
   }

@@ -2,12 +2,41 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <limits>
 
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace histpc::history {
 
 namespace fs = std::filesystem;
+
+std::string escape_run_id_component(std::string_view component) {
+  std::string out(component);
+  for (char& c : out)
+    if (c == '_' || c == '/' || c == '\\') c = '-';
+  return out;
+}
+
+namespace {
+/// Strict trailing-sequence parse: everything after the last '_' must be
+/// one or more digits that fit a long. nullopt for foreign names like
+/// "notes" or "poisson_A_backup" — callers must not mistake those for
+/// sequence numbers.
+std::optional<long> parse_seq(std::string_view run_id) {
+  const auto pos = run_id.rfind('_');
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::string_view digits = run_id.substr(pos + 1);
+  if (digits.empty()) return std::nullopt;
+  long value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value > (std::numeric_limits<long>::max() - (c - '0')) / 10) return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+}  // namespace
 
 ExperimentStore::ExperimentStore(std::string directory) : dir_(std::move(directory)) {
   fs::create_directories(dir_);
@@ -19,20 +48,20 @@ std::string ExperimentStore::path_for(const std::string& run_id) const {
 
 std::string ExperimentStore::save(ExperimentRecord record) {
   if (record.run_id.empty()) {
-    // Next sequence number = max existing + 1, so ids never collide even
-    // after removals.
+    // The id embeds *escaped* app/version — '_' inside either field cannot
+    // change how the id splits — and the next sequence number is taken
+    // over every existing file with the escaped prefix, not just records
+    // whose stored fields match: distinct (app, version) pairs that escape
+    // to the same prefix share the counter, so filenames stay unique.
+    // max + 1 also guarantees ids are never reused after removals.
+    const std::string prefix = escape_run_id_component(record.app) + "_" +
+                               escape_run_id_component(record.version) + "_";
     long max_seq = 0;
-    for (const auto& id : list(record.app, record.version)) {
-      auto pos = id.rfind('_');
-      if (pos == std::string::npos) continue;
-      try {
-        max_seq = std::max(max_seq, std::stol(id.substr(pos + 1)));
-      } catch (const std::exception&) {
-        // Foreign file in the store directory; ignore for numbering.
-      }
+    for (const auto& id : list()) {
+      if (!util::starts_with(id, prefix)) continue;
+      if (auto seq = parse_seq(id)) max_seq = std::max(max_seq, *seq);
     }
-    record.run_id =
-        record.app + "_" + record.version + "_" + std::to_string(max_seq + 1);
+    record.run_id = prefix + std::to_string(max_seq + 1);
   }
   util::write_file(path_for(record.run_id), record.to_json().dump(2));
   return record.run_id;
@@ -44,17 +73,33 @@ std::optional<ExperimentRecord> ExperimentStore::load(const std::string& run_id)
   return ExperimentRecord::from_json(util::Json::parse(util::read_file(path)));
 }
 
+std::optional<ExperimentRecord> ExperimentStore::try_load(const std::string& run_id) const {
+  const std::string path = path_for(run_id);
+  if (!fs::exists(path)) return std::nullopt;
+  try {
+    return ExperimentRecord::from_json(util::Json::parse(util::read_file(path)));
+  } catch (const std::exception& e) {
+    HISTPC_LOG(Warn) << "quarantining unreadable store record " << path << ": " << e.what();
+    return std::nullopt;
+  }
+}
+
 std::vector<std::string> ExperimentStore::list(const std::string& app,
                                                const std::string& version) const {
   std::vector<std::string> out;
   if (!fs::exists(dir_)) return out;
+  const bool filtered = !app.empty() || !version.empty();
   for (const auto& entry : fs::directory_iterator(dir_)) {
     if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
     std::string run_id = entry.path().stem().string();
-    if (!app.empty() || !version.empty()) {
-      std::string prefix = app.empty() ? "" : app + "_";
-      if (!version.empty()) prefix += version + "_";
-      if (!util::starts_with(run_id, prefix)) continue;
+    if (filtered) {
+      // Match on the record's stored fields: id-prefix matching is
+      // ambiguous when app or version contain '_' ("a_b_c_1" splits two
+      // ways), and the stored fields survive run-id escaping unchanged.
+      auto rec = try_load(run_id);
+      if (!rec) continue;
+      if (!app.empty() && rec->app != app) continue;
+      if (!version.empty() && rec->version != version) continue;
     }
     out.push_back(std::move(run_id));
   }
@@ -64,26 +109,21 @@ std::vector<std::string> ExperimentStore::list(const std::string& app,
 
 std::optional<ExperimentRecord> ExperimentStore::latest(const std::string& app,
                                                         const std::string& version) const {
-  auto ids = list(app, version);
-  // Lexicographic order mis-sorts _10 before _2; compare sequence numbers.
+  // Lexicographic order mis-sorts _10 before _2; compare sequence numbers
+  // (ids without a numeric tail — explicit caller-chosen run_ids — rank as
+  // 0). try_load skips and logs corrupt or foreign files instead of
+  // letting one damaged record abort the whole query.
   std::optional<ExperimentRecord> best;
   long best_seq = -1;
-  for (const auto& id : ids) {
-    auto pos = id.rfind('_');
-    long seq = 0;
-    if (pos != std::string::npos) {
-      try {
-        seq = std::stol(id.substr(pos + 1));
-      } catch (const std::exception&) {
-        seq = 0;
-      }
-    }
-    if (seq > best_seq) {
-      if (auto rec = load(id)) {
-        best = std::move(rec);
-        best_seq = seq;
-      }
-    }
+  for (const auto& id : list()) {
+    const long seq = parse_seq(id).value_or(0);
+    if (seq <= best_seq) continue;
+    auto rec = try_load(id);
+    if (!rec) continue;
+    if (!app.empty() && rec->app != app) continue;
+    if (!version.empty() && rec->version != version) continue;
+    best = std::move(rec);
+    best_seq = seq;
   }
   return best;
 }

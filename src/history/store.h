@@ -6,11 +6,20 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "history/experiment.h"
 
 namespace histpc::history {
+
+/// Filename-safe form of an app or version name for embedding in a run id:
+/// '_' (the run-id field separator), '/' and '\\' are replaced with '-'.
+/// Applied when save() assigns a run id, so app `a` / version `b_c` and
+/// app `a_b` / version `c` get distinct, unambiguous ids; association
+/// queries (list / latest) match on the record's stored fields, never by
+/// splitting the id back apart.
+std::string escape_run_id_component(std::string_view component);
 
 class ExperimentStore {
  public:
@@ -23,14 +32,26 @@ class ExperimentStore {
   /// Returns the assigned run id.
   std::string save(ExperimentRecord record);
 
-  /// Load by run id; nullopt when absent.
+  /// Load by run id; nullopt when absent. Strict: a file that exists but
+  /// cannot be parsed throws (util::JsonError / std::invalid_argument) —
+  /// the caller named this record explicitly and should hear about damage.
   std::optional<ExperimentRecord> load(const std::string& run_id) const;
 
-  /// All run ids, sorted; optionally filtered by app and/or version.
+  /// Like load(), but quarantines instead of throwing: a corrupt,
+  /// truncated, or foreign file logs one Warn line naming the path and
+  /// yields nullopt. Used by every flow that merely *discovers* records
+  /// (list / latest / CLI listings), so one damaged file cannot abort a
+  /// whole diagnosis.
+  std::optional<ExperimentRecord> try_load(const std::string& run_id) const;
+
+  /// All run ids, sorted. With an app and/or version filter, records are
+  /// matched on their *stored* fields (unreadable files are skipped with a
+  /// warning); without a filter this is a pure directory listing.
   std::vector<std::string> list(const std::string& app = "",
                                 const std::string& version = "") const;
 
-  /// Most recent record for (app, version), by run-id sequence.
+  /// Most recent record for (app, version), by run-id sequence. Skips
+  /// corrupt or foreign files (see try_load) rather than aborting.
   std::optional<ExperimentRecord> latest(const std::string& app,
                                          const std::string& version) const;
 

@@ -62,6 +62,9 @@ PerformanceConsultant::PerformanceConsultant(const metrics::TraceView& view, PcC
   if (config_.tick <= 0 || config_.min_observation <= 0)
     throw std::invalid_argument("PcConfig: tick and min_observation must be positive");
   directives_.apply_mappings();
+  // Built after apply_mappings(): the index snapshots the directive
+  // strings and must see the rewritten resource names.
+  directive_index_ = DirectiveIndex(directives_);
 }
 
 void PerformanceConsultant::trace_event(telemetry::EventKind kind, double t, int hyp,
@@ -92,7 +95,7 @@ void PerformanceConsultant::note_prune_hit(DirectiveSet::PruneKind kind, int hyp
 
 double PerformanceConsultant::threshold_for(int hyp) const {
   const Hypothesis& h = config_.hypotheses.at(hyp);
-  if (auto t = directives_.threshold_for(h.name)) return *t;
+  if (auto t = directive_index_.threshold_for(h.name)) return *t;
   if (config_.threshold_override > 0) return config_.threshold_override;
   return h.default_threshold;
 }
@@ -126,7 +129,7 @@ void PerformanceConsultant::seed_high_priority_nodes() {
       continue;
     }
     if (!probe_focus(*hyp, *focus)) continue;  // scope-incompatible pair
-    if (directives_.is_pruned(d.hypothesis, *focus)) continue;
+    if (directive_index_.is_pruned(d.hypothesis, *focus)) continue;
     int id = shg_.add_node(*hyp, *focus, shg_.root(), 0.0);
     ShgNode& n = shg_.node(id);
     if (n.status != NodeStatus::Pending || n.probe != instr::kNoProbe) continue;  // deduped
@@ -144,7 +147,7 @@ void PerformanceConsultant::seed_high_priority_nodes() {
 void PerformanceConsultant::seed_top_level() {
   const Focus whole = Focus::whole_program(view_.resources());
   for (int hyp : config_.hypotheses.roots()) {
-    if (auto kind = directives_.prune_match(config_.hypotheses.at(hyp).name, whole);
+    if (auto kind = directive_index_.prune_match(config_.hypotheses.at(hyp).name, whole);
         kind != DirectiveSet::PruneKind::None) {
       note_prune_hit(kind, hyp, whole, 0.0);
       continue;
@@ -152,7 +155,7 @@ void PerformanceConsultant::seed_top_level() {
     int id = shg_.add_node(hyp, whole, shg_.root(), 0.0);
     ShgNode& n = shg_.node(id);
     if (n.status == NodeStatus::Pending && n.probe == instr::kNoProbe) {
-      n.priority = directives_.priority_of(config_.hypotheses.at(hyp).name, n.focus_name);
+      n.priority = directive_index_.priority_of(config_.hypotheses.at(hyp).name, n.focus_name);
       enqueue(id);
     }
   }
@@ -170,7 +173,7 @@ int PerformanceConsultant::pop_pending() {
   for (auto* q : {&queue_high_, &queue_medium_, &queue_low_}) {
     while (!q->empty()) {
       int id = q->front();
-      q->erase(q->begin());
+      q->pop_front();
       if (shg_.node(id).status == NodeStatus::Pending) return id;
     }
   }
@@ -229,7 +232,7 @@ void PerformanceConsultant::consider_candidate(int hyp, Focus&& focus, int paren
                                                double now) {
   const std::string& hyp_name = config_.hypotheses.at(hyp).name;
   if (!probe_focus(hyp, focus)) return;  // scope-incompatible, never true
-  if (auto kind = directives_.prune_match(hyp_name, focus);
+  if (auto kind = directive_index_.prune_match(hyp_name, focus);
       kind != DirectiveSet::PruneKind::None) {
     note_prune_hit(kind, hyp, focus, now);
     return;
@@ -250,7 +253,7 @@ void PerformanceConsultant::consider_candidate(int hyp, Focus&& focus, int paren
   if (cn.status == NodeStatus::Pending && cn.probe == instr::kNoProbe &&
       cn.enqueue_time == now && cn.parents.size() == 1 && cn.parents.front() == parent) {
     // Freshly created by this refinement: assign priority and queue it.
-    cn.priority = directives_.priority_of(hyp_name, cn.focus_name);
+    cn.priority = directive_index_.priority_of(hyp_name, cn.focus_name);
     enqueue(cid);
   }
 }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
 #include <string>
@@ -30,6 +31,7 @@
 
 #include "instr/instrumentation.h"
 #include "metrics/trace_view.h"
+#include "pc/directive_index.h"
 #include "pc/directives.h"
 #include "pc/hypothesis.h"
 #include "pc/shg.h"
@@ -191,6 +193,11 @@ class PerformanceConsultant {
   const metrics::TraceView& view_;
   PcConfig config_;
   DirectiveSet directives_;
+  /// Built once from directives_ after apply_mappings(); answers the
+  /// per-candidate prune/priority/threshold queries in O(1)–O(log n)
+  /// instead of scanning the directive list (DirectiveSet remains the
+  /// property-tested oracle).
+  DirectiveIndex directive_index_;
   // Declared before instr_: the instrumentation manager (and through it the
   // batched metric engine) reports into this tracer.
   telemetry::Tracer tracer_;
@@ -205,7 +212,10 @@ class PerformanceConsultant {
   };
   std::vector<DeferredCandidate> deferred_;  ///< awaiting resource discovery
 
-  std::vector<int> queue_high_, queue_medium_, queue_low_;
+  /// Priority-tiered FIFO queues. Deques: pop_pending() consumes from the
+  /// front while refinement pushes to the back, and a vector front-erase
+  /// made each pop O(queue length).
+  std::deque<int> queue_high_, queue_medium_, queue_low_;
   std::vector<int> active_;             ///< node ids with live probes
   std::size_t unconcluded_active_ = 0;  ///< active nodes awaiting first conclusion
   /// Cost of the standing high-priority instrumentation. The expansion

@@ -1,0 +1,113 @@
+#include "pc/directive_index.h"
+
+#include <algorithm>
+
+#include "pc/hypothesis.h"
+
+namespace histpc::pc {
+
+void PrefixSet::insert(std::string prefix) {
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), prefix);
+  if (it != sorted_.end() && *it == prefix) return;
+  sorted_.insert(it, std::move(prefix));
+}
+
+bool PrefixSet::contains_prefix_of(std::string_view name) const {
+  if (sorted_.empty()) return false;
+  // A path-prefix of `name` is `name` itself or `name` cut at a '/'
+  // boundary (is_path_prefix: equal, or followed by '/'). Successive
+  // rfind('/') truncations enumerate exactly those candidates, longest
+  // first, down to the empty string (which path-prefixes any "/..." name).
+  std::string_view candidate = name;
+  for (;;) {
+    if (std::binary_search(sorted_.begin(), sorted_.end(), candidate)) return true;
+    if (candidate.empty()) return false;
+    const auto pos = candidate.rfind('/');
+    if (pos == std::string_view::npos) return false;
+    candidate = candidate.substr(0, pos);
+  }
+}
+
+std::string DirectiveIndex::pair_key(std::string_view hypothesis, std::string_view focus) {
+  // '\x1f' cannot appear in either token: both come from whitespace-split
+  // directive lines or canonical focus names.
+  std::string key;
+  key.reserve(hypothesis.size() + 1 + focus.size());
+  key.append(hypothesis);
+  key.push_back('\x1f');
+  key.append(focus);
+  return key;
+}
+
+std::string_view DirectiveIndex::pair_key_view(std::string_view hypothesis,
+                                               std::string_view focus) {
+  // Lookup-side twin of pair_key: the transparent hash functors let the
+  // maps probe with a string_view, so queries reuse one buffer instead of
+  // allocating a key per candidate on the consultant's hot path.
+  thread_local std::string buf;
+  buf.assign(hypothesis);
+  buf.push_back('\x1f');
+  buf.append(focus);
+  return buf;
+}
+
+DirectiveIndex::DirectiveIndex(const DirectiveSet& set) {
+  for (const PruneDirective& p : set.prunes) {
+    if (p.hypothesis == kAnyHypothesis)
+      subtree_any_.insert(p.resource_prefix);
+    else
+      subtree_by_hyp_[p.hypothesis].insert(p.resource_prefix);
+  }
+  for (const PairPruneDirective& p : set.pair_prunes) {
+    if (p.hypothesis == kAnyHypothesis)
+      pair_prunes_any_.insert(p.focus);
+    else
+      pair_prunes_.insert(pair_key(p.hypothesis, p.focus));
+  }
+  for (const PriorityDirective& p : set.priorities)
+    priorities_.emplace(pair_key(p.hypothesis, p.focus), p.priority);
+  for (const ThresholdDirective& t : set.thresholds) {
+    thresholds_.emplace(t.hypothesis, t.threshold);
+    if (t.hypothesis == kAnyHypothesis) threshold_any_ = t.threshold;
+  }
+}
+
+DirectiveSet::PruneKind DirectiveIndex::prune_match(std::string_view hypothesis,
+                                                    const resources::Focus& focus) const {
+  const PrefixSet* hyp_bucket = nullptr;
+  if (!subtree_by_hyp_.empty()) {
+    auto it = subtree_by_hyp_.find(hypothesis);
+    if (it != subtree_by_hyp_.end()) hyp_bucket = &it->second;
+  }
+  if (!subtree_any_.empty() || hyp_bucket) {
+    for (const std::string& part : focus.parts()) {
+      if (!is_constrained_part(part)) continue;  // a root part is never pruned
+      if (subtree_any_.contains_prefix_of(part)) return DirectiveSet::PruneKind::Subtree;
+      if (hyp_bucket && hyp_bucket->contains_prefix_of(part))
+        return DirectiveSet::PruneKind::Subtree;
+    }
+  }
+  if (!pair_prunes_.empty() || !pair_prunes_any_.empty()) {
+    const std::string name = focus.name();
+    if (pair_prunes_any_.find(name) != pair_prunes_any_.end())
+      return DirectiveSet::PruneKind::Pair;
+    if (!pair_prunes_.empty() &&
+        pair_prunes_.find(pair_key_view(hypothesis, name)) != pair_prunes_.end())
+      return DirectiveSet::PruneKind::Pair;
+  }
+  return DirectiveSet::PruneKind::None;
+}
+
+Priority DirectiveIndex::priority_of(std::string_view hypothesis,
+                                     std::string_view focus_name) const {
+  if (priorities_.empty()) return Priority::Medium;
+  auto it = priorities_.find(pair_key_view(hypothesis, focus_name));
+  return it == priorities_.end() ? Priority::Medium : it->second;
+}
+
+std::optional<double> DirectiveIndex::threshold_for(std::string_view hypothesis) const {
+  if (auto it = thresholds_.find(hypothesis); it != thresholds_.end()) return it->second;
+  return threshold_any_;
+}
+
+}  // namespace histpc::pc

@@ -1,0 +1,121 @@
+// DirectiveIndex: O(1)–O(log n) lookup structures over a DirectiveSet.
+//
+// The (hypothesis : focus) directive lookup sits on the Performance
+// Consultant's innermost refinement loop: every candidate produced by
+// refine() is checked against the prune directives and assigned a queue
+// priority, and every conclusion reads a threshold. The DirectiveSet scan
+// methods walk the full directive list per call, which on harvested sets
+// (hundreds to thousands of table1/table3-style directives) costs more
+// than the batched metric evaluation they gate. The index is built once —
+// the consultant constructs it right after apply_mappings() — and answers
+// the same three queries from hash maps and sorted prefix arrays.
+//
+// The DirectiveSet scans survive unchanged as the property-tested oracle
+// (tests/directive_index_test.cpp), mirroring the metric engine's
+// scan-vs-index pattern: for every (hypothesis, focus) query the index
+// returns exactly what the scan returns, including its tie-breaking rules
+// (first matching priority wins; first exact threshold wins, last wildcard
+// is the fallback).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pc/directives.h"
+
+namespace histpc::pc {
+
+/// A sorted set of resource-name prefixes answering "is any stored prefix
+/// a path-prefix of `name`?" (util::is_path_prefix semantics) in
+/// O(depth(name) · log n): every path-prefix of `name` is `name` truncated
+/// at a '/' boundary, so the query binary-searches each truncation,
+/// longest first. Also reused by the directive generator to keep harvested
+/// prune lists subtree-root-only.
+class PrefixSet {
+ public:
+  /// Sorted insert; duplicates are ignored.
+  void insert(std::string prefix);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// True when some stored prefix equals `name` or is an ancestor of it.
+  bool contains_prefix_of(std::string_view name) const;
+
+ private:
+  std::vector<std::string> sorted_;
+};
+
+namespace detail {
+/// Transparent hashing so queries take string_views without materializing
+/// std::string keys.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct StringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+};
+}  // namespace detail
+
+class DirectiveIndex {
+ public:
+  DirectiveIndex() = default;
+
+  /// Builds the index over `set`. The index holds copies of the directive
+  /// strings, not references: it stays valid if `set` is destroyed, but it
+  /// does NOT see later mutations — rebuild after changing the set (the
+  /// consultant builds it once, after apply_mappings()).
+  explicit DirectiveIndex(const DirectiveSet& set);
+
+  /// Same contract and result as DirectiveSet::prune_match.
+  DirectiveSet::PruneKind prune_match(std::string_view hypothesis,
+                                      const resources::Focus& focus) const;
+
+  bool is_pruned(std::string_view hypothesis, const resources::Focus& focus) const {
+    return prune_match(hypothesis, focus) != DirectiveSet::PruneKind::None;
+  }
+
+  /// Same contract and result as DirectiveSet::priority_of.
+  Priority priority_of(std::string_view hypothesis, std::string_view focus_name) const;
+
+  /// Same contract and result as DirectiveSet::threshold_for.
+  std::optional<double> threshold_for(std::string_view hypothesis) const;
+
+ private:
+  static std::string pair_key(std::string_view hypothesis, std::string_view focus);
+  /// Allocation-free lookup key over a reused thread-local buffer; the
+  /// returned view is invalidated by the next call on the same thread.
+  static std::string_view pair_key_view(std::string_view hypothesis,
+                                        std::string_view focus);
+
+  /// Subtree prunes, bucketed by hypothesis; "*" prunes live in their own
+  /// bucket checked for every hypothesis.
+  std::unordered_map<std::string, PrefixSet, detail::StringHash, detail::StringEq>
+      subtree_by_hyp_;
+  PrefixSet subtree_any_;
+
+  /// Exact-pair prunes keyed on (hypothesis, focus name), with the
+  /// wildcard-hypothesis entries keyed on focus name alone.
+  std::unordered_set<std::string, detail::StringHash, detail::StringEq> pair_prunes_;
+  std::unordered_set<std::string, detail::StringHash, detail::StringEq> pair_prunes_any_;
+
+  /// First directive per (hypothesis, focus) wins, as in the scan.
+  std::unordered_map<std::string, Priority, detail::StringHash, detail::StringEq>
+      priorities_;
+
+  /// First directive per hypothesis name (including a literal "*" key)
+  /// wins; threshold_any_ is the last wildcard, the scan's fallback value.
+  std::unordered_map<std::string, double, detail::StringHash, detail::StringEq>
+      thresholds_;
+  std::optional<double> threshold_any_;
+};
+
+}  // namespace histpc::pc

@@ -1,10 +1,12 @@
 #include "pc/directives.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "pc/hypothesis.h"
 #include "util/json.h"  // read_file / write_file
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace histpc::pc {
@@ -24,13 +26,6 @@ std::optional<Priority> priority_from_name(std::string_view name) {
   if (name == "high") return Priority::High;
   return std::nullopt;
 }
-
-namespace {
-/// A part constrains below its hierarchy root iff it has a second '/'.
-bool is_constrained_part(std::string_view part) {
-  return part.find('/', 1) != std::string_view::npos;
-}
-}  // namespace
 
 DirectiveSet::PruneKind DirectiveSet::prune_match(std::string_view hypothesis,
                                                   const resources::Focus& focus) const {
@@ -107,6 +102,29 @@ void DirectiveSet::merge(const DirectiveSet& other) {
   priorities.insert(priorities.end(), other.priorities.begin(), other.priorities.end());
   thresholds.insert(thresholds.end(), other.thresholds.begin(), other.thresholds.end());
   maps.insert(maps.end(), other.maps.begin(), other.maps.end());
+  resolve_threshold_conflicts();
+}
+
+void DirectiveSet::resolve_threshold_conflicts() {
+  if (thresholds.size() < 2) return;
+  std::vector<ThresholdDirective> resolved;
+  resolved.reserve(thresholds.size());
+  for (const ThresholdDirective& t : thresholds) {
+    auto it = std::find_if(resolved.begin(), resolved.end(), [&](const ThresholdDirective& r) {
+      return r.hypothesis == t.hypothesis;
+    });
+    if (it == resolved.end()) {
+      resolved.push_back(t);
+      continue;
+    }
+    if (it->threshold != t.threshold) {
+      HISTPC_LOG(Warn) << "conflicting thresholds for '" << t.hypothesis << "' ("
+                       << util::fmt_double(it->threshold, 4) << " vs "
+                       << util::fmt_double(t.threshold, 4) << "); keeping the max";
+      it->threshold = std::max(it->threshold, t.threshold);
+    }
+  }
+  thresholds = std::move(resolved);
 }
 
 DirectiveSet DirectiveSet::parse(std::string_view text) {

@@ -25,6 +25,14 @@
 
 namespace histpc::pc {
 
+/// A focus part constrains below its hierarchy root iff it has a second
+/// '/'. Root parts ("/Code", "/Machine") are never pruned: a prune names a
+/// subtree *within* a hierarchy, and matching the bare root would cut the
+/// entire search. Shared by the scan (prune_match) and the DirectiveIndex.
+inline bool is_constrained_part(std::string_view part) {
+  return part.find('/', 1) != std::string_view::npos;
+}
+
 enum class Priority { Low = 0, Medium = 1, High = 2 };
 
 const char* priority_name(Priority p);
@@ -108,8 +116,18 @@ class DirectiveSet {
   /// Performance Consultant reads it; call this once before the search.
   void apply_mappings();
 
-  /// Append all directives from `other`.
+  /// Append all directives from `other`, then resolve duplicate
+  /// thresholds (resolve_threshold_conflicts).
   void merge(const DirectiveSet& other);
+
+  /// Collapse duplicate threshold directives for the same hypothesis into
+  /// one entry, keeping the *maximum* value (the conservative choice: a
+  /// higher threshold reports fewer, stronger bottlenecks) and logging a
+  /// Warn line when the duplicates disagree. Without this, threshold_for's
+  /// first-match rule silently lets whichever input happened to come first
+  /// win when sets are merged or combined. First-occurrence order is
+  /// preserved, so the wildcard-fallback position is unchanged.
+  void resolve_threshold_conflicts();
 
   /// Parse the text format; throws std::invalid_argument with a line
   /// number on malformed input.

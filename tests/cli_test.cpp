@@ -8,6 +8,7 @@
 #include "cli/commands.h"
 #include "telemetry/event.h"
 #include "util/json.h"
+#include "util/log.h"
 
 namespace histpc::cli {
 namespace {
@@ -80,6 +81,18 @@ TEST_F(CliTest, RunStoresAndListShows) {
   const std::string shown = run("show", {"poisson_C_1", "--store", store_dir_});
   EXPECT_NE(shown.find("version C"), std::string::npos);
   EXPECT_NE(shown.find("ExcessiveSyncWaitingTime"), std::string::npos);
+}
+
+TEST_F(CliTest, ListSkipsCorruptRecords) {
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+  // A record damaged on disk (or a foreign .json dropped in the store
+  // directory) must not abort the listing — it is skipped with a warning.
+  util::write_file(store_dir_ + "/poisson_C_9.json", "{truncated");
+  util::set_log_sink([](util::LogLevel, const std::string&) {});
+  const std::string listing = run("list", {"--store", store_dir_});
+  util::set_log_sink({});
+  EXPECT_NE(listing.find("poisson_C_1"), std::string::npos);
+  EXPECT_EQ(listing.find("poisson_C_9"), std::string::npos);
 }
 
 TEST_F(CliTest, HarvestRoundTripsThroughRunDirectives) {

@@ -11,6 +11,7 @@
 #include "history/mapper.h"
 #include "history/report.h"
 #include "history/store.h"
+#include "util/log.h"
 
 namespace histpc::history {
 namespace {
@@ -136,6 +137,78 @@ TEST_F(StoreTest, CorruptedRecordThrowsOnLoad) {
   const std::string id = store.save(sample_record());
   util::write_file(dir_ + "/" + id + ".json", "{not json");
   EXPECT_THROW(store.load(id), util::JsonError);
+}
+
+TEST_F(StoreTest, TruncatedRecordIsQuarantinedByLatest) {
+  ExperimentStore store(dir_);
+  store.save(sample_record());                          // poisson_A_1
+  const std::string id2 = store.save(sample_record());  // poisson_A_2
+  // Simulate a crash mid-write: chop the newest record in half.
+  const std::string path = dir_ + "/" + id2 + ".json";
+  const std::string full = util::read_file(path);
+  util::write_file(path, full.substr(0, full.size() / 2));
+
+  std::vector<std::string> warnings;
+  util::set_log_sink([&](util::LogLevel level, const std::string& msg) {
+    if (level == util::LogLevel::Warn) warnings.push_back(msg);
+  });
+  // latest() skips the damaged file instead of aborting the diagnosis...
+  auto latest = store.latest("poisson", "A");
+  util::set_log_sink({});
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->run_id, "poisson_A_1");
+  // ...and quarantines it by logging the path.
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].find(path), std::string::npos) << warnings[0];
+  // Naming the damaged record explicitly still fails loudly.
+  EXPECT_THROW(store.load(id2), util::JsonError);
+}
+
+TEST_F(StoreTest, ForeignFilesAreSkippedNotAssociated) {
+  ExperimentStore store(dir_);
+  util::write_file(dir_ + "/poisson_A_junk.json", "not a record");
+  util::write_file(dir_ + "/notes.json", "{\"anything\": true}");
+  util::set_log_sink([](util::LogLevel, const std::string&) {});
+  // Numbering ignores the junk (no numeric tail) and starts at 1.
+  EXPECT_EQ(store.save(sample_record()), "poisson_A_1");
+  // Filtered listing and latest() associate by stored fields, so the
+  // foreign files never show up as poisson runs.
+  EXPECT_EQ(store.list("poisson", "A"), std::vector<std::string>{"poisson_A_1"});
+  auto latest = store.latest("poisson", "A");
+  util::set_log_sink({});
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->run_id, "poisson_A_1");
+  // The unfiltered listing is a plain directory view and still sees them.
+  EXPECT_EQ(store.list().size(), 3u);
+}
+
+TEST_F(StoreTest, UnderscoreNamesCannotCrossMatch) {
+  ExperimentStore store(dir_);
+  ExperimentRecord r1 = sample_record();
+  r1.app = "a";
+  r1.version = "b_c";
+  ExperimentRecord r2 = sample_record();
+  r2.app = "a_b";
+  r2.version = "c";
+  // Both would have produced the id prefix "a_b_c_" before escaping, and
+  // prefix-based list() would have associated each with the other.
+  EXPECT_EQ(store.save(r1), "a_b-c_1");
+  EXPECT_EQ(store.save(r2), "a-b_c_1");
+  EXPECT_EQ(store.list("a", "b_c"), std::vector<std::string>{"a_b-c_1"});
+  EXPECT_EQ(store.list("a_b", "c"), std::vector<std::string>{"a-b_c_1"});
+  auto latest = store.latest("a", "b_c");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->app, "a");
+  EXPECT_EQ(latest->version, "b_c");
+
+  // An app/version pair that *natively* collides with an escaped id shares
+  // the filename counter (so files stay unique) but not the association.
+  ExperimentRecord r3 = sample_record();
+  r3.app = "a";
+  r3.version = "b-c";
+  EXPECT_EQ(store.save(r3), "a_b-c_2");
+  EXPECT_EQ(store.list("a", "b-c"), std::vector<std::string>{"a_b-c_2"});
+  EXPECT_EQ(store.list("a", "b_c"), std::vector<std::string>{"a_b-c_1"});
 }
 
 TEST_F(StoreTest, RemoveDeletesRecord) {
