@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/session.h"
@@ -16,10 +18,34 @@
 #include "history/generator.h"
 #include "history/mapper.h"
 #include "pc/consultant.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace histpc::bench {
+
+inline constexpr const char* kBenchMetricsPath = "BENCH_metrics.json";
+
+/// Merge named sections into BENCH_metrics.json (read-modify-write): each
+/// bench binary owns its top-level sections and must not clobber the
+/// others', so the canonical `for b in build/bench/*; do $b; done` loop
+/// accumulates one combined file regardless of run order.
+inline void write_bench_sections(std::vector<std::pair<std::string, util::Json>> sections,
+                                 const std::string& path = kBenchMetricsPath) {
+  util::Json metrics = std::filesystem::exists(path)
+                           ? util::Json::parse(util::read_file(path))
+                           : util::Json::object();
+  for (auto& [name, value] : sections) metrics[name] = std::move(value);
+  util::write_file(path, metrics.dump(2) + "\n");
+}
+
+/// Single-section convenience overload.
+inline void write_bench_section(const std::string& name, util::Json value,
+                                const std::string& path = kBenchMetricsPath) {
+  std::vector<std::pair<std::string, util::Json>> sections;
+  sections.emplace_back(name, std::move(value));
+  write_bench_sections(std::move(sections), path);
+}
 
 /// Run parameters per Poisson version. Durations are generous enough for
 /// the undirected base searches to complete ("allowed to run to

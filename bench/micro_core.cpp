@@ -9,10 +9,15 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <limits>
+#include <string_view>
+#include <thread>
 
 #include "apps/apps.h"
 #include "apps/workload_spec.h"
+#include "bench_common.h"
 #include "core/session.h"
+#include "core/variant_runner.h"
 #include "history/generator.h"
 #include "history/postmortem.h"
 #include "metrics/metric_batch.h"
@@ -21,6 +26,7 @@
 #include "pc/consultant.h"
 #include "pc/directive_index.h"
 #include "pc/shg.h"
+#include "resources/focus_table.h"
 #include "telemetry/tracer.h"
 #include "util/json.h"
 
@@ -160,6 +166,62 @@ void BM_FocusRefinement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FocusRefinement);
+
+/// Working set for the intern benchmarks: whole program, its one-edge
+/// refinements, and their refinements — the foci the consultant's first
+/// two expansion waves handle.
+const std::vector<resources::Focus>& intern_working_set() {
+  static const std::vector<resources::Focus> set = [] {
+    const auto& view = shared_view();
+    const auto whole = resources::Focus::whole_program(view.resources());
+    std::vector<resources::Focus> out{whole};
+    for (resources::Focus& f : whole.refinements(view.resources())) {
+      for (resources::Focus& g : f.refinements(view.resources())) out.push_back(std::move(g));
+      out.push_back(std::move(f));
+    }
+    return out;
+  }();
+  return set;
+}
+
+void BM_FocusOpsString(benchmark::State& state) {
+  // The string baseline for one SHG-expansion step per focus: dedup-key
+  // hash (canonical name materialization + string hash), equality against
+  // a neighbor, and the one-edge refinement list (vector<Focus> copies).
+  const auto& view = shared_view();
+  const auto& set = intern_working_set();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const resources::Focus& f = set[i];
+    i = (i + 1) % set.size();
+    benchmark::DoNotOptimize(std::hash<std::string>{}(f.name()));
+    benchmark::DoNotOptimize(f == set[i]);
+    benchmark::DoNotOptimize(f.refinements(view.resources()));
+  }
+  state.counters["foci"] = static_cast<double>(set.size());
+}
+BENCHMARK(BM_FocusOpsString);
+
+void BM_FocusOpsInterned(benchmark::State& state) {
+  // The same step on FocusIds: integer hash, integer compare, memoized
+  // refinement list (stable reference out of the shared table).
+  auto& table = shared_view().foci();
+  const auto& set = intern_working_set();
+  std::vector<resources::FocusId> ids;
+  ids.reserve(set.size());
+  for (const resources::Focus& f : set) ids.push_back(table.intern(f));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const resources::FocusId f = ids[i];
+    i = (i + 1) % ids.size();
+    benchmark::DoNotOptimize(
+        std::hash<std::uint32_t>{}(static_cast<std::uint32_t>(f)));
+    benchmark::DoNotOptimize(f == ids[i]);
+    benchmark::DoNotOptimize(table.refinements(f));
+  }
+  state.counters["foci"] = static_cast<double>(set.size());
+}
+BENCHMARK(BM_FocusOpsInterned);
 
 void BM_ShgInsertAndDedup(benchmark::State& state) {
   const auto& view = shared_view();
@@ -313,6 +375,19 @@ void BM_FullDiagnosisScanEval(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDiagnosisScanEval);
 
+void BM_FullDiagnosisStringFoci(benchmark::State& state) {
+  // Same search on the retained string-based focus path (the oracle mode
+  // the interned search is property-tested against).
+  const auto& view = shared_view();
+  pc::PcConfig config;
+  config.interned_foci = false;
+  for (auto _ : state) {
+    pc::PerformanceConsultant consultant(view, config);
+    benchmark::DoNotOptimize(consultant.run());
+  }
+}
+BENCHMARK(BM_FullDiagnosisStringFoci);
+
 void BM_WildcardFarmSimulation(benchmark::State& state) {
   apps::AppParams p;
   p.target_duration = 200.0;
@@ -367,15 +442,16 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// ns per call of `fn`, measured over enough repetitions to fill ~50 ms.
+/// ns per call of `fn`, measured over enough repetitions to fill `budget`
+/// seconds (~50 ms by default; --quick shrinks it).
 template <typename Fn>
-double time_ns_per_call(Fn&& fn) {
+double time_ns_per_call(Fn&& fn, double budget = 0.05) {
   std::size_t reps = 1;
   for (;;) {
     const auto start = Clock::now();
     for (std::size_t i = 0; i < reps; ++i) fn();
     const double elapsed = seconds_since(start);
-    if (elapsed >= 0.05 || reps >= (1u << 24)) return elapsed * 1e9 / static_cast<double>(reps);
+    if (elapsed >= budget || reps >= (1u << 24)) return elapsed * 1e9 / static_cast<double>(reps);
     reps *= 4;
   }
 }
@@ -408,17 +484,19 @@ double table1_end_to_end_seconds() {
   return seconds_since(start);
 }
 
-void write_bench_metrics() {
+void write_bench_metrics(bool quick) {
+  const double budget = quick ? 0.005 : 0.05;
   const auto& view = shared_view();
   const auto& filter =
       view.compiled(resources::Focus::whole_program(view.resources()));
   const double duration = view.trace().duration;
   const auto metric = metrics::MetricKind::SyncWaitTime;
 
-  const double indexed_ns =
-      time_ns_per_call([&] { benchmark::DoNotOptimize(view.query(metric, filter, 0.0, duration)); });
+  const double indexed_ns = time_ns_per_call(
+      [&] { benchmark::DoNotOptimize(view.query(metric, filter, 0.0, duration)); }, budget);
   const double scan_ns = time_ns_per_call(
-      [&] { benchmark::DoNotOptimize(view.query_scan(metric, filter, 0.0, duration)); });
+      [&] { benchmark::DoNotOptimize(view.query_scan(metric, filter, 0.0, duration)); },
+      budget);
   const double table1_s = table1_end_to_end_seconds();
 
   util::Json out = util::Json::object();
@@ -431,6 +509,77 @@ void write_bench_metrics() {
   util::Json table1 = util::Json::object();
   table1["end_to_end_seconds"] = table1_s;
   out["table1_directives"] = std::move(table1);
+
+  // Focus interning: one SHG-expansion step (dedup hash + equality + the
+  // one-edge refinement list) per focus, strings vs interned ids.
+  double intern_string_ns = 0.0, intern_id_ns = 0.0;
+  {
+    const auto& set = intern_working_set();
+    auto& table = view.foci();
+    std::vector<resources::FocusId> ids;
+    ids.reserve(set.size());
+    for (const resources::Focus& f : set) ids.push_back(table.intern(f));
+    std::size_t si = 0, ii = 0;
+    intern_string_ns = time_ns_per_call(
+        [&] {
+          const resources::Focus& f = set[si];
+          si = (si + 1) % set.size();
+          benchmark::DoNotOptimize(std::hash<std::string>{}(f.name()));
+          benchmark::DoNotOptimize(f == set[si]);
+          benchmark::DoNotOptimize(f.refinements(view.resources()));
+        },
+        budget);
+    intern_id_ns = time_ns_per_call(
+        [&] {
+          const resources::FocusId f = ids[ii];
+          ii = (ii + 1) % ids.size();
+          benchmark::DoNotOptimize(
+              std::hash<std::uint32_t>{}(static_cast<std::uint32_t>(f)));
+          benchmark::DoNotOptimize(f == ids[ii]);
+          benchmark::DoNotOptimize(table.refinements(f));
+        },
+        budget);
+    util::Json fi = util::Json::object();
+    fi["foci"] = static_cast<double>(set.size());
+    fi["string_ns_per_op"] = intern_string_ns;
+    fi["interned_ns_per_op"] = intern_id_ns;
+    fi["speedup_vs_string"] = intern_id_ns > 0 ? intern_string_ns / intern_id_ns : 0.0;
+    out["focus_intern"] = std::move(fi);
+  }
+
+  // Parallel variant runner: the six table-1 configurations over the
+  // shared view, sequential vs a four-worker pool. On a single-core host
+  // the parallel bundle cannot beat the sequential one; the recorded
+  // hardware_concurrency makes the measurement interpretable either way.
+  double variants_seq_s = 0.0, variants_par_s = 0.0;
+  int variants_threads = 0;
+  {
+    pc::PerformanceConsultant consultant(view, pc::PcConfig{});
+    const pc::DiagnosisResult base = consultant.run();
+    const history::ExperimentRecord record =
+        history::make_record("poisson", "C", view, base, 0.2);
+    const auto variants = core::table1_variants(record);
+    const int repeats = quick ? 1 : 5;
+    variants_seq_s = variants_par_s = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r)
+      variants_seq_s =
+          std::min(variants_seq_s, core::run_variants(view, variants, 1).wall_seconds);
+    for (int r = 0; r < repeats; ++r) {
+      const core::VariantRunReport rep = core::run_variants(view, variants, 4);
+      variants_par_s = std::min(variants_par_s, rep.wall_seconds);
+      variants_threads = rep.threads;
+    }
+    util::Json pv = util::Json::object();
+    pv["variants"] = static_cast<double>(variants.size());
+    pv["threads"] = static_cast<double>(variants_threads);
+    pv["hardware_concurrency"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+    pv["sequential_seconds"] = variants_seq_s;
+    pv["parallel_seconds"] = variants_par_s;
+    pv["speedup_vs_sequential"] =
+        variants_par_s > 0 ? variants_seq_s / variants_par_s : 0.0;
+    out["parallel_variants"] = std::move(pv);
+  }
 
   // Directive lookup: scan oracle vs DirectiveIndex on a harvested-scale
   // set (the acceptance bar is >=10x at >=1000 directives).
@@ -474,24 +623,47 @@ void write_bench_metrics() {
   telemetry_section["summary"] = traced.telemetry.to_json();
   out["telemetry"] = std::move(telemetry_section);
 
-  const std::string path = "BENCH_metrics.json";
-  util::write_file(path, out.dump(2) + "\n");
+  // Merge (don't overwrite): table1_directives owns its own section of the
+  // same file.
+  std::vector<std::pair<std::string, util::Json>> sections;
+  for (auto& [name, value] : out.as_object()) sections.emplace_back(name, std::move(value));
+  bench::write_bench_sections(std::move(sections));
   std::printf("wrote %s: metric query %.0f ns indexed / %.0f ns scan (%.1fx), "
               "directive lookup %.0f ns indexed / %.0f ns scan (%.1fx @ %d directives), "
+              "focus ops %.0f ns string / %.0f ns interned (%.1fx), "
+              "variants %.3f s sequential / %.3f s on %d workers, "
               "table1 workload %.3f s\n",
-              path.c_str(), indexed_ns, scan_ns,
+              bench::kBenchMetricsPath, indexed_ns, scan_ns,
               scan_ns > 0 ? scan_ns / indexed_ns : 0.0, dir_indexed_ns, dir_scan_ns,
               dir_indexed_ns > 0 ? dir_scan_ns / dir_indexed_ns : 0.0, n_directives,
-              table1_s);
+              intern_string_ns, intern_id_ns,
+              intern_id_ns > 0 ? intern_string_ns / intern_id_ns : 0.0, variants_seq_s,
+              variants_par_s, variants_threads, table1_s);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // --quick (ours, stripped before google-benchmark sees the args): CI
+  // smoke mode — run only the cheap focus-op benchmarks and shrink the
+  // JSON measurement budgets, but still emit every BENCH_metrics.json
+  // section so the smoke job can validate the full schema.
+  bool quick = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char quick_filter[] = "--benchmark_filter=BM_FocusOps.*";
+  if (quick) args.push_back(quick_filter);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_bench_metrics();
+  write_bench_metrics(quick);
   return 0;
 }

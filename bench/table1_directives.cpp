@@ -5,8 +5,6 @@
 //
 // Workload: the 2-D Poisson application (version C) on four nodes,
 // identical thresholds in every run (Section 4.1).
-#include <filesystem>
-
 #include "bench_common.h"
 #include "util/json.h"
 
@@ -119,15 +117,8 @@ int main() {
 
   // Merge the per-variant summaries into BENCH_metrics.json (micro_core
   // writes the other sections; keep whatever is already there).
-  {
-    const std::string path = "BENCH_metrics.json";
-    util::Json metrics = std::filesystem::exists(path)
-                             ? util::Json::parse(util::read_file(path))
-                             : util::Json::object();
-    metrics["table1_variant_telemetry"] = std::move(telemetry_by_variant);
-    util::write_file(path, metrics.dump(2) + "\n");
-    std::printf("wrote per-variant telemetry summaries to %s\n\n", path.c_str());
-  }
+  bench::write_bench_section("table1_variant_telemetry", std::move(telemetry_by_variant));
+  std::printf("wrote per-variant telemetry summaries to %s\n\n", bench::kBenchMetricsPath);
 
   for (std::size_t p = 0; p < percents.size(); ++p) {
     std::vector<std::string> row{util::fmt_double(percents[p], 0) + "%"};

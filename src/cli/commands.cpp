@@ -10,6 +10,7 @@
 #include "apps/workload_spec.h"
 #include "cli/args.h"
 #include "core/session.h"
+#include "core/variant_runner.h"
 #include "history/combiner.h"
 #include "history/compare.h"
 #include "history/execution_map.h"
@@ -184,6 +185,42 @@ int cmd_run(const Args& args, std::ostream& out) {
     const std::string run_id = store.save(session.make_record(result, version));
     out << "\nstored experiment record '" << run_id << "' in " << *store_dir << "\n";
   }
+  return 0;
+}
+
+int cmd_variants(const Args& args, std::ostream& out) {
+  pc::PcConfig config;
+  config.threshold_override = args.option_or("threshold", -1.0);
+  if (args.has_flag("string-foci")) config.interned_foci = false;
+
+  std::string app;
+  simmpi::ExecutionTrace trace = make_trace(args, app, 1500.0);
+  core::DiagnosisSession session(std::move(trace), config, app);
+  out << "running " << app << " (" << session.trace().num_ranks() << " ranks, "
+      << util::fmt_double(session.trace().duration, 1) << "s)\n";
+
+  // The base (undirected) diagnosis supplies the record every directed
+  // variant harvests its directives from.
+  const pc::DiagnosisResult base = session.diagnose();
+  const auto record = session.make_record(base, args.option_or("version", std::string("1")));
+
+  const auto variants = core::table1_variants(record, config);
+  const core::VariantRunReport report =
+      core::run_variants(session.view(), variants, args.option_or("threads", 0));
+
+  util::TablePrinter table({"variant", "pairs", "bottlenecks", "last true", "wall ms"});
+  for (const auto& o : report.outcomes)
+    table.add_row({o.name, std::to_string(o.result.stats.pairs_tested),
+                   std::to_string(o.result.stats.bottlenecks),
+                   util::fmt_double(o.result.stats.last_true_time, 1) + "s",
+                   util::fmt_double(o.wall_seconds * 1e3, 1)});
+  table.print(out);
+  out << "\n" << report.threads << " worker thread(s), bundle wall "
+      << util::fmt_double(report.wall_seconds * 1e3, 1) << "ms\ncombined: "
+      << report.combined.pairs_tested << " pairs tested, " << report.combined.conclusions_true
+      << " true / " << report.combined.conclusions_false << " false conclusions, "
+      << report.combined.prune_hits_subtree + report.combined.prune_hits_pair
+      << " prune hits\n";
   return 0;
 }
 
@@ -427,6 +464,10 @@ const Command kCommands[] = {
      {"duration", "node-base", "threshold", "cost-limit", "directives", "store", "version",
       "save-trace", "dot", "workload", "trace", "trace-format"},
      {"shg", "extended", "postmortem", "discovery"}},
+    {"variants",
+     cmd_variants,
+     {"duration", "node-base", "workload", "threads", "threshold", "version"},
+     {"string-foci"}},
     {"list", cmd_list, {"store", "app", "version"}, {}},
     {"show", cmd_show, {"store"}, {"report"}},
     {"harvest",
@@ -450,6 +491,7 @@ std::string usage() {
         "  apps                         list registered applications\n"
         "  report <app>                 simulate and summarize an execution\n"
         "  run <app>                    simulate + diagnose (optionally directed/stored)\n"
+        "  variants <app>               run the table-1 directive variants in parallel\n"
         "  list                         list stored experiment records\n"
         "  show <run_id>                print one record\n"
         "  harvest <run_id>             extract search directives from a record\n"

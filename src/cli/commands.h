@@ -7,6 +7,8 @@
 //                    [--save-trace FILE] [--shg] [--dot FILE] [--postmortem]
 //                    [--trace FILE] [--trace-format jsonl|chrome]
 //   histpc report <app|--workload FILE> [--duration S] [--bins N]
+//   histpc variants <app|--workload FILE> [--duration S] [--node-base N]
+//                    [--threads N] [--threshold F] [--version V] [--string-foci]
 //   histpc list [--store DIR] [--app NAME] [--version V]
 //   histpc show <run_id> [--store DIR] [--report]
 //   histpc harvest <run_id...> [--store DIR] [--out FILE] [--no-priorities]

@@ -32,4 +32,29 @@ double CostModel::probe_cost(const metrics::TraceView& view, const resources::Fo
   return cost;
 }
 
+double CostModel::probe_cost(const metrics::TraceView& view, resources::FocusId focus,
+                             metrics::MetricKind metric) const {
+  (void)metric;
+  const auto& db = view.resources();
+  resources::FocusTable& table = view.foci();
+  double cost = base_per_rank;
+
+  int code_idx = db.hierarchy_index(resources::kCodeHierarchy);
+  if (code_idx >= 0 && static_cast<std::size_t>(code_idx) < table.num_hierarchies()) {
+    const auto h = static_cast<std::size_t>(code_idx);
+    const int depth = table.part_depth(h, table.part(focus, h));
+    if (depth == 0) cost *= whole_code_multiplier;
+    else if (depth == 1) cost *= module_multiplier;
+  }
+
+  int sync_idx = db.hierarchy_index(resources::kSyncObjectHierarchy);
+  if (sync_idx >= 0 && static_cast<std::size_t>(sync_idx) < table.num_hierarchies()) {
+    const auto h = static_cast<std::size_t>(sync_idx);
+    if (table.part_depth(h, table.part(focus, h)) > 0) cost *= sync_constrained_multiplier;
+  }
+
+  cost *= std::max(1, view.compiled(focus).num_selected_ranks);
+  return cost;
+}
+
 }  // namespace histpc::instr

@@ -29,6 +29,11 @@ struct CostModel {
   /// Predicted cost fraction of a probe for (metric : focus).
   double probe_cost(const metrics::TraceView& view, const resources::Focus& focus,
                     metrics::MetricKind metric) const;
+
+  /// Id twin: same value, part depths read from the view's FocusTable
+  /// instead of splitting part strings.
+  double probe_cost(const metrics::TraceView& view, resources::FocusId focus,
+                    metrics::MetricKind metric) const;
 };
 
 }  // namespace histpc::instr

@@ -29,16 +29,33 @@ ProbeId InstrumentationManager::insert(metrics::MetricKind metric,
   // The compiled-filter cache makes repeated insertions over the same
   // focus (and the cost model's compile of it) a hash lookup.
   const metrics::FocusFilter& filter = view_.compiled(focus);
+  return insert_probe(metric, filter, cost_model_.probe_cost(view_, focus, metric), now,
+                      tracer_ && tracer_->tracing() ? focus.name() : std::string());
+}
+
+ProbeId InstrumentationManager::insert(metrics::MetricKind metric,
+                                       resources::FocusId focus, double now) {
+  const metrics::FocusFilter& filter = view_.compiled(focus);
+  return insert_probe(metric, filter, cost_model_.probe_cost(view_, focus, metric), now,
+                      tracer_ && tracer_->tracing() ? view_.foci().name(focus)
+                                                    : std::string());
+}
+
+ProbeId InstrumentationManager::insert_probe(metrics::MetricKind metric,
+                                             const metrics::FocusFilter& filter,
+                                             double cost, double now,
+                                             std::string focus_name_if_tracing) {
   Probe p;
   p.metric = metric;
   p.selected_ranks = filter.num_selected_ranks;
-  p.cost = cost_model_.probe_cost(view_, focus, metric);
+  p.cost = cost;
   if (eval_.batched) {
     p.slot = batch_->add(metric, filter, now + insertion_latency_);
   } else {
     p.instance.emplace(view_, metric, filter, now + insertion_latency_);
   }
   p.active = true;
+  p.focus_name = std::move(focus_name_if_tracing);
   probes_.push_back(std::move(p));
   total_cost_ += probes_.back().cost;
   peak_cost_ = std::max(peak_cost_, total_cost_);
@@ -52,7 +69,7 @@ ProbeId InstrumentationManager::insert(metrics::MetricKind metric,
       telemetry::Event e;
       e.kind = telemetry::EventKind::ProbeInsert;
       e.t = now;
-      e.focus = probes_.back().focus_name = focus.name();
+      e.focus = probes_.back().focus_name;
       e.value = probes_.back().cost;
       e.cost = total_cost_;
       e.detail = metrics::metric_name(metric);

@@ -64,6 +64,10 @@ class InstrumentationManager {
   /// collection begins at now + insertion latency.
   ProbeId insert(metrics::MetricKind metric, const resources::Focus& focus, double now);
 
+  /// Id twin: the focus is an id in the view's FocusTable. No focus-name
+  /// string is built unless event tracing is on.
+  ProbeId insert(metrics::MetricKind metric, resources::FocusId focus, double now);
+
   /// Delete a probe, releasing its cost immediately.
   void remove(ProbeId id);
 
@@ -91,6 +95,11 @@ class InstrumentationManager {
   const EvalConfig& eval_config() const { return eval_; }
 
  private:
+  /// Common insertion tail once the filter, cost, and (only-if-tracing)
+  /// focus name have been resolved by the string or id front end.
+  ProbeId insert_probe(metrics::MetricKind metric, const metrics::FocusFilter& filter,
+                       double cost, double now, std::string focus_name_if_tracing);
+
   struct Probe {
     std::optional<metrics::MetricInstance> instance;  ///< scan engine only
     metrics::MetricBatch::SlotId slot = -1;           ///< batched engine only

@@ -72,6 +72,17 @@ TraceView::TraceView(const ExecutionTrace& trace)
 
   compute_discovery_times();
   index_ = std::make_unique<IntervalIndex>(trace_);
+  // The db is complete from here on: the table's hierarchy snapshot and
+  // the per-ResourceId discovery vectors stay valid for the view's life.
+  foci_ = std::make_unique<resources::FocusTable>(db_);
+  discovery_by_resource_.resize(db_.num_hierarchies());
+  for (std::size_t h = 0; h < db_.num_hierarchies(); ++h) {
+    const auto& tree = db_.hierarchy(h);
+    auto& times = discovery_by_resource_[h];
+    times.resize(tree.size());
+    for (std::size_t rid = 0; rid < tree.size(); ++rid)
+      times[rid] = discovery_time(tree.node(static_cast<resources::ResourceId>(rid)).full_name);
+  }
 }
 
 TraceView::~TraceView() = default;
@@ -148,28 +159,52 @@ FocusFilter TraceView::compile(const Focus& focus) const {
       filter.accept_nofunc = false;
       const std::string& module = comps[2];
       const std::string* function = comps.size() > 3 ? &comps[3] : nullptr;
+      bool any = false;
       for (std::size_t f = 0; f < nfuncs; ++f) {
         const auto& fi = trace_.functions[f];
         filter.funcs[f] =
             fi.module == module && (function == nullptr || fi.function == *function);
+        any = any || filter.funcs[f];
       }
+      if (!any)
+        filter.diagnostics.push_back("part '" + part +
+                                     "' matched no recorded function in hierarchy 'Code'");
     } else if (hname == resources::kMachineHierarchy) {
       const std::string& node = comps[2];
+      bool any = false;
       for (std::size_t r = 0; r < nranks; ++r) {
         int node_idx = trace_.machine.rank_to_node[r];
         if (trace_.machine.node_names[static_cast<std::size_t>(node_idx)] != node)
           filter.ranks[r] = false;
+        else
+          any = true;
       }
+      if (!any)
+        filter.diagnostics.push_back("part '" + part +
+                                     "' matched no node in hierarchy 'Machine'");
     } else if (hname == resources::kProcessHierarchy) {
       const std::string& proc = comps[2];
-      for (std::size_t r = 0; r < nranks; ++r)
-        if (trace_.machine.process_names[r] != proc) filter.ranks[r] = false;
+      bool any = false;
+      for (std::size_t r = 0; r < nranks; ++r) {
+        if (trace_.machine.process_names[r] != proc)
+          filter.ranks[r] = false;
+        else
+          any = true;
+      }
+      if (!any)
+        filter.diagnostics.push_back("part '" + part +
+                                     "' matched no process in hierarchy 'Process'");
     } else if (hname == resources::kSyncObjectHierarchy) {
       filter.sync_unconstrained = false;
+      bool any = false;
       for (std::size_t s = 0; s < nsync; ++s) {
         std::string full = "/SyncObject/" + trace_.sync_objects[s];
         filter.sync_objects[s] = util::is_path_prefix(part, full);
+        any = any || filter.sync_objects[s];
       }
+      if (!any)
+        filter.diagnostics.push_back(
+            "part '" + part + "' matched no synchronization object in hierarchy 'SyncObject'");
     }
     // Unknown hierarchies (not represented in the trace) select everything;
     // the PC never refines into them because the db lacks them.
@@ -181,10 +216,20 @@ FocusFilter TraceView::compile(const Focus& focus) const {
 
 const FocusFilter& TraceView::compiled(const Focus& focus) const {
   std::string key = focus.name();
+  std::lock_guard<std::mutex> lock(filter_mu_);
   auto it = filter_cache_.find(key);
   if (it == filter_cache_.end())
     it = filter_cache_.emplace(std::move(key), compile(focus)).first;
   return it->second;
+}
+
+const FocusFilter& TraceView::compiled(resources::FocusId focus) const {
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  const auto idx = static_cast<std::size_t>(focus);
+  if (filters_by_id_.size() <= idx) filters_by_id_.resize(idx + 1);
+  if (!filters_by_id_[idx])
+    filters_by_id_[idx] = std::make_unique<FocusFilter>(compile(foci_->to_focus(focus)));
+  return *filters_by_id_[idx];
 }
 
 double TraceView::query(MetricKind metric, const Focus& focus, double t0, double t1) const {

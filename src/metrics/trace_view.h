@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "metrics/metric.h"
 #include "resources/focus.h"
+#include "resources/focus_table.h"
 #include "resources/resource_db.h"
 #include "simmpi/trace.h"
 
@@ -40,6 +42,12 @@ struct FocusFilter {
   std::vector<std::int32_t> selected_funcs;  ///< accepted FuncIds when !all_funcs
   std::vector<std::int32_t> selected_syncs;  ///< accepted ids when !sync_unconstrained
 
+  /// Why the filter selects nothing, when it does: one line per focus part
+  /// that matched no function/rank/sync-object in this trace (directives
+  /// mapped from another run may name resources this execution never
+  /// created). Empty for filters that select at least one interval source.
+  std::vector<std::string> diagnostics;
+
   bool rank_selected(int rank) const { return ranks[static_cast<std::size_t>(rank)]; }
 
   /// Does `iv` contribute to `metric` under this filter?
@@ -64,6 +72,13 @@ class TraceView {
   const resources::ResourceDb& resources() const { return db_; }
   const IntervalIndex& index() const { return *index_; }
 
+  /// The focus interner over this view's (immutable) resource db. Returned
+  /// non-const from a const view: the table is internally synchronized and
+  /// append-only, like the filter caches (interning is memoization, not
+  /// observable mutation). Shared by every consultant — and every parallel
+  /// variant — diagnosing this view.
+  resources::FocusTable& foci() const { return *foci_; }
+
   /// Compile `focus` for interval matching. Parts naming resources missing
   /// from this trace select nothing (relevant when directives from another
   /// run were not fully mapped).
@@ -71,8 +86,13 @@ class TraceView {
 
   /// Cached compile: one filter per canonical focus name for the lifetime
   /// of the view. The returned reference is stable (never invalidated by
-  /// later calls). Not thread-safe; call from the owning thread only.
+  /// later calls). Thread-safe: both filter caches share one mutex, so
+  /// parallel variant runs may compile concurrently.
   const FocusFilter& compiled(const resources::Focus& focus) const;
+
+  /// Id-keyed twin of compiled(): no name materialization, one vector slot
+  /// per FocusId. Same stability and thread-safety guarantees.
+  const FocusFilter& compiled(resources::FocusId focus) const;
 
   /// Direct whole-window query: metric seconds accumulated in [t0, t1).
   /// Served by the interval index in O(log n) per rank.
@@ -101,15 +121,30 @@ class TraceView {
   /// it is discovered (PcConfig::respect_discovery_times).
   double discovery_time(const std::string& resource_name) const;
 
+  /// Id-keyed twin: discovery time of resource `rid` in hierarchy
+  /// `hierarchy_idx` (precomputed per-resource vectors, no name lookup).
+  double discovery_time(std::size_t hierarchy_idx, resources::ResourceId rid) const {
+    return discovery_by_resource_.at(hierarchy_idx)[static_cast<std::size_t>(rid)];
+  }
+
  private:
   void compute_discovery_times();
 
   const simmpi::ExecutionTrace& trace_;
   resources::ResourceDb db_;
   std::unordered_map<std::string, double> discovery_;
+  /// discovery_ mirrored onto ResourceIds: [hierarchy][rid] (roots 0.0).
+  std::vector<std::vector<double>> discovery_by_resource_;
   std::unique_ptr<IntervalIndex> index_;
+  /// Focus interner over db_. unique_ptr: the table is non-movable and
+  /// snapshots hierarchy pointers, which stay valid if the view moves.
+  std::unique_ptr<resources::FocusTable> foci_;
+  /// Guards both filter caches (compiled() by name and by id).
+  mutable std::mutex filter_mu_;
   /// Keyed by canonical focus name; node-based map keeps references stable.
   mutable std::unordered_map<std::string, FocusFilter> filter_cache_;
+  /// Indexed by FocusId; unique_ptr slots keep references stable.
+  mutable std::vector<std::unique_ptr<FocusFilter>> filters_by_id_;
 };
 
 }  // namespace histpc::metrics

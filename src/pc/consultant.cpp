@@ -58,13 +58,33 @@ PerformanceConsultant::PerformanceConsultant(const metrics::TraceView& view, PcC
       instr_(view, config_.cost_model, config_.insertion_latency,
              config_.perturbation_factor,
              instr::EvalConfig{config_.batched_eval, config_.eval_threads}, &tracer_),
-      shg_(config_.hypotheses) {
+      shg_(config_.hypotheses, config_.interned_foci ? &view.foci() : nullptr) {
   if (config_.tick <= 0 || config_.min_observation <= 0)
     throw std::invalid_argument("PcConfig: tick and min_observation must be positive");
   directives_.apply_mappings();
   // Built after apply_mappings(): the index snapshots the directive
   // strings and must see the rewritten resource names.
   directive_index_ = DirectiveIndex(directives_);
+  if (config_.interned_foci) {
+    foci_ = &view_.foci();
+    directive_index_.bind(*foci_, config_.hypotheses);
+    sync_idx_ = view_.resources().hierarchy_index(resources::kSyncObjectHierarchy);
+    scope_pids_.assign(config_.hypotheses.size(), resources::kNoPart);
+    for (std::size_t i = 0; i < config_.hypotheses.size(); ++i) {
+      const Hypothesis& h = config_.hypotheses.at(static_cast<int>(i));
+      if (!h.sync_scope.empty() && sync_idx_ >= 0)
+        scope_pids_[i] =
+            foci_->part_id(static_cast<std::size_t>(sync_idx_), h.sync_scope);
+    }
+  }
+  thresholds_by_hyp_.reserve(config_.hypotheses.size());
+  for (std::size_t i = 0; i < config_.hypotheses.size(); ++i) {
+    const Hypothesis& h = config_.hypotheses.at(static_cast<int>(i));
+    double t = h.default_threshold;
+    if (config_.threshold_override > 0) t = config_.threshold_override;
+    if (auto d = directive_index_.threshold_for(h.name)) t = *d;
+    thresholds_by_hyp_.push_back(t);
+  }
 }
 
 void PerformanceConsultant::trace_event(telemetry::EventKind kind, double t, int hyp,
@@ -93,11 +113,14 @@ void PerformanceConsultant::note_prune_hit(DirectiveSet::PruneKind kind, int hyp
                 pair ? "pair" : "subtree");
 }
 
-double PerformanceConsultant::threshold_for(int hyp) const {
-  const Hypothesis& h = config_.hypotheses.at(hyp);
-  if (auto t = directive_index_.threshold_for(h.name)) return *t;
-  if (config_.threshold_override > 0) return config_.threshold_override;
-  return h.default_threshold;
+void PerformanceConsultant::note_prune_hit_id(DirectiveSet::PruneKind kind, int hyp,
+                                              resources::FocusId fid, double now) {
+  ++pruned_candidates_;
+  const bool pair = kind == DirectiveSet::PruneKind::Pair;
+  tracer_.registry().add(pair ? "pc.prune_hit.pair" : "pc.prune_hit.subtree");
+  if (tracer_.tracing())
+    trace_event(telemetry::EventKind::PruneHit, now, hyp, foci_->name(fid), 0.0, 0.0,
+                pair ? "pair" : "subtree");
 }
 
 std::optional<Focus> PerformanceConsultant::probe_focus(int hyp, const Focus& focus) const {
@@ -113,6 +136,18 @@ std::optional<Focus> PerformanceConsultant::probe_focus(int hyp, const Focus& fo
   return std::nullopt;  // disjoint: the pair can never be true
 }
 
+std::optional<resources::FocusId> PerformanceConsultant::probe_focus_id(
+    int hyp, resources::FocusId focus) const {
+  const resources::PartId scope = scope_pids_[static_cast<std::size_t>(hyp)];
+  if (scope == resources::kNoPart || sync_idx_ < 0) return focus;
+  const auto uidx = static_cast<std::size_t>(sync_idx_);
+  const resources::PartId part = foci_->part(focus, uidx);
+  if (foci_->part_within(uidx, part, scope)) return focus;  // already inside the scope
+  if (foci_->part_within(uidx, scope, part))                // root or an ancestor: narrow it
+    return foci_->with_part(focus, uidx, scope);
+  return std::nullopt;  // disjoint: the pair can never be true
+}
+
 void PerformanceConsultant::seed_high_priority_nodes() {
   for (const PriorityDirective& d : directives_.priorities) {
     if (d.priority != Priority::High) continue;
@@ -121,22 +156,37 @@ void PerformanceConsultant::seed_high_priority_nodes() {
       HISTPC_LOG(Debug) << "skipping priority directive for unknown hypothesis " << d.hypothesis;
       continue;
     }
-    auto focus = Focus::parse(d.focus, view_.resources());
-    if (!focus) {
-      // Unmapped or version-specific resource; the paper's mapper handles
-      // most of these, the remainder are silently dropped as in Paradyn.
-      HISTPC_LOG(Debug) << "skipping priority directive with unresolvable focus " << d.focus;
-      continue;
+    int id = -1;
+    if (foci_) {
+      auto fid = foci_->parse(d.focus);
+      if (!fid) {
+        // Unmapped or version-specific resource; the paper's mapper handles
+        // most of these, the remainder are silently dropped as in Paradyn.
+        HISTPC_LOG(Debug) << "skipping priority directive with unresolvable focus "
+                          << d.focus;
+        continue;
+      }
+      if (!probe_focus_id(*hyp, *fid)) continue;  // scope-incompatible pair
+      if (directive_index_.is_pruned(*hyp, *fid)) continue;
+      id = shg_.add_node(*hyp, *fid, shg_.root(), 0.0);
+    } else {
+      auto focus = Focus::parse(d.focus, view_.resources());
+      if (!focus) {
+        HISTPC_LOG(Debug) << "skipping priority directive with unresolvable focus "
+                          << d.focus;
+        continue;
+      }
+      if (!probe_focus(*hyp, *focus)) continue;  // scope-incompatible pair
+      if (directive_index_.is_pruned(d.hypothesis, *focus)) continue;
+      id = shg_.add_node(*hyp, *focus, shg_.root(), 0.0);
     }
-    if (!probe_focus(*hyp, *focus)) continue;  // scope-incompatible pair
-    if (directive_index_.is_pruned(d.hypothesis, *focus)) continue;
-    int id = shg_.add_node(*hyp, *focus, shg_.root(), 0.0);
     ShgNode& n = shg_.node(id);
     if (n.status != NodeStatus::Pending || n.probe != instr::kNoProbe) continue;  // deduped
     n.priority = Priority::High;
     n.persistent = config_.persistent_high_priority;
     tracer_.registry().add("pc.priority_seed");
-    trace_event(telemetry::EventKind::PrioritySeed, 0.0, *hyp, n.focus_name);
+    if (tracer_.tracing())
+      trace_event(telemetry::EventKind::PrioritySeed, 0.0, *hyp, shg_.focus_name(id));
     // Queued ahead of everything else: instrumented from search start, but
     // still subject to the instrumentation cost ceiling (a large seed set
     // is enabled in throttled waves, exactly like ordinary expansion).
@@ -145,6 +195,23 @@ void PerformanceConsultant::seed_high_priority_nodes() {
 }
 
 void PerformanceConsultant::seed_top_level() {
+  if (foci_) {
+    const resources::FocusId whole = foci_->whole_program();
+    for (int hyp : config_.hypotheses.roots()) {
+      if (auto kind = directive_index_.prune_match(hyp, whole);
+          kind != DirectiveSet::PruneKind::None) {
+        note_prune_hit_id(kind, hyp, whole, 0.0);
+        continue;
+      }
+      int id = shg_.add_node(hyp, whole, shg_.root(), 0.0);
+      ShgNode& n = shg_.node(id);
+      if (n.status == NodeStatus::Pending && n.probe == instr::kNoProbe) {
+        n.priority = directive_index_.priority_of(hyp, whole);
+        enqueue(id);
+      }
+    }
+    return;
+  }
   const Focus whole = Focus::whole_program(view_.resources());
   for (int hyp : config_.hypotheses.roots()) {
     if (auto kind = directive_index_.prune_match(config_.hypotheses.at(hyp).name, whole);
@@ -185,15 +252,17 @@ void PerformanceConsultant::activate(int id, double now) {
   const Hypothesis& h = config_.hypotheses.at(n.hyp);
   // Node creation rejects scope-incompatible pairs, so the adjusted focus
   // always exists here.
-  n.probe = instr_.insert(h.metric, *probe_focus(n.hyp, n.focus), now);
+  n.probe = foci_ ? instr_.insert(h.metric, *probe_focus_id(n.hyp, n.fid), now)
+                  : instr_.insert(h.metric, *probe_focus(n.hyp, n.focus), now);
   n.status = NodeStatus::Active;
   n.activate_time = now;
   active_.push_back(id);
   ++unconcluded_active_;
   tracer_.registry().add("pc.instrument");
-  trace_event(telemetry::EventKind::Instrument, now, n.hyp, n.focus_name,
-              instr_.probe_cost(n.probe), threshold_for(n.hyp));
-  HISTPC_LOG(Trace) << "t=" << now << " activate " << h.name << " : " << n.focus_name
+  if (tracer_.tracing())
+    trace_event(telemetry::EventKind::Instrument, now, n.hyp, shg_.focus_name(id),
+                instr_.probe_cost(n.probe), threshold_for(n.hyp));
+  HISTPC_LOG(Trace) << "t=" << now << " activate " << h.name << " : " << shg_.focus_name(id)
                     << " (cost " << instr_.probe_cost(n.probe) << ", total "
                     << instr_.total_cost() << ")";
 }
@@ -244,7 +313,7 @@ void PerformanceConsultant::consider_candidate(int hyp, Focus&& focus, int paren
     if (available > now) {
       // Not yet observable: retried once the resource has appeared.
       if (std::isfinite(available))
-        deferred_.push_back({hyp, std::move(focus), parent, available});
+        deferred_.push_back({hyp, std::move(focus), resources::kNoFocus, parent, available});
       return;
     }
   }
@@ -258,6 +327,40 @@ void PerformanceConsultant::consider_candidate(int hyp, Focus&& focus, int paren
   }
 }
 
+void PerformanceConsultant::consider_candidate_id(int hyp, resources::FocusId fid,
+                                                  int parent, double now) {
+  if (!probe_focus_id(hyp, fid)) return;  // scope-incompatible, never true
+  if (auto kind = directive_index_.prune_match(hyp, fid);
+      kind != DirectiveSet::PruneKind::None) {
+    note_prune_hit_id(kind, hyp, fid, now);
+    return;
+  }
+  if (config_.respect_discovery_times) {
+    double available = 0.0;
+    for (std::size_t h = 0; h < foci_->num_hierarchies(); ++h) {
+      const resources::PartId pid = foci_->part(fid, h);
+      const resources::ResourceId rid = resources::FocusTable::part_resource(pid);
+      available = std::max(available, rid != resources::kNoResource
+                                          ? view_.discovery_time(h, rid)
+                                          : view_.discovery_time(foci_->part_name(h, pid)));
+    }
+    if (available > now) {
+      // Not yet observable: retried once the resource has appeared.
+      if (std::isfinite(available))
+        deferred_.push_back({hyp, Focus(), fid, parent, available});
+      return;
+    }
+  }
+  int cid = shg_.add_node(hyp, fid, parent, now);
+  ShgNode& cn = shg_.node(cid);
+  if (cn.status == NodeStatus::Pending && cn.probe == instr::kNoProbe &&
+      cn.enqueue_time == now && cn.parents.size() == 1 && cn.parents.front() == parent) {
+    // Freshly created by this refinement: assign priority and queue it.
+    cn.priority = directive_index_.priority_of(hyp, fid);
+    enqueue(cid);
+  }
+}
+
 void PerformanceConsultant::release_discovered(double now) {
   if (deferred_.empty()) return;
   std::vector<DeferredCandidate> still_waiting;
@@ -266,17 +369,35 @@ void PerformanceConsultant::release_discovered(double now) {
     (c.available_at <= now ? ripe : still_waiting).push_back(std::move(c));
   }
   deferred_ = std::move(still_waiting);
-  for (auto& c : ripe) consider_candidate(c.hyp, std::move(c.focus), c.parent, now);
+  for (auto& c : ripe) {
+    if (foci_)
+      consider_candidate_id(c.hyp, c.fid, c.parent, now);
+    else
+      consider_candidate(c.hyp, std::move(c.focus), c.parent, now);
+  }
 }
 
 void PerformanceConsultant::refine(int id, double now) {
   // Copy what we need up front: add_node() may grow the SHG's node vector
   // and invalidate references into it.
   const int parent_hyp = shg_.node(id).hyp;
-  const Focus parent_focus = shg_.node(id).focus;
   tracer_.registry().add("pc.refine");
-  trace_event(telemetry::EventKind::Refine, now, parent_hyp, shg_.node(id).focus_name);
+  if (tracer_.tracing())
+    trace_event(telemetry::EventKind::Refine, now, parent_hyp, shg_.focus_name(id));
 
+  if (foci_) {
+    const resources::FocusId parent_fid = shg_.node(id).fid;
+    // Expansion kind 1: a more specific focus, same hypothesis. The
+    // refinement list is memoized in the table; the reference is stable
+    // across the interns consider_candidate_id performs.
+    for (resources::FocusId child : foci_->refinements(parent_fid))
+      consider_candidate_id(parent_hyp, child, id, now);
+    // Expansion kind 2: a more specific hypothesis, same focus.
+    for (int child_hyp : config_.hypotheses.at(parent_hyp).children)
+      consider_candidate_id(child_hyp, parent_fid, id, now);
+    return;
+  }
+  const Focus parent_focus = shg_.node(id).focus;
   // Expansion kind 1: a more specific focus, same hypothesis.
   for (Focus& child : parent_focus.refinements(view_.resources()))
     consider_candidate(parent_hyp, std::move(child), id, now);
@@ -297,19 +418,21 @@ void PerformanceConsultant::conclude(int id, const instr::ProbeSample& sample, d
     if (is_true) {
       n.status = NodeStatus::True;
       n.first_true_time = now;
-      found_.push_back({h.name, n.focus_name, now, sample.fraction});
+      found_.push_back({id, now, sample.fraction});
       tracer_.registry().add("pc.conclude_true");
-      trace_event(telemetry::EventKind::ConcludeTrue, now, n.hyp, n.focus_name,
-                  sample.fraction, threshold);
-      HISTPC_LOG(Debug) << "t=" << now << " TRUE " << h.name << " : " << n.focus_name << " ("
-                        << sample.fraction << ")";
+      if (tracer_.tracing())
+        trace_event(telemetry::EventKind::ConcludeTrue, now, n.hyp, shg_.focus_name(id),
+                    sample.fraction, threshold);
+      HISTPC_LOG(Debug) << "t=" << now << " TRUE " << h.name << " : " << shg_.focus_name(id)
+                        << " (" << sample.fraction << ")";
     } else {
       n.status = NodeStatus::False;
       tracer_.registry().add("pc.conclude_false");
-      trace_event(telemetry::EventKind::ConcludeFalse, now, n.hyp, n.focus_name,
-                  sample.fraction, threshold);
-      HISTPC_LOG(Trace) << "t=" << now << " false " << h.name << " : " << n.focus_name << " ("
-                        << sample.fraction << ")";
+      if (tracer_.tracing())
+        trace_event(telemetry::EventKind::ConcludeFalse, now, n.hyp, shg_.focus_name(id),
+                    sample.fraction, threshold);
+      HISTPC_LOG(Trace) << "t=" << now << " false " << h.name << " : " << shg_.focus_name(id)
+                        << " (" << sample.fraction << ")";
     }
   }
   // refine() can reallocate the SHG node storage; re-read the node after.
@@ -338,11 +461,11 @@ void PerformanceConsultant::check_persistent_flip(int id, const instr::ProbeSamp
       // instrumented for the whole run).
       n.status = NodeStatus::True;
       n.first_true_time = now;
-      found_.push_back(
-          {config_.hypotheses.at(n.hyp).name, n.focus_name, now, sample.fraction});
+      found_.push_back({id, now, sample.fraction});
       tracer_.registry().add("pc.conclude_true");
-      trace_event(telemetry::EventKind::ConcludeTrue, now, n.hyp, n.focus_name,
-                  sample.fraction, threshold, "persistent_flip");
+      if (tracer_.tracing())
+        trace_event(telemetry::EventKind::ConcludeTrue, now, n.hyp, shg_.focus_name(id),
+                    sample.fraction, threshold, "persistent_flip");
       flipped = true;
     }
   }
@@ -416,7 +539,10 @@ DiagnosisResult PerformanceConsultant::run() {
 
 DiagnosisResult PerformanceConsultant::build_result(double end_time) {
   DiagnosisResult result;
-  result.bottlenecks = found_;
+  result.bottlenecks.reserve(found_.size());
+  for (const Found& f : found_)
+    result.bottlenecks.push_back(
+        {shg_.hypothesis_name(f.id), shg_.focus_name(f.id), f.t, f.fraction});
   std::stable_sort(result.bottlenecks.begin(), result.bottlenecks.end(),
                    [](const BottleneckReport& a, const BottleneckReport& b) {
                      return a.t_found < b.t_found;
@@ -431,7 +557,7 @@ DiagnosisResult PerformanceConsultant::build_result(double end_time) {
     }
     NodeSnapshot snap;
     snap.hypothesis = shg_.hypothesis_name(static_cast<int>(i));
-    snap.focus = n.focus_name;
+    snap.focus = shg_.focus_name(static_cast<int>(i));
     snap.status = n.status;
     snap.priority = n.priority;
     snap.conclude_time = n.conclude_time;

@@ -79,6 +79,13 @@ struct PcConfig {
   /// threads. Values can differ from the sequential engines in the last
   /// few ulps (floating-point summation order), never beyond.
   int eval_threads = 0;
+  /// Run the search on interned FocusIds (the view's FocusTable): SHG
+  /// keying, directive lookups, refinement expansion, and instrumentation
+  /// requests become integer operations, and focus names are materialized
+  /// only for results, logs, and trace events. Off = the string-based
+  /// reference path, kept as the property-tested oracle — both modes
+  /// produce identical DiagnosisResults (tests/focus_intern_test.cpp).
+  bool interned_foci = true;
   /// Structured-event destination (see telemetry/tracer.h). Null — the
   /// default — discards events at the cost of one pointer test per
   /// decision; counters and the DiagnosisResult telemetry summary are
@@ -159,11 +166,16 @@ class PerformanceConsultant {
   const telemetry::Tracer& tracer() const { return tracer_; }
 
  private:
-  double threshold_for(int hyp) const;
+  double threshold_for(int hyp) const {
+    return thresholds_by_hyp_[static_cast<std::size_t>(hyp)];
+  }
   /// The focus actually instrumented for a node: the node's focus with the
   /// hypothesis's implicit SyncObject scope applied. nullopt when the
   /// focus's SyncObject part lies outside the scope (incompatible pair).
   std::optional<resources::Focus> probe_focus(int hyp, const resources::Focus& focus) const;
+  /// Id twin (interned mode): pure PartId comparisons; narrowing may
+  /// intern a focus whose SyncObject part is foreign to the db.
+  std::optional<resources::FocusId> probe_focus_id(int hyp, resources::FocusId focus) const;
   void seed_high_priority_nodes();
   void seed_top_level();
   void enqueue(int id);
@@ -172,6 +184,8 @@ class PerformanceConsultant {
   /// scope compatibility, prunes, and discovery times. Undiscovered
   /// candidates are deferred and retried by release_discovered().
   void consider_candidate(int hyp, resources::Focus&& focus, int parent, double now);
+  /// Id twin (interned mode): no name hashing, no part-string copies.
+  void consider_candidate_id(int hyp, resources::FocusId fid, int parent, double now);
   void release_discovered(double now);
   void activate(int id, double now);
   void activate_pending(double now);
@@ -184,6 +198,10 @@ class PerformanceConsultant {
   /// Record a prune hit (registry counter + event) for a rejected candidate.
   void note_prune_hit(DirectiveSet::PruneKind kind, int hyp,
                       const resources::Focus& focus, double now);
+  /// Id twin: materializes the focus name only when an event sink is
+  /// attached (counters-only searches stay name-free).
+  void note_prune_hit_id(DirectiveSet::PruneKind kind, int hyp,
+                         resources::FocusId fid, double now);
   /// Emit a search event when tracing is on; no-op (and no string
   /// materialization) otherwise. `hyp` < 0 omits the hypothesis.
   void trace_event(telemetry::EventKind kind, double t, int hyp,
@@ -204,9 +222,23 @@ class PerformanceConsultant {
   instr::InstrumentationManager instr_;
   SearchHistoryGraph shg_;
 
+  /// Interned-mode state (config_.interned_foci): the view's FocusTable —
+  /// null in string (oracle) mode. The table is owned by the TraceView and
+  /// internally synchronized, so several consultants (parallel variant
+  /// runs) share it safely.
+  resources::FocusTable* foci_ = nullptr;
+  /// Index of the SyncObject hierarchy (for probe_focus_id), -1 if absent.
+  int sync_idx_ = -1;
+  /// Per-hypothesis interned sync_scope PartId (kNoPart when unscoped).
+  std::vector<resources::PartId> scope_pids_;
+  /// Effective thresholds resolved once at construction (directive >
+  /// override > hypothesis default); read on every conclusion.
+  std::vector<double> thresholds_by_hyp_;
+
   struct DeferredCandidate {
     int hyp;
-    resources::Focus focus;
+    resources::Focus focus;      ///< string mode (empty in interned mode)
+    resources::FocusId fid;      ///< interned mode (kNoFocus in string mode)
     int parent;
     double available_at;
   };
@@ -230,7 +262,14 @@ class PerformanceConsultant {
   /// Integral of total instrumentation cost over virtual time (for the
   /// summary's time-weighted average).
   double cost_integral_ = 0.0;
-  std::vector<BottleneckReport> found_;
+  /// True conclusions in discovery order; names are materialized only in
+  /// build_result() so a counters-only search stays string-free.
+  struct Found {
+    int id;
+    double t;
+    double fraction;
+  };
+  std::vector<Found> found_;
   bool ran_ = false;
 };
 

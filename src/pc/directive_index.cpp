@@ -110,4 +110,114 @@ std::optional<double> DirectiveIndex::threshold_for(std::string_view hypothesis)
   return threshold_any_;
 }
 
+void DirectiveIndex::bind(resources::FocusTable& table, const HypothesisSet& hyps) {
+  table_ = &table;
+  const std::size_t nh = table.num_hierarchies();
+
+  hyp_names_.clear();
+  for (const Hypothesis& h : hyps.all()) hyp_names_.push_back(h.name);
+
+  // Subtree prunes -> per-hierarchy coverage bitmaps. covered[rid] is the
+  // oracle's per-part test evaluated once per resource: every non-root
+  // full name is a constrained part, and contains_prefix_of already walks
+  // the ancestor truncations. Roots stay 0 (never pruned).
+  auto build_cover = [&](const PrefixSet& set) {
+    std::vector<std::vector<std::uint8_t>> cover;
+    if (set.empty()) return cover;
+    cover.resize(nh);
+    for (std::size_t h = 0; h < nh; ++h) {
+      const resources::ResourceHierarchy& tree = table.hierarchy(h);
+      cover[h].assign(tree.size(), 0);
+      for (std::size_t rid = 1; rid < tree.size(); ++rid)
+        cover[h][rid] = set.contains_prefix_of(
+                            tree.node(static_cast<resources::ResourceId>(rid)).full_name)
+                            ? 1
+                            : 0;
+    }
+    return cover;
+  };
+  any_cover_ = build_cover(subtree_any_);
+  hyp_cover_.assign(hyps.size(), {});
+  for (std::size_t i = 0; i < hyps.size(); ++i)
+    if (auto it = subtree_by_hyp_.find(hyp_names_[i]); it != subtree_by_hyp_.end())
+      hyp_cover_[i] = build_cover(it->second);
+
+  // A directive focus string matches a real focus's canonical name iff it
+  // parses (with resource validation) and re-canonicalizes to itself —
+  // name() is injective, so anything else can never equal a real node's
+  // name and is dropped from the id maps (the string maps keep it for the
+  // oracle and for load-time text queries).
+  auto canonical_id = [&](std::string_view focus) -> std::optional<resources::FocusId> {
+    auto fid = table.parse(focus);
+    if (!fid) return std::nullopt;
+    if (table.to_focus(*fid).name() != focus) return std::nullopt;
+    return fid;
+  };
+  auto split_pair_key = [](std::string_view key) {
+    const auto sep = key.find('\x1f');
+    return std::make_pair(key.substr(0, sep), key.substr(sep + 1));
+  };
+
+  id_pair_prunes_.clear();
+  id_pair_prunes_any_.clear();
+  for (const std::string& focus : pair_prunes_any_)
+    if (auto fid = canonical_id(focus)) id_pair_prunes_any_.insert(*fid);
+  for (const std::string& key : pair_prunes_) {
+    auto [hyp_name, focus] = split_pair_key(key);
+    auto hyp = hyps.index_of(hyp_name);
+    if (!hyp) continue;
+    if (auto fid = canonical_id(focus)) id_pair_prunes_.insert(id_pair_key(*hyp, *fid));
+  }
+  id_priorities_.clear();
+  for (const auto& [key, priority] : priorities_) {
+    auto [hyp_name, focus] = split_pair_key(key);
+    auto hyp = hyps.index_of(hyp_name);
+    if (!hyp) continue;
+    if (auto fid = canonical_id(focus))
+      id_priorities_.emplace(id_pair_key(*hyp, *fid), priority);
+  }
+
+  threshold_by_hyp_.clear();
+  for (const std::string& name : hyp_names_)
+    threshold_by_hyp_.push_back(threshold_for(name));
+}
+
+DirectiveSet::PruneKind DirectiveIndex::prune_match(int hyp,
+                                                    resources::FocusId focus) const {
+  const auto& hyp_cov = hyp_cover_.at(static_cast<std::size_t>(hyp));
+  if (!any_cover_.empty() || !hyp_cov.empty()) {
+    for (std::size_t h = 0; h < table_->num_hierarchies(); ++h) {
+      const resources::PartId pid = table_->part(focus, h);
+      if (pid == 0) continue;  // a root part is never pruned
+      const resources::ResourceId rid = resources::FocusTable::part_resource(pid);
+      if (rid == resources::kNoResource) {
+        // Foreign part: fall back to the oracle's string test.
+        const std::string& pname = table_->part_name(h, pid);
+        if (!is_constrained_part(pname)) continue;
+        if (subtree_any_.contains_prefix_of(pname)) return DirectiveSet::PruneKind::Subtree;
+        if (auto it = subtree_by_hyp_.find(hyp_names_.at(static_cast<std::size_t>(hyp)));
+            it != subtree_by_hyp_.end() && it->second.contains_prefix_of(pname))
+          return DirectiveSet::PruneKind::Subtree;
+        continue;
+      }
+      const auto urid = static_cast<std::size_t>(rid);
+      if (!any_cover_.empty() && any_cover_[h][urid]) return DirectiveSet::PruneKind::Subtree;
+      if (!hyp_cov.empty() && hyp_cov[h][urid]) return DirectiveSet::PruneKind::Subtree;
+    }
+  }
+  if (!id_pair_prunes_any_.empty() &&
+      id_pair_prunes_any_.find(focus) != id_pair_prunes_any_.end())
+    return DirectiveSet::PruneKind::Pair;
+  if (!id_pair_prunes_.empty() &&
+      id_pair_prunes_.find(id_pair_key(hyp, focus)) != id_pair_prunes_.end())
+    return DirectiveSet::PruneKind::Pair;
+  return DirectiveSet::PruneKind::None;
+}
+
+Priority DirectiveIndex::priority_of(int hyp, resources::FocusId focus) const {
+  if (id_priorities_.empty()) return Priority::Medium;
+  auto it = id_priorities_.find(id_pair_key(hyp, focus));
+  return it == id_priorities_.end() ? Priority::Medium : it->second;
+}
+
 }  // namespace histpc::pc

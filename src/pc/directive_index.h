@@ -18,6 +18,7 @@
 // is the fallback).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -26,6 +27,8 @@
 #include <vector>
 
 #include "pc/directives.h"
+#include "pc/hypothesis.h"
+#include "resources/focus_table.h"
 
 namespace histpc::pc {
 
@@ -89,7 +92,37 @@ class DirectiveIndex {
   /// Same contract and result as DirectiveSet::threshold_for.
   std::optional<double> threshold_for(std::string_view hypothesis) const;
 
+  /// Compile the directive strings against a focus table so the interned
+  /// search can query by (hypothesis index, FocusId) with no string work:
+  ///  * subtree prunes become per-hierarchy coverage bitmaps over
+  ///    ResourceIds (covered iff contains_prefix_of(full_name), roots
+  ///    forced out — a root part is never pruned);
+  ///  * pair prunes and priorities become id-keyed maps. A directive focus
+  ///    string matches a real focus iff it parses and re-canonicalizes to
+  ///    itself (canonical names are injective), so non-canonical or
+  ///    unresolvable entries are provably unmatchable and dropped.
+  /// The table pointer is retained; it must outlive the index. Load-time
+  /// directive text keeps using the string_view lookups above.
+  void bind(resources::FocusTable& table, const HypothesisSet& hyps);
+  bool bound() const { return table_ != nullptr; }
+
+  /// Id twins of prune_match / is_pruned / priority_of / threshold_for;
+  /// valid after bind(). Same results as the string lookups on the
+  /// corresponding hypothesis name and canonical focus name.
+  DirectiveSet::PruneKind prune_match(int hyp, resources::FocusId focus) const;
+  bool is_pruned(int hyp, resources::FocusId focus) const {
+    return prune_match(hyp, focus) != DirectiveSet::PruneKind::None;
+  }
+  Priority priority_of(int hyp, resources::FocusId focus) const;
+  std::optional<double> threshold_for(int hyp) const {
+    return threshold_by_hyp_.at(static_cast<std::size_t>(hyp));
+  }
+
  private:
+  static std::uint64_t id_pair_key(int hyp, resources::FocusId focus) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hyp)) << 32) |
+           static_cast<std::uint32_t>(focus);
+  }
   static std::string pair_key(std::string_view hypothesis, std::string_view focus);
   /// Allocation-free lookup key over a reused thread-local buffer; the
   /// returned view is invalidated by the next call on the same thread.
@@ -116,6 +149,20 @@ class DirectiveIndex {
   std::unordered_map<std::string, double, detail::StringHash, detail::StringEq>
       thresholds_;
   std::optional<double> threshold_any_;
+
+  // ---- id-keyed structures, populated by bind() ----
+  resources::FocusTable* table_ = nullptr;
+  /// Hypothesis names by index (for the foreign-part oracle fallback).
+  std::vector<std::string> hyp_names_;
+  /// any_cover_[hier][rid]: rid lies under a wildcard-hypothesis subtree
+  /// prune (roots always 0). hyp_cover_[hyp] likewise per hypothesis
+  /// (empty vector = no subtree prunes for that hypothesis).
+  std::vector<std::vector<std::uint8_t>> any_cover_;
+  std::vector<std::vector<std::vector<std::uint8_t>>> hyp_cover_;
+  std::unordered_set<std::uint64_t> id_pair_prunes_;
+  std::unordered_set<resources::FocusId> id_pair_prunes_any_;
+  std::unordered_map<std::uint64_t, Priority> id_priorities_;
+  std::vector<std::optional<double>> threshold_by_hyp_;
 };
 
 }  // namespace histpc::pc

@@ -19,7 +19,9 @@ const char* node_status_name(NodeStatus s) {
   return "?";
 }
 
-SearchHistoryGraph::SearchHistoryGraph(const HypothesisSet& hyps) : hyps_(hyps) {
+SearchHistoryGraph::SearchHistoryGraph(const HypothesisSet& hyps,
+                                       resources::FocusTable* foci)
+    : hyps_(hyps), foci_(foci) {
   ShgNode root;
   root.id = 0;
   root.hyp = -1;
@@ -31,32 +33,64 @@ SearchHistoryGraph::SearchHistoryGraph(const HypothesisSet& hyps) : hyps_(hyps) 
 }
 
 int SearchHistoryGraph::find(int hyp, const std::string& focus_name) const {
+  if (foci_) {
+    auto fid = foci_->parse(focus_name);
+    return fid ? find(hyp, *fid) : -1;
+  }
   auto it = index_.find({hyp, focus_name});
   return it == index_.end() ? -1 : it->second;
 }
 
-int SearchHistoryGraph::add_node(int hyp, resources::Focus focus, int parent, double now) {
-  std::string name = focus.name();
-  if (int existing = find(hyp, name); existing >= 0) {
-    // Converging refinement path: just add the edge (DAG property).
-    ShgNode& n = nodes_[static_cast<std::size_t>(existing)];
-    if (std::find(n.parents.begin(), n.parents.end(), parent) == n.parents.end()) {
-      n.parents.push_back(parent);
-      nodes_[static_cast<std::size_t>(parent)].children.push_back(existing);
-    }
-    return existing;
+int SearchHistoryGraph::find(int hyp, resources::FocusId fid) const {
+  auto it = id_index_.find(id_key(hyp, fid));
+  return it == id_index_.end() ? -1 : it->second;
+}
+
+const std::string& SearchHistoryGraph::focus_name(int id) const {
+  const ShgNode& n = node(id);
+  if (foci_ && n.fid != resources::kNoFocus) return foci_->name(n.fid);
+  return n.focus_name;
+}
+
+int SearchHistoryGraph::link_existing(int existing, int parent) {
+  // Converging refinement path: just add the edge (DAG property).
+  ShgNode& n = nodes_[static_cast<std::size_t>(existing)];
+  if (std::find(n.parents.begin(), n.parents.end(), parent) == n.parents.end()) {
+    n.parents.push_back(parent);
+    nodes_[static_cast<std::size_t>(parent)].children.push_back(existing);
   }
-  ShgNode n;
+  return existing;
+}
+
+int SearchHistoryGraph::append_node(ShgNode&& n, int parent) {
   n.id = static_cast<int>(nodes_.size());
-  n.hyp = hyp;
-  n.focus = std::move(focus);
-  n.focus_name = name;
-  n.enqueue_time = now;
   n.parents.push_back(parent);
-  index_.emplace(std::make_pair(hyp, n.focus_name), n.id);
   nodes_.push_back(std::move(n));
   nodes_[static_cast<std::size_t>(parent)].children.push_back(static_cast<int>(nodes_.size()) - 1);
   return static_cast<int>(nodes_.size()) - 1;
+}
+
+int SearchHistoryGraph::add_node(int hyp, resources::Focus focus, int parent, double now) {
+  if (foci_) return add_node(hyp, foci_->intern(focus), parent, now);
+  std::string name = focus.name();
+  if (int existing = find(hyp, name); existing >= 0) return link_existing(existing, parent);
+  ShgNode n;
+  n.hyp = hyp;
+  n.focus = std::move(focus);
+  n.focus_name = std::move(name);
+  n.enqueue_time = now;
+  index_.emplace(std::make_pair(hyp, n.focus_name), static_cast<int>(nodes_.size()));
+  return append_node(std::move(n), parent);
+}
+
+int SearchHistoryGraph::add_node(int hyp, resources::FocusId fid, int parent, double now) {
+  if (int existing = find(hyp, fid); existing >= 0) return link_existing(existing, parent);
+  ShgNode n;
+  n.hyp = hyp;
+  n.fid = fid;
+  n.enqueue_time = now;
+  id_index_.emplace(id_key(hyp, fid), static_cast<int>(nodes_.size()));
+  return append_node(std::move(n), parent);
 }
 
 std::string SearchHistoryGraph::hypothesis_name(int id) const {
@@ -96,7 +130,7 @@ std::string SearchHistoryGraph::to_dot() const {
     const ShgNode& n = nodes_[i];
     std::string label = i == 0 ? std::string(kTopLevelHypothesisName)
                                : hypothesis_name(static_cast<int>(i)) + "\\n" +
-                                     escape(n.focus_name);
+                                     escape(focus_name(static_cast<int>(i)));
     if (n.conclude_time >= 0 && i != 0)
       label += "\\n" + std::string(util::fmt_percent(n.fraction)) + " @" +
                util::fmt_double(n.conclude_time, 1) + "s";
@@ -120,7 +154,7 @@ std::string SearchHistoryGraph::render() const {
     if (id == root()) {
       os << kTopLevelHypothesisName;
     } else {
-      os << hypothesis_name(id) << " : " << n.focus_name;
+      os << hypothesis_name(id) << " : " << focus_name(id);
     }
     os << "  [" << node_status_name(n.status);
     if (n.status == NodeStatus::True || n.status == NodeStatus::False)

@@ -14,11 +14,20 @@ Focus Focus::whole_program(const ResourceDb& db) {
   return Focus(std::move(parts));
 }
 
+namespace {
+void set_parse_error(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+}
+}  // namespace
+
 std::optional<Focus> Focus::parse(std::string_view text, const ResourceDb& db,
-                                  bool validate_resources) {
+                                  bool validate_resources, std::string* error) {
   text = util::trim(text);
   if (!text.empty() && text.front() == '<') {
-    if (text.back() != '>') return std::nullopt;
+    if (text.back() != '>') {
+      set_parse_error(error, "unterminated '<' in focus '" + std::string(text) + "'");
+      return std::nullopt;
+    }
     text = text.substr(1, text.size() - 2);
   }
   std::vector<std::string> parts(db.num_hierarchies());
@@ -27,12 +36,29 @@ std::optional<Focus> Focus::parse(std::string_view text, const ResourceDb& db,
     auto part = util::trim(raw);
     if (part.empty()) continue;
     auto comps = util::split_view(part, '/');
-    if (comps.size() < 2 || !comps[0].empty()) return std::nullopt;
+    if (comps.size() < 2 || !comps[0].empty()) {
+      set_parse_error(error, "malformed part '" + std::string(part) +
+                                 "': expected /Hierarchy[/resource...]");
+      return std::nullopt;
+    }
     int idx = db.hierarchy_index(comps[1]);
-    if (idx < 0) return std::nullopt;
+    if (idx < 0) {
+      set_parse_error(error, "part '" + std::string(part) + "' names unknown hierarchy '" +
+                                 std::string(comps[1]) + "'");
+      return std::nullopt;
+    }
     auto uidx = static_cast<std::size_t>(idx);
-    if (seen[uidx]) return std::nullopt;
-    if (validate_resources && db.hierarchy(uidx).find(part) == kNoResource) return std::nullopt;
+    if (seen[uidx]) {
+      set_parse_error(error, "duplicate part for hierarchy '" + std::string(comps[1]) +
+                                 "': '" + std::string(part) + "'");
+      return std::nullopt;
+    }
+    if (validate_resources && db.hierarchy(uidx).find(part) == kNoResource) {
+      set_parse_error(error, "part '" + std::string(part) +
+                                 "' names a resource missing from hierarchy '" +
+                                 std::string(comps[1]) + "'");
+      return std::nullopt;
+    }
     parts[uidx] = std::string(part);
     seen[uidx] = true;
   }

@@ -27,8 +27,11 @@ class Focus {
   /// to match `db` hierarchy order. Returns nullopt if any part names a
   /// hierarchy absent from `db`, if a hierarchy appears twice, or if
   /// `validate_resources` is set and a part names a missing resource.
+  /// On failure, `error` (when non-null) receives a diagnostic naming the
+  /// offending part and the hierarchy it failed against.
   static std::optional<Focus> parse(std::string_view text, const ResourceDb& db,
-                                    bool validate_resources = true);
+                                    bool validate_resources = true,
+                                    std::string* error = nullptr);
 
   const std::vector<std::string>& parts() const { return parts_; }
   std::size_t size() const { return parts_.size(); }

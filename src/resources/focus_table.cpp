@@ -1,0 +1,260 @@
+#include "resources/focus_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace histpc::resources {
+
+FocusTable::FocusTable(const ResourceDb& db) {
+  hiers_.reserve(db.num_hierarchies());
+  for (std::size_t i = 0; i < db.num_hierarchies(); ++i) {
+    Hier h;
+    h.tree = &db.hierarchy(i);
+    hier_index_.emplace(h.tree->name(), static_cast<int>(i));
+    hiers_.push_back(std::move(h));
+  }
+  // Intern the whole-program focus as id 0 (every part the hierarchy root).
+  std::lock_guard<std::mutex> lock(mu_);
+  intern_parts_locked(std::vector<PartId>(hiers_.size(), 0));
+}
+
+const FocusTable::Entry& FocusTable::entry(FocusId id) const {
+  return entries_.at(static_cast<std::size_t>(id));
+}
+
+FocusId FocusTable::intern_parts_locked(std::vector<PartId> parts) {
+  if (auto it = dedup_.find(parts); it != dedup_.end()) return it->second;
+  Entry e;
+  e.total_depth = 0;
+  e.whole = true;
+  for (std::size_t h = 0; h < parts.size(); ++h) {
+    const PartId p = parts[h];
+    if (p != 0) e.whole = false;
+    // Foreign parts contribute nothing, like the string path's
+    // find() == kNoResource skip in Focus::total_depth.
+    if (part_resource(p) != kNoResource) e.total_depth += hiers_[h].tree->node(p).depth;
+  }
+  e.parts = parts;
+  const FocusId id = static_cast<FocusId>(entries_.size());
+  entries_.push_back(std::move(e));
+  dedup_.emplace(std::move(parts), id);
+  return id;
+}
+
+PartId FocusTable::part_id_locked(std::size_t hierarchy_idx, std::string_view full_name) {
+  Hier& h = hiers_.at(hierarchy_idx);
+  if (ResourceId rid = h.tree->find(full_name); rid != kNoResource) return rid;
+  if (auto it = h.foreign_ids.find(full_name); it != h.foreign_ids.end()) return it->second;
+  const PartId id = kForeignPartBase + static_cast<PartId>(h.foreign_names.size());
+  h.foreign_names.emplace_back(full_name);
+  h.foreign_ids.emplace(std::string(full_name), id);
+  return id;
+}
+
+const std::string& FocusTable::part_name_locked(std::size_t hierarchy_idx,
+                                                PartId part) const {
+  const Hier& h = hiers_.at(hierarchy_idx);
+  if (part >= kForeignPartBase)
+    return h.foreign_names.at(static_cast<std::size_t>(part - kForeignPartBase));
+  return h.tree->node(part).full_name;
+}
+
+int FocusTable::part_depth_locked(std::size_t hierarchy_idx, PartId part) const {
+  if (part < kForeignPartBase) return hiers_.at(hierarchy_idx).tree->node(part).depth;
+  // Foreign: depth from the path itself ("/SyncObject/Message" = 1), the
+  // same value the string-splitting cost model derives.
+  const std::string& name = part_name_locked(hierarchy_idx, part);
+  return static_cast<int>(std::count(name.begin(), name.end(), '/')) - 1;
+}
+
+FocusId FocusTable::intern(const Focus& focus) {
+  if (focus.size() != hiers_.size())
+    throw std::invalid_argument("FocusTable::intern: focus has " +
+                                std::to_string(focus.size()) + " parts, table has " +
+                                std::to_string(hiers_.size()) + " hierarchies");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartId> parts(hiers_.size());
+  for (std::size_t h = 0; h < hiers_.size(); ++h)
+    parts[h] = part_id_locked(h, focus.part(h));
+  return intern_parts_locked(std::move(parts));
+}
+
+FocusId FocusTable::with_part(FocusId id, std::size_t hierarchy_idx, PartId part) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartId> parts = entry(id).parts;
+  parts.at(hierarchy_idx) = part;
+  return intern_parts_locked(std::move(parts));
+}
+
+std::optional<FocusId> FocusTable::parse(std::string_view text, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = parse_memo_.find(text); it != parse_memo_.end()) return it->second;
+  const std::string_view original = text;
+
+  // Mirrors Focus::parse(text, db, /*validate_resources=*/true, error)
+  // exactly — same acceptance, same defaulting, same diagnostics; the
+  // string path is the property-tested oracle (tests/resources_test.cpp).
+  auto fail = [&](std::string message) -> std::optional<FocusId> {
+    if (error) *error = std::move(message);
+    return std::nullopt;
+  };
+  text = util::trim(text);
+  if (!text.empty() && text.front() == '<') {
+    if (text.back() != '>')
+      return fail("unterminated '<' in focus '" + std::string(text) + "'");
+    text = text.substr(1, text.size() - 2);
+  }
+  std::vector<PartId> parts(hiers_.size(), 0);  // unmentioned = hierarchy roots
+  std::vector<bool> seen(hiers_.size(), false);
+  for (auto raw : util::split_view(text, ',')) {
+    auto part = util::trim(raw);
+    if (part.empty()) continue;
+    auto comps = util::split_view(part, '/');
+    if (comps.size() < 2 || !comps[0].empty())
+      return fail("malformed part '" + std::string(part) +
+                  "': expected /Hierarchy[/resource...]");
+    auto it = hier_index_.find(comps[1]);
+    if (it == hier_index_.end())
+      return fail("part '" + std::string(part) + "' names unknown hierarchy '" +
+                  std::string(comps[1]) + "'");
+    const auto uidx = static_cast<std::size_t>(it->second);
+    if (seen[uidx])
+      return fail("duplicate part for hierarchy '" + std::string(comps[1]) + "': '" +
+                  std::string(part) + "'");
+    const ResourceId rid = hiers_[uidx].tree->find(part);
+    if (rid == kNoResource)
+      return fail("part '" + std::string(part) +
+                  "' names a resource missing from hierarchy '" + std::string(comps[1]) +
+                  "'");
+    parts[uidx] = rid;
+    seen[uidx] = true;
+  }
+  const FocusId id = intern_parts_locked(std::move(parts));
+  parse_memo_.emplace(std::string(original), id);
+  return id;
+}
+
+const std::string& FocusTable::name(FocusId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_.at(static_cast<std::size_t>(id));
+  if (!e.name_built) {
+    std::size_t len = 2 + (e.parts.empty() ? 0 : e.parts.size() - 1);
+    for (std::size_t h = 0; h < e.parts.size(); ++h)
+      len += part_name_locked(h, e.parts[h]).size();
+    e.name.reserve(len);
+    e.name.push_back('<');
+    for (std::size_t h = 0; h < e.parts.size(); ++h) {
+      if (h > 0) e.name.push_back(',');
+      e.name.append(part_name_locked(h, e.parts[h]));
+    }
+    e.name.push_back('>');
+    e.name_built = true;
+    ++names_built_;
+  }
+  return e.name;
+}
+
+Focus FocusTable::to_focus(FocusId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry& e = entry(id);
+  std::vector<std::string> parts;
+  parts.reserve(e.parts.size());
+  for (std::size_t h = 0; h < e.parts.size(); ++h)
+    parts.push_back(part_name_locked(h, e.parts[h]));
+  return Focus(std::move(parts));
+}
+
+PartId FocusTable::part(FocusId id, std::size_t hierarchy_idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entry(id).parts.at(hierarchy_idx);
+}
+
+PartId FocusTable::part_id(std::size_t hierarchy_idx, std::string_view full_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return part_id_locked(hierarchy_idx, full_name);
+}
+
+const std::string& FocusTable::part_name(std::size_t hierarchy_idx, PartId part) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return part_name_locked(hierarchy_idx, part);
+}
+
+int FocusTable::part_depth(std::size_t hierarchy_idx, PartId part) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return part_depth_locked(hierarchy_idx, part);
+}
+
+bool FocusTable::part_within(std::size_t hierarchy_idx, PartId inner, PartId outer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inner == outer) return true;
+  if (inner < kForeignPartBase && outer < kForeignPartBase)
+    return hiers_.at(hierarchy_idx).tree->is_ancestor_or_self(outer, inner);
+  // A foreign part on either side: fall back to the path-prefix test the
+  // string path uses.
+  return util::is_path_prefix(part_name_locked(hierarchy_idx, outer),
+                              part_name_locked(hierarchy_idx, inner));
+}
+
+const std::vector<FocusId>& FocusTable::refinements(FocusId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Safe to take a reference before appending: entries_ is a deque.
+  Entry& e = entries_.at(static_cast<std::size_t>(id));
+  if (!e.refinements_built) {
+    // Exactly Focus::refinements order: hierarchies in db order, children
+    // in node order; foreign parts (find() == kNoResource there) skipped.
+    std::vector<FocusId> refs;
+    const std::vector<PartId> parts = e.parts;  // intern below may not alias e
+    for (std::size_t h = 0; h < parts.size(); ++h) {
+      if (parts[h] >= kForeignPartBase) continue;
+      for (ResourceId child : hiers_[h].tree->node(parts[h]).children) {
+        std::vector<PartId> child_parts = parts;
+        child_parts[h] = child;
+        refs.push_back(intern_parts_locked(std::move(child_parts)));
+      }
+    }
+    e.refinements = std::move(refs);
+    e.refinements_built = true;
+  }
+  return e.refinements;
+}
+
+bool FocusTable::is_whole_program(FocusId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entry(id).whole;
+}
+
+int FocusTable::total_depth(FocusId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entry(id).total_depth;
+}
+
+bool FocusTable::contains(FocusId outer, FocusId inner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry& o = entry(outer);
+  const Entry& i = entry(inner);
+  for (std::size_t h = 0; h < o.parts.size(); ++h) {
+    const PartId op = o.parts[h];
+    const PartId ip = i.parts[h];
+    if (op == ip) continue;
+    if (op < kForeignPartBase && ip < kForeignPartBase) {
+      if (!hiers_[h].tree->is_ancestor_or_self(op, ip)) return false;
+    } else if (!util::is_path_prefix(part_name_locked(h, op), part_name_locked(h, ip))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t FocusTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t FocusTable::names_built() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_built_;
+}
+
+}  // namespace histpc::resources

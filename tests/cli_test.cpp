@@ -42,7 +42,12 @@ TEST(Args, ErrorsAreSpecific) {
 
 class CliTest : public testing::Test {
  protected:
-  CliTest() : store_dir_(testing::TempDir() + "/histpc_cli_store") {
+  // Per-test store directory: ctest runs each case as its own process in
+  // parallel, so a shared path would let one constructor wipe another
+  // test's store mid-run.
+  CliTest()
+      : store_dir_(testing::TempDir() + "/histpc_cli_store_" +
+                   testing::UnitTest::GetInstance()->current_test_info()->name()) {
     fs::remove_all(store_dir_);
   }
   ~CliTest() override { fs::remove_all(store_dir_); }
@@ -126,6 +131,14 @@ TEST_F(CliTest, MapAndDiffBetweenStoredRuns) {
       run("diff", {"poisson_A_1", "poisson_B_1", "--store", store_dir_});
   EXPECT_NE(diff.find("oned.f [1]"), std::string::npos);
   EXPECT_NE(diff.find("onednb.f [2]"), std::string::npos);
+}
+
+TEST_F(CliTest, VariantsRunsTheTable1Bundle) {
+  const std::string out = run("variants", {"bubba", "--duration", "150", "--threads", "2"});
+  EXPECT_NE(out.find("No Directives"), std::string::npos);
+  EXPECT_NE(out.find("Priorities & All Prunes"), std::string::npos);
+  EXPECT_NE(out.find("worker thread(s)"), std::string::npos);
+  EXPECT_NE(out.find("pairs tested"), std::string::npos);
 }
 
 TEST_F(CliTest, SaveAndDiagnoseTrace) {

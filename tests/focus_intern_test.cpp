@@ -1,0 +1,195 @@
+// Satellite of the FocusTable interner: property tests that the ID-based
+// search core is observably identical to the string-based oracle.
+//
+// The consultant keeps both paths behind PcConfig::interned_foci (the
+// string path is the retained oracle, the same scan-vs-index pattern the
+// metric engine and DirectiveIndex use). These tests run full diagnoses
+// both ways over randomized workloads and directive sets and require the
+// results to match exactly: bottlenecks, the complete SHG snapshot,
+// stats, telemetry counters, and the Figure-2 rendering.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "metrics/trace_view.h"
+#include "pc/consultant.h"
+#include "pc/directives.h"
+#include "pc/shg.h"
+#include "simmpi/program.h"
+#include "simmpi/simulator.h"
+#include "util/rng.h"
+
+namespace histpc::pc {
+namespace {
+
+using metrics::TraceView;
+using simmpi::FunctionScope;
+using simmpi::Recorder;
+
+/// Randomized bottleneck workload: `ranks` ranks where the upper half
+/// waits on messages from the lower half inside "exchange"; rng varies
+/// the rank count, compute asymmetry, message tag, and an optional extra
+/// hot function so different seeds exercise different SHG shapes.
+simmpi::ExecutionTrace random_trace(util::Rng& rng) {
+  const int pairs = 1 + static_cast<int>(rng.next_below(2));  // 2 or 4 ranks
+  const int ranks = 2 * pairs;
+  const int tag = 3 + static_cast<int>(rng.next_below(5));
+  const double fast = 0.1 + 0.1 * static_cast<double>(rng.next_below(3));
+  const bool extra_func = rng.next_below(2) == 0;
+  const int iters = 900;
+  simmpi::ProgramBuilder b(simmpi::MachineSpec::one_to_one(ranks, "node", "app"));
+  b.record([&](Recorder& r) {
+    FunctionScope fmain(r, "main", "main.c");
+    for (int i = 0; i < iters; ++i) {
+      {
+        FunctionScope f(r, "work", "work.c");
+        r.compute(r.rank() >= pairs ? fast : 1.0);
+      }
+      if (extra_func) {
+        FunctionScope f(r, "checkpoint", "io.c");
+        r.compute(0.05);
+      }
+      {
+        FunctionScope f(r, "exchange", "comm.c");
+        if (r.rank() >= pairs) {
+          r.recv(r.rank() - pairs, tag);
+        } else {
+          r.send(r.rank() + pairs, tag, 64);
+        }
+        r.barrier();
+      }
+    }
+  });
+  simmpi::NetworkModel net;
+  net.latency = 1e-4;
+  return simmpi::Simulator(net).run(b.build());
+}
+
+/// Random directive sets spanning every directive kind: subtree prunes
+/// (hierarchy and mid-tree), pair prunes, priorities (including foci the
+/// trace cannot refine into), and threshold overrides.
+DirectiveSet random_directives(util::Rng& rng) {
+  std::string text;
+  if (rng.next_below(2) == 0) text += "prune * /Machine\n";
+  if (rng.next_below(2) == 0) text += "prune CPUbound /SyncObject\n";
+  if (rng.next_below(2) == 0) text += "prune ExcessiveSyncWaitingTime /Code/work.c\n";
+  if (rng.next_below(2) == 0) text += "prune * /Process\n";
+  if (rng.next_below(2) == 0)
+    text += "prunepair CPUbound </Code/comm.c,/Machine,/Process,/SyncObject>\n";
+  if (rng.next_below(2) == 0)
+    text +=
+        "priority ExcessiveSyncWaitingTime "
+        "</Code/comm.c,/Machine,/Process,/SyncObject> high\n";
+  if (rng.next_below(2) == 0)
+    text += "priority CPUbound </Code/work.c,/Machine,/Process,/SyncObject> high\n";
+  if (rng.next_below(2) == 0)
+    text += "priority CPUbound </Code,/Machine,/Process,/SyncObject> low\n";
+  if (rng.next_below(2) == 0) text += "threshold ExcessiveSyncWaitingTime 0.15\n";
+  if (rng.next_below(2) == 0) text += "threshold * 0.25\n";
+  return DirectiveSet::parse(text);
+}
+
+PcConfig quick_config(bool interned) {
+  PcConfig cfg;
+  cfg.min_observation = 10.0;
+  cfg.tick = 0.5;
+  cfg.insertion_latency = 1.0;
+  cfg.cost_limit = 0.05;
+  cfg.interned_foci = interned;
+  return cfg;
+}
+
+void expect_identical(const DiagnosisResult& id_result, const DiagnosisResult& str_result) {
+  // Bottlenecks: same pairs, same order, same times and fractions.
+  ASSERT_EQ(id_result.bottlenecks.size(), str_result.bottlenecks.size());
+  for (std::size_t i = 0; i < id_result.bottlenecks.size(); ++i) {
+    const auto& a = id_result.bottlenecks[i];
+    const auto& b = str_result.bottlenecks[i];
+    EXPECT_EQ(a.hypothesis, b.hypothesis) << "bottleneck " << i;
+    EXPECT_EQ(a.focus, b.focus) << "bottleneck " << i;
+    EXPECT_DOUBLE_EQ(a.t_found, b.t_found) << "bottleneck " << i;
+    EXPECT_DOUBLE_EQ(a.fraction, b.fraction) << "bottleneck " << i;
+  }
+
+  // Full SHG snapshot: same nodes in the same creation order with the
+  // same statuses, priorities, and conclusion data.
+  ASSERT_EQ(id_result.nodes.size(), str_result.nodes.size());
+  for (std::size_t i = 0; i < id_result.nodes.size(); ++i) {
+    const auto& a = id_result.nodes[i];
+    const auto& b = str_result.nodes[i];
+    EXPECT_EQ(a.hypothesis, b.hypothesis) << "node " << i;
+    EXPECT_EQ(a.focus, b.focus) << "node " << i;
+    EXPECT_EQ(a.status, b.status) << "node " << i;
+    EXPECT_EQ(a.priority, b.priority) << "node " << i;
+    EXPECT_DOUBLE_EQ(a.conclude_time, b.conclude_time) << "node " << i;
+    EXPECT_DOUBLE_EQ(a.fraction, b.fraction) << "node " << i;
+  }
+
+  // Search statistics.
+  EXPECT_EQ(id_result.stats.nodes_created, str_result.stats.nodes_created);
+  EXPECT_EQ(id_result.stats.pairs_tested, str_result.stats.pairs_tested);
+  EXPECT_EQ(id_result.stats.pruned_candidates, str_result.stats.pruned_candidates);
+  EXPECT_EQ(id_result.stats.bottlenecks, str_result.stats.bottlenecks);
+  EXPECT_DOUBLE_EQ(id_result.stats.end_time, str_result.stats.end_time);
+  EXPECT_DOUBLE_EQ(id_result.stats.last_true_time, str_result.stats.last_true_time);
+  EXPECT_DOUBLE_EQ(id_result.stats.peak_cost, str_result.stats.peak_cost);
+
+  // Telemetry counters (phase_seconds is wall clock and excluded).
+  EXPECT_EQ(id_result.telemetry.pairs_tested, str_result.telemetry.pairs_tested);
+  EXPECT_EQ(id_result.telemetry.conclusions_true, str_result.telemetry.conclusions_true);
+  EXPECT_EQ(id_result.telemetry.conclusions_false, str_result.telemetry.conclusions_false);
+  EXPECT_EQ(id_result.telemetry.refinements, str_result.telemetry.refinements);
+  EXPECT_EQ(id_result.telemetry.prune_hits_subtree, str_result.telemetry.prune_hits_subtree);
+  EXPECT_EQ(id_result.telemetry.prune_hits_pair, str_result.telemetry.prune_hits_pair);
+  EXPECT_EQ(id_result.telemetry.priority_seeds, str_result.telemetry.priority_seeds);
+  EXPECT_EQ(id_result.telemetry.cost_gate_engagements,
+            str_result.telemetry.cost_gate_engagements);
+  EXPECT_DOUBLE_EQ(id_result.telemetry.peak_cost, str_result.telemetry.peak_cost);
+  EXPECT_DOUBLE_EQ(id_result.telemetry.avg_cost, str_result.telemetry.avg_cost);
+}
+
+/// Satellite 3: the ID-based search is observably identical to the
+/// string-based oracle across randomized workloads and directive sets.
+class InternOracle : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InternOracle, IdSearchMatchesStringOracleExactly) {
+  util::Rng rng(GetParam());
+  const simmpi::ExecutionTrace trace = random_trace(rng);
+  const TraceView view(trace);
+  const DirectiveSet directives = random_directives(rng);
+
+  PerformanceConsultant id_pc(view, quick_config(/*interned=*/true), directives);
+  const DiagnosisResult id_result = id_pc.run();
+  PerformanceConsultant str_pc(view, quick_config(/*interned=*/false), directives);
+  const DiagnosisResult str_result = str_pc.run();
+
+  expect_identical(id_result, str_result);
+  // Figure-2 rendering: identical node labels, ordering, and indentation.
+  EXPECT_EQ(id_pc.shg().render(), str_pc.shg().render());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternOracle, testing::Range<std::uint64_t>(1, 13));
+
+/// Satellite 1: with no event sink attached, the interned search builds
+/// canonical focus names only when the result snapshot is materialized —
+/// exactly one per distinct node focus, never for probe foci, pruned or
+/// deferred candidates.
+TEST(InternTelemetry, CountersOnlySearchBuildsOnlySnapshotNames) {
+  util::Rng rng(99);
+  const simmpi::ExecutionTrace trace = random_trace(rng);
+  const TraceView view(trace);
+  ASSERT_EQ(view.foci().names_built(), 0u);
+
+  PerformanceConsultant pc(view, quick_config(/*interned=*/true));
+  const DiagnosisResult result = pc.run();
+
+  std::set<std::string> distinct_node_foci;
+  for (const auto& node : result.nodes) distinct_node_foci.insert(node.focus);
+  EXPECT_EQ(view.foci().names_built(), distinct_node_foci.size());
+  EXPECT_GE(view.foci().size(), distinct_node_foci.size());
+}
+
+}  // namespace
+}  // namespace histpc::pc

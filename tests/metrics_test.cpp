@@ -124,6 +124,35 @@ TEST_F(TraceViewTest, UnknownResourceSelectsNothing) {
   EXPECT_DOUBLE_EQ(view_.query(MetricKind::CpuTime, *f, 0, trace_.duration), 0.0);
 }
 
+TEST_F(TraceViewTest, EmptyFilterDiagnosticsNameTheFailingPart) {
+  // A matching filter carries no diagnostics.
+  Focus good = Focus::whole_program(view_.resources()).with_part(0, "/Code/kern.c");
+  EXPECT_TRUE(view_.compile(good).diagnostics.empty());
+  // Parts naming resources this trace never created (e.g. directives
+  // mapped from another execution) say what failed against what.
+  auto ghost = Focus::parse("</Code/ghost.c>", view_.resources(), false);
+  ASSERT_TRUE(ghost.has_value());
+  const auto code_diag = view_.compile(*ghost).diagnostics;
+  ASSERT_EQ(code_diag.size(), 1u);
+  EXPECT_EQ(code_diag[0], "part '/Code/ghost.c' matched no recorded function in hierarchy 'Code'");
+
+  auto multi = Focus::parse("</Code/ghost.c,/Machine/node99,/Process/proc:9>",
+                            view_.resources(), false);
+  ASSERT_TRUE(multi.has_value());
+  const auto diags = view_.compile(*multi).diagnostics;
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[1], "part '/Machine/node99' matched no node in hierarchy 'Machine'");
+  EXPECT_EQ(diags[2], "part '/Process/proc:9' matched no process in hierarchy 'Process'");
+
+  auto sync = Focus::parse("</SyncObject/Message/42>", view_.resources(), false);
+  ASSERT_TRUE(sync.has_value());
+  const auto sync_diag = view_.compile(*sync).diagnostics;
+  ASSERT_EQ(sync_diag.size(), 1u);
+  EXPECT_EQ(sync_diag[0],
+            "part '/SyncObject/Message/42' matched no synchronization object in hierarchy "
+            "'SyncObject'");
+}
+
 TEST_F(TraceViewTest, FractionNormalizesPerSelectedRank) {
   Focus f = Focus::whole_program(view_.resources()).with_part(2, "/Process/proc:2");
   // Rank 1 waits 2s of 3.5s program (its own end time is 3.5).

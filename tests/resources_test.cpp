@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "resources/focus.h"
+#include "resources/focus_table.h"
 #include "resources/resource_db.h"
 #include "resources/resource_hierarchy.h"
 #include "util/rng.h"
@@ -278,6 +279,197 @@ TEST(Focus, WithPartReplaces) {
   EXPECT_EQ(f.part(2), "/Process/Tester:4");
   EXPECT_EQ(f.part(0), "/Code");
 }
+
+// ------------------------------------------------------ parse diagnostics
+
+TEST(Focus, ParseDiagnosticsNameTheFailingPart) {
+  ResourceDb db = figure1_db();
+  std::string error;
+
+  EXPECT_FALSE(Focus::parse("</Code", db, true, &error).has_value());
+  EXPECT_EQ(error, "unterminated '<' in focus '</Code'");
+
+  EXPECT_FALSE(Focus::parse("Code/main.C", db, true, &error).has_value());
+  EXPECT_EQ(error, "malformed part 'Code/main.C': expected /Hierarchy[/resource...]");
+
+  EXPECT_FALSE(Focus::parse("</Nope/x>", db, true, &error).has_value());
+  EXPECT_EQ(error, "part '/Nope/x' names unknown hierarchy 'Nope'");
+
+  EXPECT_FALSE(Focus::parse("</Code/main.C,/Code/vect.C>", db, true, &error).has_value());
+  EXPECT_EQ(error, "duplicate part for hierarchy 'Code': '/Code/vect.C'");
+
+  EXPECT_FALSE(Focus::parse("</Code/missing.C>", db, true, &error).has_value());
+  EXPECT_EQ(error, "part '/Code/missing.C' names a resource missing from hierarchy 'Code'");
+}
+
+TEST(Focus, ParseDiagnosticOptionalAndUntouchedOnSuccess) {
+  ResourceDb db = figure1_db();
+  // Null error pointer: failure still reported via nullopt.
+  EXPECT_FALSE(Focus::parse("</Nope/x>", db).has_value());
+  // Error string untouched when the parse succeeds.
+  std::string error = "stale";
+  EXPECT_TRUE(Focus::parse("</Code/main.C>", db, true, &error).has_value());
+  EXPECT_EQ(error, "stale");
+}
+
+TEST(Focus, ParseWildcardPartEdgeCases) {
+  ResourceDb db = figure1_db();
+  // Empty angle brackets: every hierarchy defaults to its root.
+  auto f = Focus::parse("<>", db);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->is_whole_program());
+  // Blank comma-separated parts are skipped as wildcards, not errors.
+  auto g = Focus::parse("< , /Process/Tester:1 , >", db);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->part(0), "/Code");
+  EXPECT_EQ(g->part(2), "/Process/Tester:1");
+  // A bare hierarchy root is an explicit wildcard for that hierarchy.
+  auto h = Focus::parse("</Machine>", db);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(h->is_whole_program());
+  // Whitespace-only input is the whole program.
+  auto w = Focus::parse("   ", db);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->is_whole_program());
+}
+
+// ------------------------------------------------------------ focus table
+
+TEST(FocusTable, WholeProgramIsIdZero) {
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  EXPECT_EQ(table.whole_program(), 0);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.is_whole_program(table.whole_program()));
+  EXPECT_EQ(table.total_depth(table.whole_program()), 0);
+  EXPECT_EQ(table.name(0), Focus::whole_program(db).name());
+}
+
+TEST(FocusTable, InternDedupes) {
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  auto f = Focus::parse("</Code/vect.C,/Process/Tester:3>", db);
+  ASSERT_TRUE(f.has_value());
+  FocusId a = table.intern(*f);
+  FocusId b = table.intern(*f);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, table.whole_program());
+  EXPECT_EQ(table.to_focus(a), *f);
+  EXPECT_EQ(table.name(a), f->name());
+  EXPECT_EQ(table.total_depth(a), f->total_depth(db));
+}
+
+TEST(FocusTable, ParseMemoMatchesFocusParse) {
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  auto id = table.parse("/Process/Tester:2,/Code/main.C");
+  ASSERT_TRUE(id.has_value());
+  auto oracle = Focus::parse("/Process/Tester:2,/Code/main.C", db);
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_EQ(table.to_focus(*id), *oracle);
+  // Memoized: same text returns the same id.
+  EXPECT_EQ(table.parse("/Process/Tester:2,/Code/main.C"), id);
+  // Failures carry the same diagnostics as the string path.
+  std::string error;
+  EXPECT_FALSE(table.parse("</Code/missing.C>", &error).has_value());
+  EXPECT_EQ(error, "part '/Code/missing.C' names a resource missing from hierarchy 'Code'");
+}
+
+TEST(FocusTable, WithPartIsIdArithmetic) {
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  const std::size_t proc = static_cast<std::size_t>(db.hierarchy_index("Process"));
+  PartId tester4 = table.part_id(proc, "/Process/Tester:4");
+  EXPECT_EQ(FocusTable::part_resource(tester4), db.hierarchy(proc).find("/Process/Tester:4"));
+  FocusId narrowed = table.with_part(table.whole_program(), proc, tester4);
+  EXPECT_EQ(table.to_focus(narrowed),
+            Focus::whole_program(db).with_part(proc, "/Process/Tester:4"));
+  // Replacing with the same part is the identity.
+  EXPECT_EQ(table.with_part(narrowed, proc, tester4), narrowed);
+}
+
+TEST(FocusTable, ForeignPartsInternAboveBase) {
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  const std::size_t sync = static_cast<std::size_t>(db.hierarchy_index("SyncObject"));
+  PartId foreign = table.part_id(sync, "/SyncObject/Message");
+  EXPECT_GE(foreign, kForeignPartBase);
+  EXPECT_EQ(FocusTable::part_resource(foreign), kNoResource);
+  EXPECT_EQ(table.part_name(sync, foreign), "/SyncObject/Message");
+  EXPECT_EQ(table.part_depth(sync, foreign), 1);
+  // Same name, same foreign id.
+  EXPECT_EQ(table.part_id(sync, "/SyncObject/Message"), foreign);
+  // Foreign parts nest under the hierarchy root but not under each other.
+  PartId root = table.part_id(sync, "/SyncObject");
+  EXPECT_TRUE(table.part_within(sync, foreign, root));
+  EXPECT_FALSE(table.part_within(sync, root, foreign));
+}
+
+TEST(FocusTable, RefinementsMatchStringOracle) {
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  FocusId whole = table.whole_program();
+  const auto& refs = table.refinements(whole);
+  auto oracle = Focus::whole_program(db).refinements(db);
+  ASSERT_EQ(refs.size(), oracle.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    EXPECT_EQ(table.to_focus(refs[i]), oracle[i]) << "refinement " << i;
+    EXPECT_TRUE(table.contains(whole, refs[i]));
+    EXPECT_FALSE(table.contains(refs[i], whole));
+  }
+  // The reference is stable and the list is built once.
+  EXPECT_EQ(&table.refinements(whole), &refs);
+}
+
+TEST(FocusTable, NamesBuiltCountsLazyMaterialization) {
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  auto f = Focus::parse("</Code/vect.C>", db);
+  ASSERT_TRUE(f.has_value());
+  FocusId id = table.intern(*f);
+  table.refinements(id);  // structural work must not build names
+  EXPECT_EQ(table.names_built(), 0u);
+  table.name(id);
+  EXPECT_EQ(table.names_built(), 1u);
+  table.name(id);  // memoized: not rebuilt
+  EXPECT_EQ(table.names_built(), 1u);
+}
+
+/// Property: a random refinement walk over ids mirrors the string walk
+/// exactly — same names, depths, containment, and memoized round trips.
+class FocusTableFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FocusTableFuzz, IdWalkMirrorsStringWalk) {
+  util::Rng rng(GetParam());
+  ResourceDb db = figure1_db();
+  FocusTable table(db);
+  Focus f = Focus::whole_program(db);
+  FocusId id = table.whole_program();
+  for (int step = 0; step < 6; ++step) {
+    auto string_refs = f.refinements(db);
+    const auto& id_refs = table.refinements(id);
+    ASSERT_EQ(id_refs.size(), string_refs.size());
+    if (string_refs.empty()) break;
+    std::size_t pick = rng.next_below(string_refs.size());
+    Focus child = string_refs[pick];
+    FocusId child_id = id_refs[pick];
+    EXPECT_EQ(table.name(child_id), child.name());
+    EXPECT_EQ(table.to_focus(child_id), child);
+    EXPECT_EQ(table.total_depth(child_id), child.total_depth(db));
+    EXPECT_EQ(table.is_whole_program(child_id), child.is_whole_program());
+    EXPECT_TRUE(table.contains(id, child_id));
+    EXPECT_FALSE(table.contains(child_id, id));
+    // Interning the equivalent string focus lands on the same id.
+    EXPECT_EQ(table.intern(child), child_id);
+    auto parsed = table.parse(child.name());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, child_id);
+    f = std::move(child);
+    id = child_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FocusTableFuzz, testing::Range<std::uint64_t>(1, 11));
 
 }  // namespace
 }  // namespace histpc::resources
