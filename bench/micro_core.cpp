@@ -27,6 +27,10 @@
 #include "pc/directive_index.h"
 #include "pc/shg.h"
 #include "resources/focus_table.h"
+#include "simmpi/simulator.h"
+#include "simmpi/trace_cache.h"
+#include "simmpi/trace_io.h"
+#include "simmpi/trace_snapshot.h"
 #include "telemetry/tracer.h"
 #include "util/json.h"
 
@@ -612,6 +616,62 @@ void write_bench_metrics(bool quick) {
   lookup["speedup_vs_scan"] = dir_indexed_ns > 0 ? dir_scan_ns / dir_indexed_ns : 0.0;
   out["directive_lookup"] = std::move(lookup);
 
+  // Trace snapshots: cold simulate vs binary encode/decode vs warm cache
+  // load, plus sizes vs the JSON oracle. The cache directory lives in the
+  // working directory so it persists across processes — CI runs micro_core
+  // twice and asserts the second run's cache_hits (counted from the one
+  // initial load, before the timing loops) went up.
+  double snapshot_simulate_ns = 0.0, snapshot_load_ns = 0.0;
+  {
+    apps::AppParams p;
+    p.target_duration = 3000.0;
+    p.node_base = 9;
+    const simmpi::SimProgram program = apps::build_app("poisson_c", p);
+    const simmpi::NetworkModel net = apps::network_for("poisson_c");
+
+    const auto sim_start = Clock::now();
+    const simmpi::ExecutionTrace trace = simmpi::Simulator(net).run(program);
+    const double cold_simulate_ns = seconds_since(sim_start) * 1e9;
+
+    telemetry::Registry reg;
+    simmpi::TraceCache cache({"trace-snapshot-cache", 64ull << 20}, &reg);
+    const std::uint64_t key = simmpi::trace_content_key(program, net);
+    {
+      simmpi::TraceColumns cols;
+      if (!cache.load(key, &cols)) cache.store(key, trace);
+    }
+    const double cache_hits = static_cast<double>(reg.counter("trace_cache.hit"));
+    const double cache_misses = static_cast<double>(reg.counter("trace_cache.miss"));
+
+    const std::string bytes = simmpi::encode_trace_snapshot(trace);
+    const double encode_ns = time_ns_per_call(
+        [&] { benchmark::DoNotOptimize(simmpi::encode_trace_snapshot(trace)); }, budget);
+    const double warm_load_ns = time_ns_per_call(
+        [&] {
+          simmpi::TraceColumns cols;
+          benchmark::DoNotOptimize(cache.load(key, &cols));
+        },
+        budget);
+    const std::size_t json_bytes = simmpi::trace_to_json(trace).dump().size();
+
+    util::Json snap = util::Json::object();
+    snap["intervals"] = static_cast<double>(trace.total_intervals());
+    snap["cold_simulate_ns"] = cold_simulate_ns;
+    snap["encode_ns"] = encode_ns;
+    snap["warm_load_ns"] = warm_load_ns;
+    snap["speedup_vs_simulate"] = warm_load_ns > 0 ? cold_simulate_ns / warm_load_ns : 0.0;
+    snap["binary_bytes"] = static_cast<double>(bytes.size());
+    snap["json_bytes"] = static_cast<double>(json_bytes);
+    snap["json_bytes_vs_binary"] =
+        bytes.size() > 0 ? static_cast<double>(json_bytes) / static_cast<double>(bytes.size())
+                         : 0.0;
+    snap["cache_hits"] = cache_hits;
+    snap["cache_misses"] = cache_misses;
+    out["trace_snapshot"] = std::move(snap);
+    snapshot_simulate_ns = cold_simulate_ns;
+    snapshot_load_ns = warm_load_ns;
+  }
+
   // Telemetry volume of one traced diagnosis over the shared view.
   telemetry::VectorSink sink;
   pc::PcConfig traced_config;
@@ -632,13 +692,17 @@ void write_bench_metrics(bool quick) {
               "directive lookup %.0f ns indexed / %.0f ns scan (%.1fx @ %d directives), "
               "focus ops %.0f ns string / %.0f ns interned (%.1fx), "
               "variants %.3f s sequential / %.3f s on %d workers, "
+              "trace snapshot %.2f ms simulate / %.2f ms warm load (%.0fx), "
               "table1 workload %.3f s\n",
               bench::kBenchMetricsPath, indexed_ns, scan_ns,
               scan_ns > 0 ? scan_ns / indexed_ns : 0.0, dir_indexed_ns, dir_scan_ns,
               dir_indexed_ns > 0 ? dir_scan_ns / dir_indexed_ns : 0.0, n_directives,
               intern_string_ns, intern_id_ns,
               intern_id_ns > 0 ? intern_string_ns / intern_id_ns : 0.0, variants_seq_s,
-              variants_par_s, variants_threads, table1_s);
+              variants_par_s, variants_threads, snapshot_simulate_ns / 1e6,
+              snapshot_load_ns / 1e6,
+              snapshot_load_ns > 0 ? snapshot_simulate_ns / snapshot_load_ns : 0.0,
+              table1_s);
 }
 
 }  // namespace

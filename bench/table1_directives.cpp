@@ -24,7 +24,12 @@ int main() {
   bench::print_header("Table 1: time (s) to find true bottlenecks with search directives",
                       "Karavanic & Miller SC'99, Table 1 (Section 4.1)");
 
-  core::DiagnosisSession base_session("poisson_c", bench::params_for_version('C'));
+  // Trace cache on (same working-directory cache micro_core uses), so the
+  // recorded hit/miss counters are real: the first bench run simulates and
+  // stores, later runs load the snapshot.
+  pc::PcConfig config;
+  config.trace_cache_dir = "trace-snapshot-cache";
+  core::DiagnosisSession base_session("poisson_c", bench::params_for_version('C'), config);
   std::printf("running base case (no directives, run to completion)...\n");
   const pc::DiagnosisResult base = base_session.diagnose();
   const auto record = base_session.make_record(base, "C");
@@ -118,6 +123,19 @@ int main() {
   // Merge the per-variant summaries into BENCH_metrics.json (micro_core
   // writes the other sections; keep whatever is already there).
   bench::write_bench_section("table1_variant_telemetry", std::move(telemetry_by_variant));
+
+  const telemetry::Registry& reg = base_session.registry();
+  util::Json cache_section = util::Json::object();
+  cache_section["hits"] = static_cast<double>(reg.counter("trace_cache.hit"));
+  cache_section["misses"] = static_cast<double>(reg.counter("trace_cache.miss"));
+  cache_section["trace_load_seconds"] = reg.timer("session.trace_load").seconds;
+  cache_section["simulate_seconds"] = reg.timer("session.simulate").seconds;
+  bench::write_bench_section("table1_trace_cache", std::move(cache_section));
+  std::printf("trace cache: %llu hit / %llu miss (load %.1f ms, simulate %.1f ms)\n",
+              static_cast<unsigned long long>(reg.counter("trace_cache.hit")),
+              static_cast<unsigned long long>(reg.counter("trace_cache.miss")),
+              reg.timer("session.trace_load").seconds * 1e3,
+              reg.timer("session.simulate").seconds * 1e3);
   std::printf("wrote per-variant telemetry summaries to %s\n\n", bench::kBenchMetricsPath);
 
   for (std::size_t p = 0; p < percents.size(); ++p) {

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Validate BENCH_metrics.json written by bench/micro_core.
+
+Usage: validate_bench_metrics.py [cold|warm]
+
+Checks that every expected section and key is present and not NaN. The
+optional mode argument asserts the trace-cache behaviour of the run that
+just finished: a `cold` run (empty cache directory) must record a cache
+miss, a `warm` run must record a cache hit and no miss — so CI catches a
+regression in snapshot keying, decoding, or cache lookup, not just a
+missing metric.
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "metric_query": ["indexed_ns_per_query", "scan_ns_per_query", "speedup_vs_scan"],
+    "directive_lookup": ["scan_ns_per_lookup", "indexed_ns_per_lookup", "speedup_vs_scan"],
+    "focus_intern": ["string_ns_per_op", "interned_ns_per_op", "speedup_vs_string"],
+    "parallel_variants": [
+        "variants",
+        "threads",
+        "hardware_concurrency",
+        "sequential_seconds",
+        "parallel_seconds",
+        "speedup_vs_sequential",
+    ],
+    "trace_snapshot": [
+        "intervals",
+        "cold_simulate_ns",
+        "encode_ns",
+        "warm_load_ns",
+        "speedup_vs_simulate",
+        "binary_bytes",
+        "json_bytes",
+        "json_bytes_vs_binary",
+        "cache_hits",
+        "cache_misses",
+    ],
+    "table1_directives": ["end_to_end_seconds"],
+    "telemetry": ["events_recorded", "summary"],
+}
+
+
+def main() -> None:
+    mode = sys.argv[1] if len(sys.argv) > 1 else None
+    if mode not in (None, "cold", "warm"):
+        sys.exit(f"unknown mode {mode!r}: expected 'cold' or 'warm'")
+
+    with open("BENCH_metrics.json") as f:
+        metrics = json.load(f)
+
+    for section, keys in REQUIRED.items():
+        if section not in metrics:
+            sys.exit(f"BENCH_metrics.json: missing section {section!r}")
+        for key in keys:
+            if key not in metrics[section]:
+                sys.exit(f"BENCH_metrics.json: missing {section}.{key}")
+            value = metrics[section][key]
+            if isinstance(value, (int, float)) and not value == value:
+                sys.exit(f"BENCH_metrics.json: {section}.{key} is NaN")
+
+    snapshot = metrics["trace_snapshot"]
+    if mode == "cold" and snapshot["cache_misses"] < 1:
+        sys.exit("trace_snapshot: cold run recorded no trace-cache miss")
+    if mode == "warm":
+        if snapshot["cache_hits"] < 1:
+            sys.exit("trace_snapshot: warm run recorded no trace-cache hit")
+        if snapshot["cache_misses"] != 0:
+            sys.exit("trace_snapshot: warm run re-simulated instead of hitting the cache")
+
+    print("BENCH_metrics.json OK:", ", ".join(sorted(metrics)))
+
+
+if __name__ == "__main__":
+    main()

@@ -87,6 +87,35 @@ simmpi::ExecutionTrace make_trace(const Args& args, std::string& name_out,
   return apps::run_app(name_out, params);
 }
 
+/// Build the session for `run`/`variants`. Registered-app runs go through
+/// the trace-snapshot cache (on by default; --no-trace-cache opts out,
+/// --trace-cache DIR relocates it) so repeated diagnoses of one app
+/// configuration reload the trace instead of re-simulating. Workload runs
+/// keep the direct simulate path (and the optional simulation tracer).
+std::unique_ptr<core::DiagnosisSession> make_session(const Args& args, pc::PcConfig config,
+                                                     double default_duration,
+                                                     telemetry::Tracer* tracer = nullptr) {
+  if (!args.option("workload") && !args.has_flag("no-trace-cache")) {
+    const std::string app = args.positional(0, "application name (or --workload FILE)");
+    apps::AppParams params;
+    params.target_duration = args.option_or("duration", default_duration);
+    params.node_base = args.option_or("node-base", 1);
+    config.trace_cache_dir = args.option_or("trace-cache", std::string(kDefaultTraceCacheDir));
+    return std::make_unique<core::DiagnosisSession>(app, params, std::move(config));
+  }
+  std::string app;
+  simmpi::ExecutionTrace trace = make_trace(args, app, default_duration, tracer);
+  return std::make_unique<core::DiagnosisSession>(std::move(trace), std::move(config), app);
+}
+
+/// One status line for cache-enabled sessions: hit or miss, and where.
+void print_cache_status(std::ostream& out, const core::DiagnosisSession& session) {
+  const std::string& dir = session.config().trace_cache_dir;
+  if (dir.empty()) return;
+  const bool hit = session.registry().counter("trace_cache.hit") > 0;
+  out << "trace cache: " << (hit ? "hit" : "miss") << " (" << dir << ")\n";
+}
+
 int cmd_report(const Args& args, std::ostream& out) {
   std::string app;
   const simmpi::ExecutionTrace trace = make_trace(args, app, 300.0);
@@ -140,12 +169,11 @@ int cmd_run(const Args& args, std::ostream& out) {
   telemetry::Tracer sim_tracer(&event_sink);
   if (trace_path) config.trace_sink = &event_sink;
 
-  std::string app;
-  simmpi::ExecutionTrace trace =
-      make_trace(args, app, 1500.0, trace_path ? &sim_tracer : nullptr);
-  core::DiagnosisSession session(std::move(trace), config, app);
-  out << "running " << app << " (" << session.trace().num_ranks() << " ranks, "
-      << util::fmt_double(session.trace().duration, 1) << "s)\n";
+  auto session_ptr = make_session(args, config, 1500.0, trace_path ? &sim_tracer : nullptr);
+  core::DiagnosisSession& session = *session_ptr;
+  out << "running " << session.app_name() << " (" << session.trace().num_ranks()
+      << " ranks, " << util::fmt_double(session.trace().duration, 1) << "s)\n";
+  print_cache_status(out, session);
 
   pc::DiagnosisResult result;
   if (args.has_flag("postmortem")) {
@@ -193,11 +221,11 @@ int cmd_variants(const Args& args, std::ostream& out) {
   config.threshold_override = args.option_or("threshold", -1.0);
   if (args.has_flag("string-foci")) config.interned_foci = false;
 
-  std::string app;
-  simmpi::ExecutionTrace trace = make_trace(args, app, 1500.0);
-  core::DiagnosisSession session(std::move(trace), config, app);
-  out << "running " << app << " (" << session.trace().num_ranks() << " ranks, "
-      << util::fmt_double(session.trace().duration, 1) << "s)\n";
+  auto session_ptr = make_session(args, config, 1500.0);
+  core::DiagnosisSession& session = *session_ptr;
+  out << "running " << session.app_name() << " (" << session.trace().num_ranks()
+      << " ranks, " << util::fmt_double(session.trace().duration, 1) << "s)\n";
+  print_cache_status(out, session);
 
   // The base (undirected) diagnosis supplies the record every directed
   // variant harvests its directives from.
@@ -462,12 +490,12 @@ const Command kCommands[] = {
     {"run",
      cmd_run,
      {"duration", "node-base", "threshold", "cost-limit", "directives", "store", "version",
-      "save-trace", "dot", "workload", "trace", "trace-format"},
-     {"shg", "extended", "postmortem", "discovery"}},
+      "save-trace", "dot", "workload", "trace", "trace-format", "trace-cache"},
+     {"shg", "extended", "postmortem", "discovery", "no-trace-cache"}},
     {"variants",
      cmd_variants,
-     {"duration", "node-base", "workload", "threads", "threshold", "version"},
-     {"string-foci"}},
+     {"duration", "node-base", "workload", "threads", "threshold", "version", "trace-cache"},
+     {"string-foci", "no-trace-cache"}},
     {"list", cmd_list, {"store", "app", "version"}, {}},
     {"show", cmd_show, {"store"}, {"report"}},
     {"harvest",
@@ -501,7 +529,10 @@ std::string usage() {
         "  diagnose-trace <file.json>   diagnose a serialized trace\n"
         "  trace-report <trace>         summarize a saved telemetry trace\n"
         "\nrun/diagnose-trace also take --trace FILE [--trace-format jsonl|chrome]\n"
-        "to record the search's telemetry events (chrome = load in Perfetto).\n";
+        "to record the search's telemetry events (chrome = load in Perfetto).\n"
+        "run/variants cache simulated traces as binary snapshots (default\n"
+        "directory .histpc/trace-cache); --trace-cache DIR relocates the\n"
+        "cache and --no-trace-cache simulates from scratch.\n";
   return os.str();
 }
 

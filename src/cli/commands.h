@@ -6,9 +6,11 @@
 //                    [--extended] [--discovery] [--store DIR] [--version V]
 //                    [--save-trace FILE] [--shg] [--dot FILE] [--postmortem]
 //                    [--trace FILE] [--trace-format jsonl|chrome]
+//                    [--trace-cache DIR] [--no-trace-cache]
 //   histpc report <app|--workload FILE> [--duration S] [--bins N]
 //   histpc variants <app|--workload FILE> [--duration S] [--node-base N]
 //                    [--threads N] [--threshold F] [--version V] [--string-foci]
+//                    [--trace-cache DIR] [--no-trace-cache]
 //   histpc list [--store DIR] [--app NAME] [--version V]
 //   histpc show <run_id> [--store DIR] [--report]
 //   histpc harvest <run_id...> [--store DIR] [--out FILE] [--no-priorities]
@@ -34,6 +36,10 @@
 namespace histpc::cli {
 
 inline constexpr const char* kDefaultStoreDir = ".histpc";
+/// Where `run`/`variants` keep binary trace snapshots (simmpi::TraceCache).
+/// The cache is on by default for app runs; --no-trace-cache disables it
+/// and --trace-cache DIR relocates it.
+inline constexpr const char* kDefaultTraceCacheDir = ".histpc/trace-cache";
 
 /// Run one subcommand; `tokens` excludes the program and command names.
 int run_command(const std::string& command, const std::vector<std::string>& tokens,

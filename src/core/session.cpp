@@ -1,16 +1,51 @@
 #include "core/session.h"
 
+#include <optional>
+
+#include "simmpi/simulator.h"
+#include "simmpi/trace_cache.h"
+
 namespace histpc::core {
 
 DiagnosisSession::DiagnosisSession(const std::string& app_name, apps::AppParams params,
                                    pc::PcConfig config)
     : app_name_(app_name), config_(std::move(config)) {
-  {
+  simmpi::TraceColumns columns;
+  const simmpi::TraceColumns* columns_ptr = nullptr;
+  if (config_.trace_cache_dir.empty()) {
     telemetry::ScopedTimer timer(registry_, "session.simulate");
     trace_ = std::make_unique<simmpi::ExecutionTrace>(apps::run_app(app_name, params));
+  } else {
+    // Recording is cheap and deterministic; the recorded program plus the
+    // network model is exactly what the content key covers, so a cache hit
+    // skips only the expensive part (the simulation itself).
+    simmpi::SimProgram program;
+    const simmpi::NetworkModel net = apps::network_for(app_name);
+    {
+      telemetry::ScopedTimer timer(registry_, "session.record");
+      program = apps::build_app(app_name, params);
+    }
+    simmpi::TraceCache cache({config_.trace_cache_dir, config_.trace_cache_max_bytes},
+                             &registry_);
+    const std::uint64_t key = simmpi::trace_content_key(program, net);
+    std::optional<simmpi::ExecutionTrace> cached;
+    {
+      telemetry::ScopedTimer timer(registry_, "session.trace_load");
+      cached = cache.load(key, &columns);
+    }
+    if (cached) {
+      trace_ = std::make_unique<simmpi::ExecutionTrace>(std::move(*cached));
+      columns_ptr = &columns;
+    } else {
+      {
+        telemetry::ScopedTimer timer(registry_, "session.simulate");
+        trace_ = std::make_unique<simmpi::ExecutionTrace>(simmpi::Simulator(net).run(program));
+      }
+      cache.store(key, *trace_);
+    }
   }
   telemetry::ScopedTimer timer(registry_, "session.view_build");
-  view_ = std::make_unique<metrics::TraceView>(*trace_);
+  view_ = std::make_unique<metrics::TraceView>(*trace_, columns_ptr);
 }
 
 DiagnosisSession::DiagnosisSession(simmpi::ExecutionTrace trace, pc::PcConfig config,

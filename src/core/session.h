@@ -55,9 +55,11 @@ class DiagnosisSession {
   /// Figure 2-style rendering of the most recent diagnosis's SHG.
   const std::string& last_shg() const { return last_shg_; }
 
-  /// Session-level wall-clock telemetry ("session.simulate",
-  /// "session.view_build", "session.diagnose" timers). diagnose() merges
-  /// these into the result's phase_seconds.
+  /// Session-level wall-clock telemetry: "session.simulate",
+  /// "session.view_build", "session.diagnose" timers — plus, when the
+  /// trace cache is enabled (PcConfig::trace_cache_dir), "session.record"
+  /// and "session.trace_load" timers and the `trace_cache.*` counters.
+  /// diagnose() merges the timers into the result's phase_seconds.
   const telemetry::Registry& registry() const { return registry_; }
 
   /// Build a storable experiment record from a diagnosis of this session.

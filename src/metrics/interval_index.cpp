@@ -40,34 +40,53 @@ std::size_t posting_lower_bound(const std::vector<std::uint32_t>& pos, std::size
 
 }  // namespace
 
-IntervalIndex::IntervalIndex(const ExecutionTrace& trace) : trace_(trace) {
+IntervalIndex::IntervalIndex(const ExecutionTrace& trace,
+                             const simmpi::TraceColumns* columns) : trace_(trace) {
   const std::size_t nfuncs = trace.functions.size();
   const std::size_t nsync = trace.sync_objects.size();
+  // Snapshot-decoded columns must mirror the trace exactly; a mismatch
+  // (defensive — matches() guards shape only) falls back to the AoS scan.
+  const bool adopt = columns != nullptr && columns->matches(trace);
   ranks_.resize(trace.ranks.size());
   for (std::size_t r = 0; r < trace.ranks.size(); ++r) {
     const auto& ivs = trace.ranks[r].intervals;
     RankIndex& ri = ranks_[r];
     const std::size_t n = ivs.size();
-    ri.t0.reserve(n);
-    ri.t1.reserve(n);
     for (auto& c : ri.cum) c.assign(n + 1, 0.0);
     ri.func_postings.resize(nfuncs + 1);  // trailing slot = kNoFunc intervals
     ri.sync_postings.resize(nsync);
 
-    for (std::size_t i = 0; i < n; ++i) {
-      const Interval& iv = ivs[i];
-      ri.t0.push_back(iv.t0);
-      ri.t1.push_back(iv.t1);
-      const std::size_t s = static_cast<std::size_t>(iv.state);
-      const double d = iv.t1 - iv.t0;
+    auto index_interval = [&](std::size_t i, std::size_t s, simmpi::FuncId func,
+                              simmpi::SyncObjectId sync, double d) {
       for (std::size_t st = 0; st < kNumStates; ++st)
         ri.cum[st][i + 1] = ri.cum[st][i] + (st == s ? d : 0.0);
       const std::size_t fslot =
-          iv.func == simmpi::kNoFunc ? nfuncs : static_cast<std::size_t>(iv.func);
+          func == simmpi::kNoFunc ? nfuncs : static_cast<std::size_t>(func);
       ri.func_postings[fslot].pos.push_back(static_cast<std::uint32_t>(i));
-      if (iv.state == IntervalState::SyncWait && iv.sync_object != simmpi::kNoSyncObject)
-        ri.sync_postings[static_cast<std::size_t>(iv.sync_object)].pos.push_back(
+      if (s == kSyncWaitState && sync != simmpi::kNoSyncObject)
+        ri.sync_postings[static_cast<std::size_t>(sync)].pos.push_back(
             static_cast<std::uint32_t>(i));
+    };
+
+    if (adopt) {
+      // Bulk column adoption: the time columns arrive ready-made, and the
+      // per-interval pass reads the columnar buffers.
+      const simmpi::RankColumns& rc = columns->ranks[r];
+      ri.t0 = rc.t0;
+      ri.t1 = rc.t1;
+      for (std::size_t i = 0; i < n; ++i)
+        index_interval(i, static_cast<std::size_t>(rc.state[i]), rc.func[i], rc.sync[i],
+                       rc.t1[i] - rc.t0[i]);
+    } else {
+      ri.t0.reserve(n);
+      ri.t1.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Interval& iv = ivs[i];
+        ri.t0.push_back(iv.t0);
+        ri.t1.push_back(iv.t1);
+        index_interval(i, static_cast<std::size_t>(iv.state), iv.func, iv.sync_object,
+                       iv.t1 - iv.t0);
+      }
     }
 
     for (Posting& p : ri.func_postings) {

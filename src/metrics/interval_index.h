@@ -34,8 +34,12 @@ struct FocusFilter;
 class IntervalIndex {
  public:
   /// Builds the columns in one linear pass; the index keeps a reference to
-  /// `trace`, which must outlive it.
-  explicit IntervalIndex(const simmpi::ExecutionTrace& trace);
+  /// `trace`, which must outlive it. When `columns` is non-null and mirrors
+  /// the trace (TraceColumns::matches) — e.g. decoded from a binary trace
+  /// snapshot — the time columns are adopted by bulk copy and the scan runs
+  /// over the columnar buffers instead of the AoS intervals.
+  explicit IntervalIndex(const simmpi::ExecutionTrace& trace,
+                         const simmpi::TraceColumns* columns = nullptr);
 
   /// Metric seconds accumulated in [t0, t1) across the filter's selected
   /// ranks. `filter` must come from TraceView::compile (it carries the

@@ -56,7 +56,7 @@ void FocusFilter::finalize() {
       if (sync_objects[s]) selected_syncs.push_back(static_cast<std::int32_t>(s));
 }
 
-TraceView::TraceView(const ExecutionTrace& trace)
+TraceView::TraceView(const ExecutionTrace& trace, const simmpi::TraceColumns* columns)
     : trace_(trace), db_(ResourceDb::with_standard_hierarchies()) {
   auto& code = db_.hierarchy(resources::kCodeHierarchy);
   for (const auto& f : trace.functions) {
@@ -71,7 +71,7 @@ TraceView::TraceView(const ExecutionTrace& trace)
   for (const auto& s : trace.sync_objects) sync.add_path("/SyncObject/" + s);
 
   compute_discovery_times();
-  index_ = std::make_unique<IntervalIndex>(trace_);
+  index_ = std::make_unique<IntervalIndex>(trace_, columns);
   // The db is complete from here on: the table's hierarchy snapshot and
   // the per-ResourceId discovery vectors stay valid for the view's life.
   foci_ = std::make_unique<resources::FocusTable>(db_);

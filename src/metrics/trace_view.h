@@ -63,8 +63,12 @@ class TraceView {
  public:
   /// Builds resource hierarchies and the interval index from the trace.
   /// The view keeps a reference to `trace`; the trace must outlive the
-  /// view.
-  explicit TraceView(const simmpi::ExecutionTrace& trace);
+  /// view. `columns` — the SoA buffers decoded from a binary trace
+  /// snapshot — lets the interval index adopt ready-made columns instead
+  /// of re-deriving them (see IntervalIndex); it is only read during
+  /// construction.
+  explicit TraceView(const simmpi::ExecutionTrace& trace,
+                     const simmpi::TraceColumns* columns = nullptr);
   ~TraceView();
   TraceView(TraceView&&) = default;
 

@@ -91,6 +91,16 @@ struct PcConfig {
   /// decision; counters and the DiagnosisResult telemetry summary are
   /// collected either way.
   telemetry::EventSink* trace_sink = nullptr;
+  /// Directory of the content-addressed binary trace-snapshot cache
+  /// (simmpi::TraceCache). Empty — the default — simulates every session
+  /// from scratch. When set, a DiagnosisSession built from an app name
+  /// keys the cache on (recorded program, network model) and reloads an
+  /// already-simulated trace instead of re-running the simulator; the
+  /// telemetry swap is `session.simulate` → `session.trace_load`, with
+  /// `trace_cache.hit` / `trace_cache.miss` counters either way.
+  std::string trace_cache_dir;
+  /// Byte cap on the snapshot cache directory (LRU-evicted past it).
+  std::uint64_t trace_cache_max_bytes = 256ull << 20;
 };
 
 struct BottleneckReport {

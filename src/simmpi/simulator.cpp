@@ -49,6 +49,10 @@ struct PendingRecv {
 struct Channel {
   std::deque<PendingSend> sends;
   std::deque<PendingRecv> recvs;
+  /// The channel's sync object ("Message/<comm:>tag"), interned lazily on
+  /// the first post so sync-object discovery order matches execution order;
+  /// later posts reuse the id without rebuilding the name.
+  SyncObjectId sync = kNoSyncObject;
 };
 
 struct ChanKey {
@@ -104,6 +108,7 @@ class SimRun {
     program_.machine.validate();
     states_.resize(static_cast<std::size_t>(nranks_));
     in_queue_.assign(static_cast<std::size_t>(nranks_), false);
+    intern_channels();
   }
 
   ExecutionTrace execute() {
@@ -153,8 +158,59 @@ class SimRun {
     st.intervals.push_back(iv);
   }
 
-  Channel& channel(int src, int dst, int tag, int comm) {
-    return channels_[ChanKey{src, dst, tag, comm}];
+  /// One pre-pass over the recorded ops interns every (src, dst, tag, comm)
+  /// channel into a dense id and annotates each messaging op with its
+  /// channel, so the event loop never hashes or compares composite keys.
+  /// The pass also sizes per-rank interval/request storage: every op records
+  /// at most one interval, and each point-to-point op registers one request.
+  /// Wildcard receives never name a channel; their candidate lists (all
+  /// channels addressed to a destination with a given tag/comm, sorted by
+  /// source rank) come from the same interned universe.
+  void intern_channels() {
+    std::map<ChanKey, std::int32_t> index;
+    op_channel_.resize(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      const auto& ops = program_.procs[static_cast<std::size_t>(r)].ops;
+      auto& oc = op_channel_[static_cast<std::size_t>(r)];
+      oc.assign(ops.size(), -1);
+      std::size_t nreqs = 0;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        ChanKey key{};
+        switch (op.kind) {
+          case OpKind::Send:
+          case OpKind::Isend:
+            key = ChanKey{r, op.peer, op.tag, op.comm};
+            break;
+          case OpKind::Recv:
+          case OpKind::Irecv:
+            ++nreqs;
+            if (op.peer == kAnySource) continue;
+            key = ChanKey{op.peer, r, op.tag, op.comm};
+            break;
+          default:
+            continue;
+        }
+        if (op.kind == OpKind::Send || op.kind == OpKind::Isend) ++nreqs;
+        auto [it, inserted] = index.emplace(key, static_cast<std::int32_t>(index.size()));
+        oc[i] = it->second;
+      }
+      auto& st = states_[static_cast<std::size_t>(r)];
+      st.intervals.reserve(ops.size());
+      st.requests.reserve(nreqs);
+    }
+    channels_.resize(index.size());
+    // ChanKey order is (src, dst, tag, comm)-lexicographic, so appending in
+    // map order leaves every candidate list sorted by source rank — the
+    // wildcard tie-break the ordered channel map used to provide.
+    for (const auto& [key, id] : index)
+      wild_candidates_[WildKey{key.dst, key.tag, key.comm}].push_back(id);
+  }
+
+  /// The interned channel of the op `rank` is currently executing.
+  Channel& channel_of(int rank, std::size_t ip) {
+    return channels_[static_cast<std::size_t>(
+        op_channel_[static_cast<std::size_t>(rank)][ip])];
   }
 
   /// Complete one matched send/receive pair, waking blocked ranks.
@@ -214,13 +270,13 @@ class SimRun {
   std::int32_t post_send(int rank, const Op& op) {
     auto& st = states_[static_cast<std::size_t>(rank)];
     const bool eager = op.bytes <= net_.eager_limit;
-    SyncObjectId sync = message_sync(op.comm, op.tag);
-    std::int32_t req = register_request(st, true, st.t, sync);
+    Channel& ch = channel_of(rank, st.ip);
+    if (ch.sync == kNoSyncObject) ch.sync = message_sync(op.comm, op.tag);
+    std::int32_t req = register_request(st, true, st.t, ch.sync);
     if (eager) {
       st.requests[req].complete = true;
       st.requests[req].complete_time = st.t;
     }
-    Channel& ch = channel(rank, op.peer, op.tag, op.comm);
     ch.sends.push_back(PendingSend{rank, req, st.t, op.bytes, eager});
     try_match(ch);
     try_match_wildcards(ch, op.peer, op.tag, op.comm);
@@ -229,13 +285,15 @@ class SimRun {
 
   std::int32_t post_recv(int rank, const Op& op) {
     auto& st = states_[static_cast<std::size_t>(rank)];
-    SyncObjectId sync = message_sync(op.comm, op.tag);
-    std::int32_t req = register_request(st, false, st.t, sync);
     if (op.peer == kAnySource) {
+      std::int32_t req =
+          register_request(st, false, st.t, message_sync(op.comm, op.tag));
       post_wildcard_recv(rank, op, req);
       return req;
     }
-    Channel& ch = channel(op.peer, rank, op.tag, op.comm);
+    Channel& ch = channel_of(rank, st.ip);
+    if (ch.sync == kNoSyncObject) ch.sync = message_sync(op.comm, op.tag);
+    std::int32_t req = register_request(st, false, st.t, ch.sync);
     ch.recvs.push_back(PendingRecv{rank, req, st.t});
     try_match(ch);
     return req;
@@ -243,18 +301,22 @@ class SimRun {
 
   /// Match a wildcard receive against the earliest-posted unmatched send
   /// addressed to `rank` with the right tag/comm (ties: lowest source
-  /// rank, which the ChanKey ordering provides); queue it otherwise.
+  /// rank, which the candidate lists' src ordering provides); queue it
+  /// otherwise.
   void post_wildcard_recv(int rank, const Op& op, std::int32_t req) {
     auto& st = states_[static_cast<std::size_t>(rank)];
     const PendingRecv pending{rank, req, st.t};
     Channel* best = nullptr;
-    for (auto& [key, ch] : channels_) {
-      if (key.dst != rank || key.tag != op.tag || key.comm != op.comm) continue;
-      if (ch.sends.empty()) continue;
-      // Only unmatched sends sit in the queue; specific receives would
-      // already have consumed the front.
-      if (!best || ch.sends.front().post_time < best->sends.front().post_time)
-        best = &ch;
+    if (auto it = wild_candidates_.find(WildKey{rank, op.tag, op.comm});
+        it != wild_candidates_.end()) {
+      for (std::int32_t id : it->second) {
+        Channel& ch = channels_[static_cast<std::size_t>(id)];
+        if (ch.sends.empty()) continue;
+        // Only unmatched sends sit in the queue; specific receives would
+        // already have consumed the front.
+        if (!best || ch.sends.front().post_time < best->sends.front().post_time)
+          best = &ch;
+      }
     }
     if (best) {
       complete_pair(best->sends.front(), pending);
@@ -513,7 +575,13 @@ class SimRun {
   const SimProgram& program_;
   int nranks_;
   std::vector<RankState> states_;
-  std::map<ChanKey, Channel> channels_;
+  /// Dense channel table; ids assigned by intern_channels().
+  std::vector<Channel> channels_;
+  /// Per rank, per op: interned channel id (-1 for non-messaging ops and
+  /// wildcard receives). Indexed by the instruction pointer.
+  std::vector<std::vector<std::int32_t>> op_channel_;
+  /// Channel ids addressed to (dst, tag, comm), sorted by source rank.
+  std::map<WildKey, std::vector<std::int32_t>> wild_candidates_;
   std::map<WildKey, std::deque<PendingRecv>> wild_recvs_;
   std::vector<CollectiveState> collectives_;
   std::vector<std::string> sync_objects_;

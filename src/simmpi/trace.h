@@ -44,6 +44,29 @@ struct RankTrace {
   double end_time = 0.0;
 };
 
+/// Columnar (SoA) mirror of one rank's interval timeline. The binary
+/// snapshot format (trace_snapshot.h) stores traces in exactly this
+/// layout, and the metric layer's IntervalIndex can adopt the columns
+/// wholesale on a cache hit instead of re-deriving them interval by
+/// interval.
+struct RankColumns {
+  std::vector<double> t0, t1;
+  std::vector<std::uint8_t> state;  ///< IntervalState values
+  std::vector<FuncId> func;
+  std::vector<SyncObjectId> sync;
+
+  std::size_t size() const { return t0.size(); }
+};
+
+struct TraceColumns {
+  std::vector<RankColumns> ranks;
+
+  /// True when the columns mirror `trace` shape-for-shape (same rank
+  /// count, same per-rank interval counts, consistent column lengths).
+  /// Consumers adopting the columns must check this first.
+  bool matches(const struct ExecutionTrace& trace) const;
+};
+
 struct ExecutionTrace {
   MachineSpec machine;
   std::vector<FuncInfo> functions;

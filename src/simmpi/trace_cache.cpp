@@ -1,0 +1,199 @@
+#include "simmpi/trace_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include <unistd.h>
+
+#include "simmpi/trace_snapshot.h"
+#include "util/json.h"  // read_file
+#include "util/log.h"
+
+namespace histpc::simmpi {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSnapshotExtension = ".htb";
+
+/// Incremental FNV-1a 64. Every value is folded in as canonical
+/// little-endian bytes, so the digest is platform-stable.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+    bytes(b, 8);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) s[static_cast<std::size_t>(i)] = digits[v & 0xF];
+  return s;
+}
+
+/// Unique-per-call temp name next to `path`; concurrent writers (parallel
+/// sessions sharing one cache directory) never collide, and the final
+/// rename is atomic either way.
+std::string temp_path_for(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+std::uint64_t trace_content_key(const SimProgram& program, const NetworkModel& net) {
+  Fnv1a h;
+  h.str("histpc-trace-key-v1");
+
+  h.f64(net.latency);
+  h.f64(net.bytes_per_second);
+  h.u64(net.eager_limit);
+  h.f64(net.post_overhead);
+
+  const MachineSpec& m = program.machine;
+  h.u64(m.node_names.size());
+  for (const std::string& n : m.node_names) h.str(n);
+  for (double s : m.node_speeds) h.f64(s);
+  h.u64(m.rank_to_node.size());
+  for (int r : m.rank_to_node) h.i64(r);
+  for (const std::string& p : m.process_names) h.str(p);
+
+  h.u64(program.functions.size());
+  for (const FuncInfo& f : program.functions) {
+    h.str(f.function);
+    h.str(f.module);
+  }
+
+  h.u64(program.procs.size());
+  for (const ProcessProgram& proc : program.procs) {
+    h.u64(proc.ops.size());
+    for (const Op& op : proc.ops) {
+      h.u8(static_cast<std::uint8_t>(op.kind));
+      h.f64(op.seconds);
+      h.i64(op.peer);
+      h.i64(op.tag);
+      h.i64(op.comm);
+      h.u64(op.bytes);
+      h.i64(op.request);
+      h.i64(op.func);
+    }
+  }
+  return h.digest();
+}
+
+TraceCache::TraceCache(TraceCacheConfig config, telemetry::Registry* registry)
+    : config_(std::move(config)), registry_(registry) {}
+
+void TraceCache::count(const char* name) const {
+  if (registry_) registry_->add(name, 1);
+}
+
+std::string TraceCache::path_for(std::uint64_t key) const {
+  return (fs::path(config_.directory) / (hex16(key) + kSnapshotExtension)).string();
+}
+
+std::optional<ExecutionTrace> TraceCache::load(std::uint64_t key, TraceColumns* columns) const {
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    count("trace_cache.miss");
+    return std::nullopt;
+  }
+  try {
+    ExecutionTrace trace = load_trace_snapshot(path, columns);
+    count("trace_cache.hit");
+    // Touch for LRU; best-effort (a failed touch only skews eviction).
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return trace;
+  } catch (const std::exception& e) {
+    // Same hardening rule as the experiment store: a file that fails
+    // validation is moved aside so it cannot poison future loads, and the
+    // caller re-simulates.
+    count("trace_cache.quarantined");
+    count("trace_cache.miss");
+    const std::string quarantined = path + ".quarantined";
+    fs::rename(path, quarantined, ec);
+    if (ec) fs::remove(path, ec);
+    HISTPC_LOG(Warn) << "quarantining corrupt trace snapshot " << path << ": " << e.what();
+    return std::nullopt;
+  }
+}
+
+void TraceCache::store(std::uint64_t key, const ExecutionTrace& trace) const {
+  const std::string path = path_for(key);
+  try {
+    fs::create_directories(config_.directory);
+    const std::string bytes = encode_trace_snapshot(trace);
+    const std::string tmp = temp_path_for(path);
+    util::write_file(tmp, bytes);
+    fs::rename(tmp, path);
+    count("trace_cache.store");
+    evict_over_cap(path);
+  } catch (const std::exception& e) {
+    HISTPC_LOG(Warn) << "failed to store trace snapshot " << path << ": " << e.what();
+  }
+}
+
+void TraceCache::evict_over_cap(const std::string& just_written) const {
+  struct Entry {
+    fs::path path;
+    std::uint64_t size;
+    fs::file_time_type mtime;
+  };
+  std::error_code ec;
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  for (const auto& de : fs::directory_iterator(config_.directory, ec)) {
+    if (de.path().extension() != kSnapshotExtension) continue;
+    Entry e{de.path(), de.file_size(ec), de.last_write_time(ec)};
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= config_.max_bytes) return;
+  // Oldest first; equal mtimes (coarse filesystem clocks) break by path so
+  // concurrent evictors agree on the victim order.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  });
+  for (const Entry& e : entries) {
+    if (total <= config_.max_bytes) break;
+    if (e.path == fs::path(just_written)) continue;  // never evict the newest write
+    if (fs::remove(e.path, ec)) {
+      total -= e.size;
+      count("trace_cache.evicted");
+      HISTPC_LOG(Debug) << "evicted trace snapshot " << e.path.string() << " (" << e.size
+                        << " bytes) to stay under cache cap";
+    }
+  }
+}
+
+}  // namespace histpc::simmpi

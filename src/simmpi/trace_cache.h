@@ -1,0 +1,77 @@
+// TraceCache: content-addressed store of binary trace snapshots.
+//
+// The simulator is deterministic: a given (recorded program, network
+// model) pair — the machine spec travels inside the program — always
+// produces the same ExecutionTrace. The cache exploits that by keying
+// snapshots on a stable FNV-1a hash of those inputs, so a session that
+// would re-simulate an already-seen configuration instead reloads the
+// trace at memory-bandwidth speed (the `session.trace_load` timer vs the
+// `session.simulate` one).
+//
+// Robustness mirrors the experiment store's hardening rules:
+//  * writes are atomic (unique temp file in the cache directory, then
+//    rename), so readers never observe a partial snapshot;
+//  * loads validate strictly (magic, version, CRC, field ranges); any
+//    failure quarantines the file (renamed to "<name>.quarantined") with a
+//    warning and reports a miss — the caller falls back to simulating, so
+//    a corrupt cache can cost time but never correctness;
+//  * the directory is capped by total snapshot bytes with LRU eviction
+//    (least-recently-used by file mtime; hits touch the file).
+//
+// When a telemetry::Registry is attached, the cache maintains the
+// `trace_cache.hit` / `trace_cache.miss` / `trace_cache.store` /
+// `trace_cache.evicted` / `trace_cache.quarantined` counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "simmpi/program.h"
+#include "simmpi/simulator.h"
+#include "simmpi/trace.h"
+#include "telemetry/registry.h"
+
+namespace histpc::simmpi {
+
+/// Stable 64-bit content hash of everything that determines a simulated
+/// trace: the network model, the machine spec, the function table, and
+/// every recorded op of every rank. FNV-1a over a canonical little-endian
+/// byte serialization — the same inputs hash identically across runs,
+/// platforms, and processes.
+std::uint64_t trace_content_key(const SimProgram& program, const NetworkModel& net);
+
+struct TraceCacheConfig {
+  std::string directory;
+  /// Byte-size cap on the sum of snapshot files; LRU-evicted past it.
+  std::uint64_t max_bytes = 256ull << 20;
+};
+
+class TraceCache {
+ public:
+  explicit TraceCache(TraceCacheConfig config, telemetry::Registry* registry = nullptr);
+
+  const TraceCacheConfig& config() const { return config_; }
+
+  /// Snapshot path for `key`: "<dir>/<016x key>.htb".
+  std::string path_for(std::uint64_t key) const;
+
+  /// Load the snapshot for `key`. Returns the trace (and fills `columns`
+  /// when non-null) on a hit; nullopt on a miss or after quarantining a
+  /// file that failed validation. Never throws on corrupt input.
+  std::optional<ExecutionTrace> load(std::uint64_t key, TraceColumns* columns = nullptr) const;
+
+  /// Store a snapshot for `key` (atomic write-then-rename), then enforce
+  /// the byte cap. Failures are logged and swallowed: the cache is an
+  /// optimization, never a reason to fail a diagnosis.
+  void store(std::uint64_t key, const ExecutionTrace& trace) const;
+
+ private:
+  void count(const char* name) const;
+  void evict_over_cap(const std::string& just_written) const;
+
+  TraceCacheConfig config_;
+  telemetry::Registry* registry_;
+};
+
+}  // namespace histpc::simmpi

@@ -7,6 +7,29 @@ namespace histpc::simmpi {
 using util::Json;
 using util::JsonArray;
 
+namespace {
+
+constexpr const char* kTraceSchema = "histpc-trace-v1";
+
+/// Parse-error style matches Focus::parse: name the offending field (with
+/// its array index) and the schema, so a hand-edited or foreign document
+/// fails with an actionable message.
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+  throw util::JsonError("trace (" + std::string(kTraceSchema) + "): " + where + ": " + what);
+}
+
+/// Run `fn`, prefixing any JsonError it throws with the field context.
+template <typename Fn>
+decltype(auto) in_field(const std::string& where, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const util::JsonError& e) {
+    fail(where, e.what());
+  }
+}
+
+}  // namespace
+
 Json trace_to_json(const ExecutionTrace& trace) {
   Json j = Json::object();
   j["schema"] = "histpc-trace-v1";
@@ -65,44 +88,74 @@ Json trace_to_json(const ExecutionTrace& trace) {
 }
 
 ExecutionTrace trace_from_json(const Json& j) {
-  if (j.get_or("schema", std::string()) != "histpc-trace-v1")
-    throw util::JsonError("trace: unknown or missing schema tag");
+  const std::string schema = j.get_or("schema", std::string());
+  if (schema != kTraceSchema)
+    fail("schema", schema.empty() ? std::string("missing schema tag")
+                                  : "unknown schema '" + schema + "'");
   ExecutionTrace trace;
-  trace.duration = j.at("duration").as_double();
+  trace.duration = in_field("duration", [&] { return j.at("duration").as_double(); });
 
-  const Json& machine = j.at("machine");
-  for (const auto& n : machine.at("nodes").as_array()) {
-    trace.machine.node_names.push_back(n.at("name").as_string());
-    trace.machine.node_speeds.push_back(n.at("speed").as_double());
-  }
-  for (const auto& m : machine.at("ranks").as_array()) {
-    trace.machine.process_names.push_back(m.at("process").as_string());
-    trace.machine.rank_to_node.push_back(static_cast<int>(m.at("node").as_int()));
+  const Json& machine = in_field("machine", [&]() -> const Json& { return j.at("machine"); });
+  {
+    const auto& nodes =
+        in_field("machine.nodes", [&]() -> const JsonArray& { return machine.at("nodes").as_array(); });
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      in_field("machine.nodes[" + std::to_string(i) + "]", [&] {
+        trace.machine.node_names.push_back(nodes[i].at("name").as_string());
+        trace.machine.node_speeds.push_back(nodes[i].at("speed").as_double());
+      });
+    const auto& ranks_meta =
+        in_field("machine.ranks", [&]() -> const JsonArray& { return machine.at("ranks").as_array(); });
+    for (std::size_t i = 0; i < ranks_meta.size(); ++i)
+      in_field("machine.ranks[" + std::to_string(i) + "]", [&] {
+        trace.machine.process_names.push_back(ranks_meta[i].at("process").as_string());
+        trace.machine.rank_to_node.push_back(static_cast<int>(ranks_meta[i].at("node").as_int()));
+      });
   }
   trace.machine.validate();
 
-  for (const auto& f : j.at("functions").as_array())
-    trace.functions.push_back({f.at("function").as_string(), f.at("module").as_string()});
-  for (const auto& s : j.at("sync_objects").as_array())
-    trace.sync_objects.push_back(s.as_string());
+  {
+    const auto& funcs =
+        in_field("functions", [&]() -> const JsonArray& { return j.at("functions").as_array(); });
+    for (std::size_t i = 0; i < funcs.size(); ++i)
+      in_field("functions[" + std::to_string(i) + "]", [&] {
+        trace.functions.push_back(
+            {funcs[i].at("function").as_string(), funcs[i].at("module").as_string()});
+      });
+    const auto& syncs = in_field(
+        "sync_objects", [&]() -> const JsonArray& { return j.at("sync_objects").as_array(); });
+    for (std::size_t i = 0; i < syncs.size(); ++i)
+      in_field("sync_objects[" + std::to_string(i) + "]",
+               [&] { trace.sync_objects.push_back(syncs[i].as_string()); });
+  }
 
-  for (const auto& r : j.at("ranks").as_array()) {
+  const auto& ranks =
+      in_field("ranks", [&]() -> const JsonArray& { return j.at("ranks").as_array(); });
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const std::string where = "ranks[" + std::to_string(r) + "]";
     RankTrace rt;
-    rt.end_time = r.at("end_time").as_double();
-    const auto& flat = r.at("intervals").as_array();
+    rt.end_time = in_field(where + ".end_time", [&] { return ranks[r].at("end_time").as_double(); });
+    const auto& flat = in_field(
+        where + ".intervals", [&]() -> const JsonArray& { return ranks[r].at("intervals").as_array(); });
     if (flat.size() % 5 != 0)
-      throw util::JsonError("trace: interval array length not a multiple of 5");
+      fail(where + ".intervals", "length " + std::to_string(flat.size()) +
+                                     " is not a multiple of 5 [t0, t1, state, func, sync]");
     rt.intervals.reserve(flat.size() / 5);
     for (std::size_t i = 0; i < flat.size(); i += 5) {
-      Interval iv;
-      iv.t0 = flat[i].as_double();
-      iv.t1 = flat[i + 1].as_double();
-      const int state = static_cast<int>(flat[i + 2].as_int());
-      if (state < 0 || state > 2) throw util::JsonError("trace: bad interval state");
-      iv.state = static_cast<IntervalState>(state);
-      iv.func = static_cast<FuncId>(flat[i + 3].as_int());
-      iv.sync_object = static_cast<SyncObjectId>(flat[i + 4].as_int());
-      rt.intervals.push_back(iv);
+      const std::string iv_where = where + ".intervals[" + std::to_string(i / 5) + "]";
+      in_field(iv_where, [&] {
+        Interval iv;
+        iv.t0 = flat[i].as_double();
+        iv.t1 = flat[i + 1].as_double();
+        const int state = static_cast<int>(flat[i + 2].as_int());
+        // Plain JsonError: the in_field wrapper prefixes the context.
+        if (state < 0 || state > 2)
+          throw util::JsonError("bad state " + std::to_string(state) + " (expected 0..2)");
+        iv.state = static_cast<IntervalState>(state);
+        iv.func = static_cast<FuncId>(flat[i + 3].as_int());
+        iv.sync_object = static_cast<SyncObjectId>(flat[i + 4].as_int());
+        rt.intervals.push_back(iv);
+      });
     }
     trace.ranks.push_back(std::move(rt));
   }

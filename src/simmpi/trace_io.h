@@ -16,7 +16,9 @@ namespace histpc::simmpi {
 
 util::Json trace_to_json(const ExecutionTrace& trace);
 
-/// Parse and validate; throws util::JsonError on malformed documents and
+/// Parse and validate; throws util::JsonError on malformed documents —
+/// messages name the schema and the offending field/array index, e.g.
+/// "trace (histpc-trace-v1): ranks[0].intervals[3]: bad state 7" — and
 /// std::logic_error when the decoded trace fails its invariants.
 ExecutionTrace trace_from_json(const util::Json& j);
 

@@ -1,0 +1,477 @@
+#include "simmpi/trace_snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/json.h"  // read_file / write_file
+
+namespace histpc::simmpi {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 12;  // magic (8) + version (4)
+constexpr std::size_t kTrailerSize = 4;  // CRC32
+
+// The payload checksum is CRC-32C (Castagnoli, reflected polynomial
+// 0x82F63B78) rather than the zip/png CRC-32: it has a hardware
+// instruction on x86-64 (SSE4.2), and the checksum pass over a
+// multi-megabyte snapshot would otherwise dominate the warm-load path the
+// trace cache exists to make cheap.
+
+std::uint32_t crc32c_sw(const char* p, std::size_t n, std::uint32_t crc) {
+  // Slice-by-8 software fallback (~1 ns/byte vs ~3 ns/byte for the naive
+  // byte-at-a-time loop).
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (int s = 1; s < 8; ++s) t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+    return t;
+  }();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    if constexpr (std::endian::native != std::endian::little) {
+      // The slicing tables assume little-endian word loads.
+      auto bswap = [](std::uint32_t v) {
+        return (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) | (v << 24);
+      };
+      lo = bswap(lo);
+      hi = bswap(hi);
+    }
+    lo ^= crc;
+    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^ tables[3][hi & 0xFFu] ^
+          tables[2][(hi >> 8) & 0xFFu] ^ tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n)
+    crc = tables[0][(crc ^ static_cast<unsigned char>(*p)) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HISTPC_HAVE_HW_CRC32C 1
+
+// CRC is linear over GF(2): appending `len` zero bytes to a message maps
+// its CRC through a fixed 32x32 bit matrix, so crc(A||B) =
+// shift_len(B)(crc(A)) ^ crc0(B). We precompute that operator for one
+// fixed block size as four 256-entry tables (Adler's matrix-squaring
+// trick from zlib's crc32_combine) and use it to merge independent lanes.
+struct CrcShift {
+  std::uint32_t t[4][256];
+};
+
+std::uint32_t gf2_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+CrcShift make_crc_shift(std::size_t zero_bytes) {
+  // Operator for one zero bit of a reflected CRC: bit 0 folds the
+  // polynomial in, every other bit shifts down by one.
+  std::uint32_t a[32], b[32];
+  a[0] = 0x82F63B78u;
+  for (int i = 1; i < 32; ++i) a[i] = 1u << (i - 1);
+  std::uint32_t* cur = a;
+  std::uint32_t* nxt = b;
+  for (std::size_t bits = 1; bits < 8 * zero_bytes; bits <<= 1) {
+    for (int i = 0; i < 32; ++i) nxt[i] = gf2_times(cur, cur[i]);  // square
+    std::swap(cur, nxt);
+  }
+  CrcShift s;
+  for (int k = 0; k < 4; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i) s.t[k][i] = gf2_times(cur, i << (8 * k));
+  return s;
+}
+
+std::uint32_t apply_crc_shift(const CrcShift& s, std::uint32_t crc) {
+  return s.t[0][crc & 0xFFu] ^ s.t[1][(crc >> 8) & 0xFFu] ^ s.t[2][(crc >> 16) & 0xFFu] ^
+         s.t[3][crc >> 24];
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const char* p, std::size_t n,
+                                                          std::uint32_t crc) {
+  // The crc32 instruction has multi-cycle latency but single-cycle
+  // throughput, so one dependency chain runs at a third of peak; run
+  // three independent lanes per block and merge them with the
+  // precomputed shift operator.
+  constexpr std::size_t kLane = 1024;
+  static const CrcShift shift_lane = make_crc_shift(kLane);
+  std::uint64_t c0 = crc;
+  while (n >= 3 * kLane) {
+    std::uint64_t c1 = 0, c2 = 0;
+    const char* p1 = p + kLane;
+    const char* p2 = p + 2 * kLane;
+    for (std::size_t i = 0; i < kLane; i += 8) {
+      std::uint64_t v0, v1, v2;
+      std::memcpy(&v0, p + i, 8);
+      std::memcpy(&v1, p1 + i, 8);
+      std::memcpy(&v2, p2 + i, 8);
+      c0 = __builtin_ia32_crc32di(c0, v0);
+      c1 = __builtin_ia32_crc32di(c1, v1);
+      c2 = __builtin_ia32_crc32di(c2, v2);
+    }
+    c0 = apply_crc_shift(shift_lane, static_cast<std::uint32_t>(c0)) ^ c1;
+    c0 = apply_crc_shift(shift_lane, static_cast<std::uint32_t>(c0)) ^ c2;
+    p += 3 * kLane;
+    n -= 3 * kLane;
+  }
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c0 = __builtin_ia32_crc32di(c0, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n--)
+    c0 = __builtin_ia32_crc32qi(static_cast<std::uint32_t>(c0),
+                                static_cast<unsigned char>(*p++));
+  return static_cast<std::uint32_t>(c0);
+}
+#endif
+
+std::uint32_t crc32c(std::string_view bytes) {
+#ifdef HISTPC_HAVE_HW_CRC32C
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  if (hw) return crc32c_hw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
+#endif
+  return crc32c_sw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
+}
+
+// --- writer -------------------------------------------------------------
+
+[[maybe_unused]] void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  out.append(b, 8);
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Append a whole column. On little-endian targets the element bytes are
+/// already in wire order, so the column is one memcpy-style append.
+template <typename T>
+void put_column(std::string& out, const std::vector<T>& col) {
+  if (col.empty()) return;  // data() of an empty vector may be null
+  if constexpr (std::endian::native == std::endian::little) {
+    out.append(reinterpret_cast<const char*>(col.data()), col.size() * sizeof(T));
+  } else {
+    for (const T& v : col) {
+      if constexpr (sizeof(T) == 8)
+        put_u64(out, std::bit_cast<std::uint64_t>(v));
+      else if constexpr (sizeof(T) == 4)
+        put_u32(out, std::bit_cast<std::uint32_t>(v));
+      else
+        put_u8(out, std::bit_cast<std::uint8_t>(v));
+    }
+  }
+}
+
+// --- reader -------------------------------------------------------------
+
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t off = 0;
+
+  /// Throws SnapshotError naming `what` if fewer than `n` bytes remain.
+  void need(std::size_t n, const char* what) const {
+    if (n > size - off)
+      throw SnapshotError("snapshot truncated reading " + std::string(what) + " at offset " +
+                          std::to_string(off));
+  }
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data[off++]);
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[off + i])) << (8 * i);
+    off += 4;
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[off + i])) << (8 * i);
+    off += 8;
+    return v;
+  }
+
+  std::int32_t i32(const char* what) { return static_cast<std::int32_t>(u32(what)); }
+  double f64(const char* what) { return std::bit_cast<double>(u64(what)); }
+
+  std::string str(const char* what) {
+    const std::uint32_t n = u32(what);
+    need(n, what);
+    std::string s(data + off, n);
+    off += n;
+    return s;
+  }
+
+  /// Read `n` elements into `col`. The element count was produced by a
+  /// length field, so the remaining-bytes check also bounds the allocation.
+  template <typename T>
+  void column(std::vector<T>& col, std::size_t n, const char* what) {
+    need(n * sizeof(T), what);
+    col.resize(n);
+    if (n == 0) return;  // data() of an empty vector may be null
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(col.data(), data + off, n * sizeof(T));
+      off += n * sizeof(T);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if constexpr (sizeof(T) == 8)
+          col[i] = std::bit_cast<T>(u64(what));
+        else if constexpr (sizeof(T) == 4)
+          col[i] = std::bit_cast<T>(u32(what));
+        else
+          col[i] = std::bit_cast<T>(u8(what));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string encode_trace_snapshot(const ExecutionTrace& trace) {
+  std::string out;
+  out.reserve(kHeaderSize + 64 + trace.total_intervals() * 25 + kTrailerSize);
+  out.append(kTraceSnapshotMagic);
+  put_u32(out, kTraceSnapshotVersion);
+
+  put_f64(out, trace.duration);
+
+  const MachineSpec& m = trace.machine;
+  put_u32(out, static_cast<std::uint32_t>(m.node_names.size()));
+  for (const std::string& name : m.node_names) put_str(out, name);
+  put_column(out, m.node_speeds);
+  put_u32(out, static_cast<std::uint32_t>(m.rank_to_node.size()));
+  put_column(out, m.rank_to_node);
+  for (const std::string& proc : m.process_names) put_str(out, proc);
+
+  put_u32(out, static_cast<std::uint32_t>(trace.functions.size()));
+  for (const FuncInfo& f : trace.functions) {
+    put_str(out, f.function);
+    put_str(out, f.module);
+  }
+  put_u32(out, static_cast<std::uint32_t>(trace.sync_objects.size()));
+  for (const std::string& s : trace.sync_objects) put_str(out, s);
+
+  for (const RankTrace& rt : trace.ranks) {
+    put_f64(out, rt.end_time);
+    const std::size_t n = rt.intervals.size();
+    put_u64(out, static_cast<std::uint64_t>(n));
+    // Transpose AoS intervals into wire columns through small scratch
+    // vectors; the per-column appends are then bulk copies.
+    RankColumns cols;
+    cols.t0.reserve(n);
+    cols.t1.reserve(n);
+    cols.state.reserve(n);
+    cols.func.reserve(n);
+    cols.sync.reserve(n);
+    for (const Interval& iv : rt.intervals) {
+      cols.t0.push_back(iv.t0);
+      cols.t1.push_back(iv.t1);
+      cols.state.push_back(static_cast<std::uint8_t>(iv.state));
+      cols.func.push_back(iv.func);
+      cols.sync.push_back(iv.sync_object);
+    }
+    put_column(out, cols.t0);
+    put_column(out, cols.t1);
+    put_column(out, cols.state);
+    put_column(out, cols.func);
+    put_column(out, cols.sync);
+  }
+
+  put_u32(out, crc32c(std::string_view(out).substr(kHeaderSize)));
+  return out;
+}
+
+ExecutionTrace decode_trace_snapshot(std::string_view bytes, TraceColumns* columns) {
+  if (bytes.size() < kHeaderSize + kTrailerSize)
+    throw SnapshotError("snapshot too small (" + std::to_string(bytes.size()) + " bytes)");
+  if (bytes.substr(0, kTraceSnapshotMagic.size()) != kTraceSnapshotMagic)
+    throw SnapshotError("bad snapshot magic (not a histpc-trace-bin file)");
+
+  Cursor cur{bytes.data(), bytes.size() - kTrailerSize, kTraceSnapshotMagic.size()};
+  const std::uint32_t version = cur.u32("format version");
+  if (version != kTraceSnapshotVersion)
+    throw SnapshotError("unsupported snapshot version " + std::to_string(version) +
+                        " (expected " + std::to_string(kTraceSnapshotVersion) + ")");
+
+  const std::string_view payload =
+      bytes.substr(kHeaderSize, bytes.size() - kHeaderSize - kTrailerSize);
+  Cursor trailer{bytes.data(), bytes.size(), bytes.size() - kTrailerSize};
+  const std::uint32_t stored_crc = trailer.u32("payload CRC");
+  const std::uint32_t computed_crc = crc32c(payload);
+  if (stored_crc != computed_crc)
+    throw SnapshotError("snapshot CRC mismatch (stored " + std::to_string(stored_crc) +
+                        ", computed " + std::to_string(computed_crc) + ")");
+
+  ExecutionTrace trace;
+  trace.duration = cur.f64("duration");
+
+  MachineSpec& m = trace.machine;
+  const std::uint32_t nnodes = cur.u32("node count");
+  m.node_names.reserve(nnodes);
+  for (std::uint32_t i = 0; i < nnodes; ++i) m.node_names.push_back(cur.str("node name"));
+  cur.column(m.node_speeds, nnodes, "node speeds");
+  const std::uint32_t nranks = cur.u32("rank count");
+  cur.column(m.rank_to_node, nranks, "rank placement");
+  m.process_names.reserve(nranks);
+  for (std::uint32_t i = 0; i < nranks; ++i)
+    m.process_names.push_back(cur.str("process name"));
+  m.validate();
+
+  const std::uint32_t nfuncs = cur.u32("function count");
+  trace.functions.reserve(nfuncs);
+  for (std::uint32_t i = 0; i < nfuncs; ++i) {
+    FuncInfo f;
+    f.function = cur.str("function name");
+    f.module = cur.str("module name");
+    trace.functions.push_back(std::move(f));
+  }
+  const std::uint32_t nsyncs = cur.u32("sync object count");
+  trace.sync_objects.reserve(nsyncs);
+  for (std::uint32_t i = 0; i < nsyncs; ++i)
+    trace.sync_objects.push_back(cur.str("sync object name"));
+
+  trace.ranks.resize(nranks);
+  if (columns) {
+    columns->ranks.clear();
+    columns->ranks.resize(nranks);
+  }
+  const FuncId func_limit = static_cast<FuncId>(nfuncs);
+  const SyncObjectId sync_limit = static_cast<SyncObjectId>(nsyncs);
+  double max_end = 0.0;
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    RankTrace& rt = trace.ranks[r];
+    rt.end_time = cur.f64("rank end time");
+    const std::uint64_t n64 = cur.u64("interval count");
+    if (n64 > std::numeric_limits<std::uint32_t>::max())
+      throw SnapshotError("implausible interval count on rank " + std::to_string(r));
+    const std::size_t n = static_cast<std::size_t>(n64);
+    RankColumns cols;
+    cur.column(cols.t0, n, "t0 column");
+    cur.column(cols.t1, n, "t1 column");
+    cur.column(cols.state, n, "state column");
+    cur.column(cols.func, n, "func column");
+    cur.column(cols.sync, n, "sync column");
+    // One fused pass builds the AoS intervals and enforces the semantic
+    // invariants of ExecutionTrace::validate() while the columns are
+    // cache-hot; a final validate() over the multi-megabyte trace would
+    // cost a measurable slice of the warm-load budget.
+    rt.intervals.resize(n);
+    Interval* out = rt.intervals.data();
+    double prev_end = 0.0;
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t0 = cols.t0[i];
+      const double t1 = cols.t1[i];
+      const std::uint8_t state = cols.state[i];
+      const FuncId func = cols.func[i];
+      const SyncObjectId sync = cols.sync[i];
+      ok &= state <= 2;
+      ok &= t1 >= t0 && t0 + 1e-9 >= prev_end;
+      ok &= func == kNoFunc || (func >= 0 && func < func_limit);
+      ok &= sync == kNoSyncObject ||
+            (state == static_cast<std::uint8_t>(IntervalState::SyncWait) && sync >= 0 &&
+             sync < sync_limit);
+      prev_end = t1;
+      out[i].t0 = t0;
+      out[i].t1 = t1;
+      out[i].state = static_cast<IntervalState>(state);
+      out[i].func = func;
+      out[i].sync_object = sync;
+    }
+    if (!ok || prev_end > rt.end_time + 1e-9)
+      throw SnapshotError("invalid interval data on rank " + std::to_string(r));
+    max_end = std::max(max_end, rt.end_time);
+    if (columns) columns->ranks[r] = std::move(cols);
+  }
+  if (std::abs(max_end - trace.duration) > 1e-6)
+    throw SnapshotError("duration does not match max rank end time");
+
+  if (cur.off != cur.size)
+    throw SnapshotError("snapshot has " + std::to_string(cur.size - cur.off) +
+                        " trailing payload bytes");
+  return trace;
+}
+
+void save_trace_snapshot(const ExecutionTrace& trace, const std::string& path) {
+  util::write_file(path, encode_trace_snapshot(trace));
+}
+
+ExecutionTrace load_trace_snapshot(const std::string& path, TraceColumns* columns) {
+#if defined(__unix__) || defined(__APPLE__)
+  // Decode straight out of the page cache: copying a multi-megabyte
+  // snapshot into a string first costs a third of the warm-load budget.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct ::stat st {};
+    const bool statted = ::fstat(fd, &st) == 0 && st.st_size > 0;
+    void* map = statted ? ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                                 MAP_PRIVATE, fd, 0)
+                        : MAP_FAILED;
+    ::close(fd);
+    if (map != MAP_FAILED) {
+      struct Unmap {
+        void* p;
+        std::size_t n;
+        ~Unmap() { ::munmap(p, n); }
+      } guard{map, static_cast<std::size_t>(st.st_size)};
+      return decode_trace_snapshot(
+          std::string_view(static_cast<const char*>(map), guard.n), columns);
+    }
+  }
+#endif
+  return decode_trace_snapshot(util::read_file(path), columns);
+}
+
+}  // namespace histpc::simmpi

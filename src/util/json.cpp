@@ -366,9 +366,17 @@ Json Json::parse(std::string_view text) {
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw JsonError("cannot open file: " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  // Size the result up front and read in one call: streaming through a
+  // stringstream copies the content twice, which is measurable on the
+  // multi-megabyte binary trace snapshots.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) throw JsonError("cannot determine size of file: " + path);
+  in.seekg(0, std::ios::beg);
+  std::string content(static_cast<std::size_t>(size), '\0');
+  in.read(content.data(), size);
+  if (!in && size > 0) throw JsonError("cannot read file: " + path);
+  return content;
 }
 
 void write_file(const std::string& path, std::string_view content) {

@@ -157,6 +157,69 @@ TEST_F(CliTest, RunPostmortemAndExtended) {
   EXPECT_NE(out.find("ExcessiveMessageWaitingTime"), std::string::npos);
 }
 
+TEST_F(CliTest, TraceCacheMissesThenHits) {
+  const std::string cache_dir = store_dir_ + "/trace-cache";
+  const std::string cold =
+      run("run", {"poisson_c", "--duration", "300", "--trace-cache", cache_dir});
+  EXPECT_NE(cold.find("trace cache: miss (" + cache_dir + ")"), std::string::npos);
+
+  std::size_t snapshots = 0;
+  for (const auto& de : fs::directory_iterator(cache_dir))
+    snapshots += de.path().extension() == ".htb";
+  EXPECT_EQ(snapshots, 1u);
+
+  const std::string warm =
+      run("run", {"poisson_c", "--duration", "300", "--trace-cache", cache_dir});
+  EXPECT_NE(warm.find("trace cache: hit (" + cache_dir + ")"), std::string::npos);
+  // Identical diagnosis either way (everything after the cache-status line).
+  const auto after_cache = [](const std::string& s) {
+    return s.substr(s.find('\n', s.find("trace cache:")) + 1);
+  };
+  EXPECT_EQ(after_cache(cold), after_cache(warm));
+}
+
+TEST_F(CliTest, NoTraceCacheSwitchesTheCacheOff) {
+  const std::string out =
+      run("run", {"poisson_c", "--duration", "300", "--no-trace-cache"});
+  EXPECT_EQ(out.find("trace cache:"), std::string::npos);
+  EXPECT_NE(out.find("bottlenecks:"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceCacheQuarantinesCorruptSnapshotsAndStillDiagnoses) {
+  const std::string cache_dir = store_dir_ + "/trace-cache";
+  run("run", {"poisson_c", "--duration", "300", "--trace-cache", cache_dir});
+  for (const auto& de : fs::directory_iterator(cache_dir))
+    if (de.path().extension() == ".htb")
+      util::write_file(de.path().string(), "definitely not a snapshot");
+
+  std::vector<std::string> warnings;
+  util::set_log_sink([&](util::LogLevel level, const std::string& line) {
+    if (level == util::LogLevel::Warn) warnings.push_back(line);
+  });
+  const std::string out =
+      run("run", {"poisson_c", "--duration", "300", "--trace-cache", cache_dir});
+  util::set_log_sink({});
+
+  // The corrupt file is sidelined, the run falls back to simulation, and
+  // the diagnosis still completes.
+  EXPECT_NE(out.find("trace cache: miss"), std::string::npos);
+  EXPECT_NE(out.find("bottlenecks:"), std::string::npos);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("quarantining corrupt trace snapshot"), std::string::npos);
+  bool quarantined = false;
+  for (const auto& de : fs::directory_iterator(cache_dir))
+    quarantined |= de.path().extension() == ".quarantined";
+  EXPECT_TRUE(quarantined);
+}
+
+TEST_F(CliTest, VariantsUsesTheTraceCache) {
+  const std::string cache_dir = store_dir_ + "/trace-cache";
+  run("variants", {"bubba", "--duration", "150", "--trace-cache", cache_dir});
+  const std::string warm =
+      run("variants", {"bubba", "--duration", "150", "--trace-cache", cache_dir});
+  EXPECT_NE(warm.find("trace cache: hit"), std::string::npos);
+}
+
 TEST_F(CliTest, DotExportWritesFile) {
   const std::string dot_file = store_dir_ + "/shg.dot";
   fs::create_directories(store_dir_);

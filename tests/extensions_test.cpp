@@ -182,6 +182,23 @@ TEST(TraceIo, RejectsBadDocuments) {
   EXPECT_THROW(simmpi::trace_from_json(j), util::JsonError);
 }
 
+TEST(TraceIo, ParseErrorsNameTheFieldAndSchema) {
+  apps::AppParams p;
+  p.target_duration = 30.0;
+  util::Json j = simmpi::trace_to_json(apps::run_app("tester", p));
+  // Corrupt one interval's state slot (index 2 within the third tuple).
+  j["ranks"].as_array()[0]["intervals"].as_array()[2 * 5 + 2] = util::Json(7.0);
+  try {
+    simmpi::trace_from_json(j);
+    FAIL() << "corrupt document parsed successfully";
+  } catch (const util::JsonError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("histpc-trace-v1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ranks[0].intervals[2]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad state 7"), std::string::npos) << msg;
+  }
+}
+
 // --------------------------------------------------------------- DOT export
 
 TEST(ShgDot, ContainsNodesEdgesAndColors) {

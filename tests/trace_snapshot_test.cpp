@@ -1,0 +1,421 @@
+// Binary trace snapshots (histpc-trace-bin-v1) and the content-addressed
+// trace cache: JSON <-> binary round-trip property tests (the JSON schema
+// is the oracle), corrupt-snapshot handling (truncation, flipped bytes,
+// wrong version -> quarantine, never abort), the committed golden fixture
+// that locks the on-disk layout, LRU eviction, and the end-to-end oracle:
+// diagnosis results are bit-identical between simulated and cache-loaded
+// traces.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "core/session.h"
+#include "simmpi/trace_cache.h"
+#include "simmpi/trace_io.h"
+#include "simmpi/trace_snapshot.h"
+#include "util/json.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace histpc {
+namespace {
+
+namespace fs = std::filesystem;
+using simmpi::ExecutionTrace;
+using simmpi::IntervalState;
+using simmpi::TraceCache;
+using simmpi::TraceCacheConfig;
+using simmpi::TraceColumns;
+
+std::string temp_dir(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / ("trace_snapshot_" + name);
+  fs::remove_all(path);
+  fs::create_directories(path);
+  return path.string();
+}
+
+/// Exact (==, not near) equality on every field; the binary format must
+/// round-trip doubles bit-for-bit, like the JSON writer's %.17g does.
+void expect_traces_equal(const ExecutionTrace& a, const ExecutionTrace& b) {
+  EXPECT_EQ(a.machine.node_names, b.machine.node_names);
+  EXPECT_EQ(a.machine.node_speeds, b.machine.node_speeds);
+  EXPECT_EQ(a.machine.rank_to_node, b.machine.rank_to_node);
+  EXPECT_EQ(a.machine.process_names, b.machine.process_names);
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (std::size_t f = 0; f < a.functions.size(); ++f) {
+    EXPECT_EQ(a.functions[f].function, b.functions[f].function);
+    EXPECT_EQ(a.functions[f].module, b.functions[f].module);
+  }
+  EXPECT_EQ(a.sync_objects, b.sync_objects);
+  EXPECT_EQ(a.duration, b.duration);
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].end_time, b.ranks[r].end_time);
+    ASSERT_EQ(a.ranks[r].intervals.size(), b.ranks[r].intervals.size());
+    for (std::size_t i = 0; i < a.ranks[r].intervals.size(); ++i) {
+      const auto& x = a.ranks[r].intervals[i];
+      const auto& y = b.ranks[r].intervals[i];
+      EXPECT_EQ(x.t0, y.t0);
+      EXPECT_EQ(x.t1, y.t1);
+      EXPECT_EQ(x.state, y.state);
+      EXPECT_EQ(x.func, y.func);
+      EXPECT_EQ(x.sync_object, y.sync_object);
+    }
+  }
+}
+
+/// A randomized but always-valid trace: monotone non-overlapping intervals,
+/// ids in range, duration = max rank end time.
+ExecutionTrace random_trace(util::Rng& rng) {
+  ExecutionTrace t;
+  const std::size_t nnodes = 1 + rng.next_below(3);
+  const std::size_t nranks = 1 + rng.next_below(4);
+  const std::size_t nfuncs = rng.next_below(4);
+  const std::size_t nsyncs = rng.next_below(4);
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    t.machine.node_names.push_back("node" + std::to_string(n));
+    t.machine.node_speeds.push_back(rng.uniform(0.5, 2.0));
+  }
+  for (std::size_t r = 0; r < nranks; ++r) {
+    t.machine.rank_to_node.push_back(static_cast<int>(rng.next_below(nnodes)));
+    t.machine.process_names.push_back("rand:" + std::to_string(r));
+  }
+  for (std::size_t f = 0; f < nfuncs; ++f)
+    t.functions.push_back({"f" + std::to_string(f), "m" + std::to_string(f % 2)});
+  for (std::size_t s = 0; s < nsyncs; ++s)
+    t.sync_objects.push_back("Message/" + std::to_string(s));
+
+  t.ranks.resize(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    double time = 0.0;
+    const std::size_t n = rng.next_below(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      simmpi::Interval iv;
+      if (rng.next_below(4) == 0) time += rng.uniform(0.0, 0.5);  // gap
+      iv.t0 = time;
+      time += rng.uniform(1e-6, 2.0);
+      iv.t1 = time;
+      iv.state = static_cast<IntervalState>(rng.next_below(3));
+      iv.func = nfuncs > 0 && rng.next_below(3) != 0
+                    ? static_cast<simmpi::FuncId>(rng.next_below(nfuncs))
+                    : simmpi::kNoFunc;
+      iv.sync_object = iv.state == IntervalState::SyncWait && nsyncs > 0 &&
+                               rng.next_below(3) != 0
+                           ? static_cast<simmpi::SyncObjectId>(rng.next_below(nsyncs))
+                           : simmpi::kNoSyncObject;
+      t.ranks[r].intervals.push_back(iv);
+    }
+    t.ranks[r].end_time = time + rng.uniform(0.0, 0.1);
+    t.duration = std::max(t.duration, t.ranks[r].end_time);
+  }
+  t.validate();
+  return t;
+}
+
+/// The hand-built trace behind the committed golden fixture. Never change
+/// this (or the fixture) without bumping the format version.
+ExecutionTrace golden_trace() {
+  ExecutionTrace t;
+  t.machine.node_names = {"nodeA", "nodeB"};
+  t.machine.node_speeds = {1.0, 0.5};
+  t.machine.rank_to_node = {0, 1};
+  t.machine.process_names = {"golden:0", "golden:1"};
+  t.functions = {{"solve", "solver.c"}, {"exchange", "comm.c"}};
+  t.sync_objects = {"Message/3:0", "Collective/Barrier"};
+  t.ranks.resize(2);
+  t.ranks[0].intervals = {
+      {0.0, 1.0, IntervalState::Cpu, 0, simmpi::kNoSyncObject},
+      {1.0, 1.5, IntervalState::SyncWait, 1, 0},
+      {1.5, 2.25, IntervalState::Cpu, simmpi::kNoFunc, simmpi::kNoSyncObject},
+  };
+  t.ranks[0].end_time = 2.25;
+  t.ranks[1].intervals = {
+      {0.0, 0.5, IntervalState::IoWait, 0, simmpi::kNoSyncObject},
+      {0.5, 2.0, IntervalState::SyncWait, 1, 1},
+  };
+  t.ranks[1].end_time = 2.0;
+  t.duration = 2.25;
+  t.validate();
+  return t;
+}
+
+// ------------------------------------------------- round-trip properties
+
+TEST(TraceSnapshot, RoundTripIsExactOnRandomizedTraces) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    util::Rng rng(seed);
+    const ExecutionTrace t = random_trace(rng);
+    TraceColumns cols;
+    const ExecutionTrace back = simmpi::decode_trace_snapshot(
+        simmpi::encode_trace_snapshot(t), &cols);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_traces_equal(t, back);
+    back.validate();
+    EXPECT_TRUE(cols.matches(back));
+  }
+}
+
+TEST(TraceSnapshot, AgreesWithJsonOracleFieldForField) {
+  // The JSON schema round-trips doubles exactly (%.17g); decoding both
+  // serializations of the same trace must produce identical traces.
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    util::Rng rng(seed);
+    const ExecutionTrace t = random_trace(rng);
+    const ExecutionTrace via_json = simmpi::trace_from_json(simmpi::trace_to_json(t));
+    const ExecutionTrace via_binary = simmpi::decode_trace_snapshot(
+        simmpi::encode_trace_snapshot(t));
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_traces_equal(via_json, via_binary);
+  }
+}
+
+TEST(TraceSnapshot, RoundTripsRealAppTraces) {
+  for (const char* app : {"poisson_c", "taskfarm"}) {
+    apps::AppParams p;
+    p.target_duration = 150.0;
+    const ExecutionTrace t = apps::run_app(app, p);
+    TraceColumns cols;
+    const ExecutionTrace back =
+        simmpi::decode_trace_snapshot(simmpi::encode_trace_snapshot(t), &cols);
+    SCOPED_TRACE(app);
+    expect_traces_equal(t, back);
+    EXPECT_TRUE(cols.matches(t));
+  }
+}
+
+TEST(TraceSnapshot, ColumnsMirrorIntervals) {
+  const ExecutionTrace t = golden_trace();
+  TraceColumns cols;
+  simmpi::decode_trace_snapshot(simmpi::encode_trace_snapshot(t), &cols);
+  ASSERT_EQ(cols.ranks.size(), 2u);
+  EXPECT_EQ(cols.ranks[0].t0, (std::vector<double>{0.0, 1.0, 1.5}));
+  EXPECT_EQ(cols.ranks[0].t1, (std::vector<double>{1.0, 1.5, 2.25}));
+  EXPECT_EQ(cols.ranks[0].state, (std::vector<std::uint8_t>{0, 1, 0}));
+  EXPECT_EQ(cols.ranks[0].func, (std::vector<simmpi::FuncId>{0, 1, simmpi::kNoFunc}));
+  EXPECT_EQ(cols.ranks[1].sync,
+            (std::vector<simmpi::SyncObjectId>{simmpi::kNoSyncObject, 1}));
+}
+
+// ---------------------------------------------------- corrupt snapshots
+
+TEST(TraceSnapshot, TruncationAlwaysThrowsCleanly) {
+  const std::string bytes = simmpi::encode_trace_snapshot(golden_trace());
+  const std::size_t cuts[] = {0, 1, 7, 8, 11, 12, 15, 16, 40,
+                              bytes.size() / 2, bytes.size() - 1};
+  for (std::size_t cut : cuts) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    EXPECT_THROW(simmpi::decode_trace_snapshot(std::string_view(bytes).substr(0, cut)),
+                 simmpi::SnapshotError);
+  }
+}
+
+TEST(TraceSnapshot, FlippedByteFailsTheCrc) {
+  const std::string pristine = simmpi::encode_trace_snapshot(golden_trace());
+  for (std::size_t pos : {std::size_t{20}, pristine.size() / 2, pristine.size() - 1}) {
+    std::string bytes = pristine;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x40);
+    SCOPED_TRACE("flip at " + std::to_string(pos));
+    try {
+      simmpi::decode_trace_snapshot(bytes);
+      FAIL() << "corrupt snapshot decoded successfully";
+    } catch (const simmpi::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(TraceSnapshot, WrongVersionRejected) {
+  std::string bytes = simmpi::encode_trace_snapshot(golden_trace());
+  bytes[8] = 2;  // the version field follows the 8-byte magic
+  try {
+    simmpi::decode_trace_snapshot(bytes);
+    FAIL() << "future-version snapshot decoded successfully";
+  } catch (const simmpi::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceSnapshot, BadMagicRejected) {
+  std::string bytes = simmpi::encode_trace_snapshot(golden_trace());
+  bytes[0] = 'X';
+  EXPECT_THROW(simmpi::decode_trace_snapshot(bytes), simmpi::SnapshotError);
+}
+
+// ------------------------------------------------------- golden fixture
+
+TEST(TraceSnapshot, GoldenFixtureLocksOnDiskLayout) {
+  const std::string path =
+      std::string(HISTPC_TEST_DATA_DIR) + "/golden.histpc-trace-bin-v1";
+  const std::string fixture = util::read_file(path);
+  // Byte-identical encode: any (even accidental) format change trips this.
+  EXPECT_EQ(simmpi::encode_trace_snapshot(golden_trace()), fixture);
+  expect_traces_equal(golden_trace(), simmpi::decode_trace_snapshot(fixture));
+}
+
+// ----------------------------------------------------------- TraceCache
+
+TEST(TraceCacheTest, MissThenStoreThenHit) {
+  telemetry::Registry reg;
+  const TraceCache cache({temp_dir("miss_store_hit"), 64 << 20}, &reg);
+  const ExecutionTrace t = golden_trace();
+  const std::uint64_t key = 42;
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(reg.counter("trace_cache.miss"), 1u);
+
+  cache.store(key, t);
+  EXPECT_EQ(reg.counter("trace_cache.store"), 1u);
+
+  TraceColumns cols;
+  const auto hit = cache.load(key, &cols);
+  ASSERT_TRUE(hit.has_value());
+  expect_traces_equal(t, *hit);
+  EXPECT_TRUE(cols.matches(*hit));
+  EXPECT_EQ(reg.counter("trace_cache.hit"), 1u);
+}
+
+TEST(TraceCacheTest, ContentKeyIsStableAndSensitive) {
+  apps::AppParams p;
+  p.target_duration = 150.0;
+  const simmpi::SimProgram program = apps::build_app("poisson_c", p);
+  const simmpi::NetworkModel net = apps::network_for("poisson_c");
+  const std::uint64_t key = simmpi::trace_content_key(program, net);
+  EXPECT_EQ(key, simmpi::trace_content_key(program, net));  // deterministic
+
+  apps::AppParams longer = p;
+  longer.target_duration = 300.0;
+  EXPECT_NE(key, simmpi::trace_content_key(apps::build_app("poisson_c", longer), net));
+  simmpi::NetworkModel slow = net;
+  slow.bytes_per_second /= 2;
+  EXPECT_NE(key, simmpi::trace_content_key(program, slow));
+}
+
+TEST(TraceCacheTest, QuarantinesCorruptSnapshotAndRecovers) {
+  telemetry::Registry reg;
+  const std::string dir = temp_dir("quarantine");
+  const TraceCache cache({dir, 64 << 20}, &reg);
+  const std::uint64_t key = 7;
+  cache.store(key, golden_trace());
+
+  // Corrupt the stored snapshot in place.
+  util::write_file(cache.path_for(key), "garbage, not a snapshot");
+
+  std::vector<std::string> warnings;
+  util::set_log_sink([&](util::LogLevel level, const std::string& line) {
+    if (level == util::LogLevel::Warn) warnings.push_back(line);
+  });
+  const auto result = cache.load(key);
+  util::set_log_sink({});
+
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(reg.counter("trace_cache.quarantined"), 1u);
+  EXPECT_EQ(reg.counter("trace_cache.miss"), 1u);
+  EXPECT_FALSE(fs::exists(cache.path_for(key)));
+  EXPECT_TRUE(fs::exists(cache.path_for(key) + ".quarantined"));
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("quarantining corrupt trace snapshot"), std::string::npos);
+
+  // The slot is reusable: a fresh store serves hits again.
+  cache.store(key, golden_trace());
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST(TraceCacheTest, EvictsLeastRecentlyUsedPastByteCap) {
+  telemetry::Registry reg;
+  const std::string dir = temp_dir("evict");
+  const ExecutionTrace t = golden_trace();
+  const std::uint64_t snapshot_bytes = simmpi::encode_trace_snapshot(t).size();
+  // Room for two snapshots, not three.
+  const TraceCache cache({dir, snapshot_bytes * 5 / 2}, &reg);
+
+  cache.store(1, t);
+  cache.store(2, t);
+  // Age the first two so mtime order is unambiguous even on coarse clocks.
+  const auto old = fs::file_time_type::clock::now() - std::chrono::hours(2);
+  fs::last_write_time(cache.path_for(1), old);
+  fs::last_write_time(cache.path_for(2), old + std::chrono::minutes(1));
+  EXPECT_EQ(reg.counter("trace_cache.evicted"), 0u);
+
+  cache.store(3, t);
+  EXPECT_EQ(reg.counter("trace_cache.evicted"), 1u);
+  EXPECT_FALSE(fs::exists(cache.path_for(1)));  // oldest gone
+  EXPECT_TRUE(fs::exists(cache.path_for(2)));
+  EXPECT_TRUE(fs::exists(cache.path_for(3)));
+}
+
+// ------------------------------------------------- session-level oracle
+
+void expect_results_identical(const pc::DiagnosisResult& a, const pc::DiagnosisResult& b) {
+  ASSERT_EQ(a.bottlenecks.size(), b.bottlenecks.size());
+  for (std::size_t i = 0; i < a.bottlenecks.size(); ++i) {
+    EXPECT_EQ(a.bottlenecks[i].hypothesis, b.bottlenecks[i].hypothesis);
+    EXPECT_EQ(a.bottlenecks[i].focus, b.bottlenecks[i].focus);
+    EXPECT_EQ(a.bottlenecks[i].t_found, b.bottlenecks[i].t_found);
+    EXPECT_EQ(a.bottlenecks[i].fraction, b.bottlenecks[i].fraction);
+  }
+  EXPECT_EQ(a.stats.nodes_created, b.stats.nodes_created);
+  EXPECT_EQ(a.stats.pairs_tested, b.stats.pairs_tested);
+  EXPECT_EQ(a.stats.bottlenecks, b.stats.bottlenecks);
+  EXPECT_EQ(a.stats.end_time, b.stats.end_time);
+  EXPECT_EQ(a.stats.last_true_time, b.stats.last_true_time);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].hypothesis, b.nodes[i].hypothesis);
+    EXPECT_EQ(a.nodes[i].focus, b.nodes[i].focus);
+    EXPECT_EQ(a.nodes[i].status, b.nodes[i].status);
+    EXPECT_EQ(a.nodes[i].fraction, b.nodes[i].fraction);
+  }
+}
+
+TEST(TraceCacheSession, DiagnosisBitIdenticalAcrossSimulateAndCacheLoad) {
+  apps::AppParams p;
+  p.target_duration = 300.0;
+  pc::PcConfig cached_cfg;
+  cached_cfg.trace_cache_dir = temp_dir("oracle");
+
+  core::DiagnosisSession plain("poisson_c", p);              // no cache
+  core::DiagnosisSession cold("poisson_c", p, cached_cfg);   // miss + store
+  core::DiagnosisSession warm("poisson_c", p, cached_cfg);   // hit
+
+  EXPECT_EQ(cold.registry().counter("trace_cache.miss"), 1u);
+  EXPECT_EQ(warm.registry().counter("trace_cache.hit"), 1u);
+  EXPECT_GT(warm.registry().timer("session.trace_load").seconds, 0.0);
+  EXPECT_EQ(warm.registry().timer("session.simulate").count, 0u);
+
+  expect_traces_equal(plain.trace(), cold.trace());
+  expect_traces_equal(plain.trace(), warm.trace());
+
+  const pc::DiagnosisResult r_plain = plain.diagnose();
+  const pc::DiagnosisResult r_cold = cold.diagnose();
+  const pc::DiagnosisResult r_warm = warm.diagnose();
+  expect_results_identical(r_plain, r_cold);
+  expect_results_identical(r_plain, r_warm);
+}
+
+TEST(TraceCacheSession, CorruptSnapshotFallsBackToSimulation) {
+  apps::AppParams p;
+  p.target_duration = 150.0;
+  pc::PcConfig cfg;
+  cfg.trace_cache_dir = temp_dir("session_fallback");
+
+  core::DiagnosisSession cold("poisson_c", p, cfg);
+  // Trash every snapshot in the cache directory.
+  for (const auto& de : fs::directory_iterator(cfg.trace_cache_dir))
+    if (de.path().extension() == ".htb") util::write_file(de.path().string(), "zap");
+
+  util::set_log_sink([](util::LogLevel, const std::string&) {});  // keep output clean
+  core::DiagnosisSession recovered("poisson_c", p, cfg);
+  util::set_log_sink({});
+
+  EXPECT_EQ(recovered.registry().counter("trace_cache.quarantined"), 1u);
+  EXPECT_EQ(recovered.registry().counter("trace_cache.hit"), 0u);
+  EXPECT_GT(recovered.registry().timer("session.simulate").count, 0u);
+  expect_traces_equal(cold.trace(), recovered.trace());
+  expect_results_identical(cold.diagnose(), recovered.diagnose());
+}
+
+}  // namespace
+}  // namespace histpc
