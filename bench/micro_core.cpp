@@ -16,6 +16,8 @@
 #include "apps/apps.h"
 #include "apps/workload_spec.h"
 #include "bench_common.h"
+#include "metrics/block_index.h"
+#include "util/cpu_features.h"
 #include "core/session.h"
 #include "core/variant_runner.h"
 #include "history/generator.h"
@@ -161,6 +163,77 @@ void BM_MetricBatchedTicks(benchmark::State& state) {
   state.counters["probes"] = static_cast<double>(filters.size());
 }
 BENCHMARK(BM_MetricBatchedTicks);
+
+// ------------------------------------------------ block-max benchmarks
+
+/// Large phase-clustered trace for the block-skip benchmarks: eight
+/// phases, each running its own function over many tiny compute/exchange
+/// rounds, with one hot message tag shared by every phase. A query
+/// constrained to one phase's function AND the Message sync objects is the
+/// interval index's worst case (scalar walk over every Message posting
+/// with a per-interval function check) while the block summaries prove 7/8
+/// of the blocks function-free and skip them outright.
+const simmpi::ExecutionTrace& blockskip_trace() {
+  static simmpi::ExecutionTrace trace = [] {
+    constexpr int kPhases = 8;
+    constexpr int kRoundsPerPhase = 1500;
+    simmpi::MachineSpec m = simmpi::MachineSpec::one_to_one(4, "node", "proc");
+    simmpi::ProgramBuilder b(m);
+    b.record([&](simmpi::Recorder& r) {
+      simmpi::FunctionScope fmain(r, "main", "main.c");
+      for (int ph = 0; ph < kPhases; ++ph) {
+        simmpi::FunctionScope scope(r, "phase" + std::to_string(ph), "phases.c");
+        for (int round = 0; round < kRoundsPerPhase; ++round) {
+          // Senders compute twice as long as receivers, so every recv
+          // genuinely blocks and the Message posting lists carry real
+          // SyncWait time for the interval index to walk.
+          r.compute(r.rank() % 2 == 0 ? 0.002 : 0.001);
+          if (r.rank() % 2 == 0 && r.rank() + 1 < r.size())
+            r.send(r.rank() + 1, /*tag=*/1, 1 << 10);
+          else if (r.rank() % 2 == 1)
+            r.recv(r.rank() - 1, /*tag=*/1);
+        }
+      }
+    });
+    return simmpi::Simulator().run(b.build());
+  }();
+  return trace;
+}
+
+const metrics::TraceView& blockskip_view() {
+  static metrics::TraceView view(blockskip_trace());
+  return view;
+}
+
+/// Phase-0 sync waits: the block-skip target query described above.
+const metrics::FocusFilter& blockskip_filter() {
+  const auto& view = blockskip_view();
+  return view.compiled(resources::Focus::whole_program(view.resources())
+                           .with_part(0, "/Code/phases.c/phase0")
+                           .with_part(3, "/SyncObject/Message"));
+}
+
+void BM_BlockMaxPhaseQuery(benchmark::State& state) {
+  const auto& view = blockskip_view();
+  const auto& filter = blockskip_filter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.query_blocks(metrics::MetricKind::SyncWaitTime, filter,
+                                               0.0, view.trace().duration));
+  }
+}
+BENCHMARK(BM_BlockMaxPhaseQuery);
+
+void BM_BlockMaxPhaseQueryIndexedOracle(benchmark::State& state) {
+  // The same query through the interval index; the ratio to the benchmark
+  // above is the block-skipping speedup.
+  const auto& view = blockskip_view();
+  const auto& filter = blockskip_filter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.query(metrics::MetricKind::SyncWaitTime, filter, 0.0,
+                                        view.trace().duration));
+  }
+}
+BENCHMARK(BM_BlockMaxPhaseQueryIndexedOracle);
 
 void BM_FocusRefinement(benchmark::State& state) {
   const auto& view = shared_view();
@@ -585,6 +658,59 @@ void write_bench_metrics(bool quick) {
     out["parallel_variants"] = std::move(pv);
   }
 
+  // Block-max engine on the large phase-clustered trace: the sync+func
+  // constrained query where the interval index degrades to a scalar
+  // posting walk. Reports ns/query for all three evaluation tiers, the
+  // fraction of interior blocks the summaries skipped, and the SIMD lane
+  // width the kernels dispatched to.
+  double blockskip_block_ns = 0.0, blockskip_indexed_ns = 0.0, blockskip_ratio = 0.0;
+  {
+    const auto& bview = blockskip_view();
+    const auto& bfilter = blockskip_filter();
+    const double bdur = bview.trace().duration;
+    const auto bmetric = metrics::MetricKind::SyncWaitTime;
+
+    const auto stats_before = bview.blocks().stats();
+    const double probe = bview.query_blocks(bmetric, bfilter, 0.0, bdur);
+    const auto stats_after = bview.blocks().stats();
+    const double visited =
+        static_cast<double>(stats_after.blocks_visited - stats_before.blocks_visited);
+    const double skipped =
+        static_cast<double>(stats_after.blocks_skipped - stats_before.blocks_skipped);
+
+    const double block_ns = time_ns_per_call(
+        [&] { benchmark::DoNotOptimize(bview.query_blocks(bmetric, bfilter, 0.0, bdur)); },
+        budget);
+    const double bindexed_ns = time_ns_per_call(
+        [&] { benchmark::DoNotOptimize(bview.query(bmetric, bfilter, 0.0, bdur)); },
+        budget);
+    const double bscan_ns = time_ns_per_call(
+        [&] { benchmark::DoNotOptimize(bview.query_scan(bmetric, bfilter, 0.0, bdur)); },
+        budget);
+
+    const util::CpuFeatures& cpu = util::cpu_features();
+    const double lanes = cpu.selected == util::SimdLevel::Avx2
+                             ? 4.0
+                             : (cpu.selected == util::SimdLevel::Sse42 ? 2.0 : 1.0);
+
+    util::Json bs = util::Json::object();
+    bs["intervals"] = static_cast<double>(bview.trace().total_intervals());
+    bs["block_size"] = static_cast<double>(bview.blocks().block_size());
+    bs["simd_level"] = std::string(util::simd_level_name(cpu.selected));
+    bs["simd_lane_width"] = lanes;
+    bs["query_value"] = probe;
+    bs["block_ns_per_query"] = block_ns;
+    bs["indexed_ns_per_query"] = bindexed_ns;
+    bs["scan_ns_per_query"] = bscan_ns;
+    bs["speedup_vs_indexed"] = block_ns > 0 ? bindexed_ns / block_ns : 0.0;
+    bs["speedup_vs_scan"] = block_ns > 0 ? bscan_ns / block_ns : 0.0;
+    bs["blocks_skipped_ratio"] = visited > 0 ? skipped / visited : 0.0;
+    out["block_skip"] = std::move(bs);
+    blockskip_block_ns = block_ns;
+    blockskip_indexed_ns = bindexed_ns;
+    blockskip_ratio = visited > 0 ? skipped / visited : 0.0;
+  }
+
   // Directive lookup: scan oracle vs DirectiveIndex on a harvested-scale
   // set (the acceptance bar is >=10x at >=1000 directives).
   const int n_directives = 1024;
@@ -689,13 +815,17 @@ void write_bench_metrics(bool quick) {
   for (auto& [name, value] : out.as_object()) sections.emplace_back(name, std::move(value));
   bench::write_bench_sections(std::move(sections));
   std::printf("wrote %s: metric query %.0f ns indexed / %.0f ns scan (%.1fx), "
+              "block skip %.0f ns block-max / %.0f ns indexed (%.1fx, %.0f%% skipped), "
               "directive lookup %.0f ns indexed / %.0f ns scan (%.1fx @ %d directives), "
               "focus ops %.0f ns string / %.0f ns interned (%.1fx), "
               "variants %.3f s sequential / %.3f s on %d workers, "
               "trace snapshot %.2f ms simulate / %.2f ms warm load (%.0fx), "
               "table1 workload %.3f s\n",
               bench::kBenchMetricsPath, indexed_ns, scan_ns,
-              scan_ns > 0 ? scan_ns / indexed_ns : 0.0, dir_indexed_ns, dir_scan_ns,
+              scan_ns > 0 ? scan_ns / indexed_ns : 0.0, blockskip_block_ns,
+              blockskip_indexed_ns,
+              blockskip_block_ns > 0 ? blockskip_indexed_ns / blockskip_block_ns : 0.0,
+              blockskip_ratio * 100.0, dir_indexed_ns, dir_scan_ns,
               dir_indexed_ns > 0 ? dir_scan_ns / dir_indexed_ns : 0.0, n_directives,
               intern_string_ns, intern_id_ns,
               intern_id_ns > 0 ? intern_string_ns / intern_id_ns : 0.0, variants_seq_s,

@@ -16,6 +16,18 @@ import sys
 
 REQUIRED = {
     "metric_query": ["indexed_ns_per_query", "scan_ns_per_query", "speedup_vs_scan"],
+    "block_skip": [
+        "intervals",
+        "block_size",
+        "simd_level",
+        "simd_lane_width",
+        "block_ns_per_query",
+        "indexed_ns_per_query",
+        "scan_ns_per_query",
+        "speedup_vs_indexed",
+        "speedup_vs_scan",
+        "blocks_skipped_ratio",
+    ],
     "directive_lookup": ["scan_ns_per_lookup", "indexed_ns_per_lookup", "speedup_vs_scan"],
     "focus_intern": ["string_ns_per_op", "interned_ns_per_op", "speedup_vs_string"],
     "parallel_variants": [
@@ -60,6 +72,17 @@ def main() -> None:
             value = metrics[section][key]
             if isinstance(value, (int, float)) and not value == value:
                 sys.exit(f"BENCH_metrics.json: {section}.{key} is NaN")
+
+    block_skip = metrics["block_skip"]
+    ratio = block_skip["blocks_skipped_ratio"]
+    if not 0.0 < ratio <= 1.0:
+        sys.exit(f"block_skip: blocks_skipped_ratio {ratio} outside (0, 1] — "
+                 "the summaries pruned nothing on the phase-clustered trace")
+    if block_skip["speedup_vs_indexed"] != block_skip["speedup_vs_indexed"] or \
+            block_skip["speedup_vs_indexed"] <= 0:
+        sys.exit("block_skip: speedup_vs_indexed missing or non-positive")
+    if block_skip["simd_lane_width"] not in (1, 2, 4):
+        sys.exit(f"block_skip: unexpected simd_lane_width {block_skip['simd_lane_width']}")
 
     snapshot = metrics["trace_snapshot"]
     if mode == "cold" and snapshot["cache_misses"] < 1:

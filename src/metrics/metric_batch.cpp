@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "metrics/block_index.h"
+
 namespace histpc::metrics {
 
 using simmpi::Interval;
@@ -66,11 +68,54 @@ void MetricBatch::rebuild_rank_slots() {
 }
 
 template <typename Accum>
-void MetricBatch::process_rank(std::size_t r, double to, Accum&& accum) {
+void MetricBatch::process_rank(std::size_t r, double to, Accum&& accum,
+                               BlockCounters& counters, std::vector<SlotId>& scratch) {
   const auto& ivs = view_.trace().ranks[r].intervals;
   const std::vector<SlotId>& fanout = rank_slots_[r];
+  const BlockIndex& blocks = view_.blocks();
+  const std::size_t bsize = blocks.block_size();
+  const int rank = static_cast<int>(r);
   std::size_t pos = rank_pos_[r];
   while (pos < ivs.size() && ivs[pos].t0 < to) {
+    // Block fast path: when the block holding `pos` ends inside this tick,
+    // every remaining interval in it is fully consumable, and the block
+    // summary can prove whole slots contribution-free for all of them
+    // (block_may_contribute is monotone over subsets). Slots it disproves
+    // leave the block's fan-out; if none survive, jump the block without
+    // touching its intervals. Only exactly-zero contributions are elided —
+    // a zero-duration interval clips to hi <= lo and a summary reject
+    // means matches() is false or the clip is empty for every interval —
+    // so slot values stay bit-identical to the plain walk.
+    const std::size_t b = pos / bsize;
+    const double block_max_t1 = blocks.block_max_t1(rank, b);
+    if (block_max_t1 <= to) {
+      ++counters.considered;
+      scratch.clear();
+      for (SlotId sid : fanout) {
+        const Slot& s = slots_[static_cast<std::size_t>(sid)];
+        if (s.start < block_max_t1 &&
+            blocks.block_may_contribute(rank, b, *s.filter, s.metric))
+          scratch.push_back(sid);
+      }
+      const std::size_t bend = blocks.block_end(rank, b);
+      if (scratch.empty()) {
+        ++counters.skipped;
+        pos = bend;
+        continue;
+      }
+      for (; pos < bend; ++pos) {
+        const Interval& iv = ivs[pos];
+        for (SlotId sid : scratch) {
+          const Slot& s = slots_[static_cast<std::size_t>(sid)];
+          if (!s.filter->matches(iv, s.metric)) continue;
+          const double lo = std::max({iv.t0, cursor_, s.start});
+          const double hi = std::min(iv.t1, to);
+          if (hi > lo) accum(sid, hi - lo);
+        }
+      }
+      continue;
+    }
+    // Boundary block (extends past `to`): the original per-interval walk.
     const Interval& iv = ivs[pos];
     if (!fanout.empty()) {
       for (SlotId sid : fanout) {
@@ -90,14 +135,17 @@ void MetricBatch::process_rank(std::size_t r, double to, Accum&& accum) {
   rank_pos_[r] = pos;
 }
 
-void MetricBatch::advance_sequential(double to) {
+void MetricBatch::advance_sequential(double to, BlockCounters& counters) {
   for (std::size_t r = 0; r < rank_pos_.size(); ++r)
-    process_rank(r, to,
-                 [this](SlotId sid, double d) { slots_[static_cast<std::size_t>(sid)].value += d; });
+    process_rank(
+        r, to,
+        [this](SlotId sid, double d) { slots_[static_cast<std::size_t>(sid)].value += d; },
+        counters, scratch_);
 }
 
 void MetricBatch::advance_parallel(double to) {
   for (auto& p : partials_) p.assign(slots_.size(), 0.0);
+  thread_counters_.assign(nthreads_, BlockCounters{});
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_to_ = to;
@@ -121,6 +169,7 @@ void MetricBatch::worker_loop(std::size_t tid) {
   const std::size_t chunk = (nranks + nthreads_ - 1) / nthreads_;
   const std::size_t begin = tid * chunk;
   const std::size_t end = std::min(nranks, begin + chunk);
+  std::vector<SlotId> scratch;
   std::uint64_t seen = 0;
   while (true) {
     double to;
@@ -133,9 +182,12 @@ void MetricBatch::worker_loop(std::size_t tid) {
     }
     std::vector<double>& partial = partials_[tid];
     for (std::size_t r = begin; r < end; ++r)
-      process_rank(r, to, [&partial](SlotId sid, double d) {
-        partial[static_cast<std::size_t>(sid)] += d;
-      });
+      process_rank(
+          r, to,
+          [&partial](SlotId sid, double d) {
+            partial[static_cast<std::size_t>(sid)] += d;
+          },
+          thread_counters_[tid], scratch);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--remaining_ == 0) cv_done_.notify_one();
@@ -151,10 +203,15 @@ void MetricBatch::advance_all(double to) {
   std::size_t consumed_before = 0;
   if (registry_)
     for (std::size_t p : rank_pos_) consumed_before += p;
+  BlockCounters bc;
   if (nthreads_ > 0 && num_active_ > 0) {
     advance_parallel(to);
+    for (const BlockCounters& c : thread_counters_) {
+      bc.considered += c.considered;
+      bc.skipped += c.skipped;
+    }
   } else {
-    advance_sequential(to);
+    advance_sequential(to, bc);
   }
   cursor_ = to;
   if (registry_) {
@@ -162,6 +219,15 @@ void MetricBatch::advance_all(double to) {
     for (std::size_t p : rank_pos_) consumed_after += p;
     registry_->add("metrics.batch.ticks");
     registry_->add("metrics.batch.intervals", consumed_after - consumed_before);
+    registry_->add("metrics.batch.blocks_considered", bc.considered);
+    registry_->add("metrics.batch.blocks_skipped", bc.skipped);
+    // Cumulative classification stats from the view's block-max tier
+    // (populated by query_blocks callers; the batch path skips only).
+    const BlockIndex::Stats bs = view_.blocks().stats();
+    registry_->gauge_set("metrics.blocks.summary_skips",
+                         static_cast<double>(bs.blocks_skipped));
+    registry_->gauge_set("metrics.blocks.simd_kernel_runs",
+                         static_cast<double>(bs.blocks_kernel));
   }
 }
 

@@ -37,8 +37,10 @@ class MetricBatch {
   /// `eval_threads` > 1 enables the rank-parallel mode with that many
   /// workers (capped at the rank count). `registry`, when given, receives
   /// per-tick evaluation counters ("metrics.batch.ticks",
-  /// "metrics.batch.intervals"); it is bumped from advance_all on the
-  /// caller's thread only, so the unsynchronized Registry is safe here.
+  /// "metrics.batch.intervals", and the block-skip pair
+  /// "metrics.batch.blocks_considered" / "metrics.batch.blocks_skipped");
+  /// it is bumped from advance_all on the caller's thread only, so the
+  /// unsynchronized Registry is safe here.
   explicit MetricBatch(const TraceView& view, int eval_threads = 0,
                        telemetry::Registry* registry = nullptr);
   ~MetricBatch();
@@ -73,13 +75,27 @@ class MetricBatch {
     bool active = false;
   };
 
+  /// Block-skip telemetry for one advance: blocks whose summaries were
+  /// consulted, and how many were jumped over entirely.
+  struct BlockCounters {
+    std::uint64_t considered = 0;
+    std::uint64_t skipped = 0;
+  };
+
   /// Walk rank `r`'s new intervals in [cursor_, to) and fan each out to the
   /// rank's active slots; `accum(slot, seconds)` receives the matches.
+  /// Blocks fully inside the tick consult the view's BlockIndex summaries:
+  /// slots the summary proves contribution-free drop out of the block's
+  /// fan-out, and a block provably empty for every slot is jumped over
+  /// without touching its intervals. Only exactly-zero contributions are
+  /// elided, so slot values stay bit-identical to the plain interval walk.
+  /// `scratch` is the caller's reusable sub-fan-out buffer.
   template <typename Accum>
-  void process_rank(std::size_t r, double to, Accum&& accum);
+  void process_rank(std::size_t r, double to, Accum&& accum, BlockCounters& counters,
+                    std::vector<SlotId>& scratch);
 
   void rebuild_rank_slots();
-  void advance_sequential(double to);
+  void advance_sequential(double to, BlockCounters& counters);
   void advance_parallel(double to);
   void worker_loop(std::size_t tid);
 
@@ -88,6 +104,7 @@ class MetricBatch {
   std::vector<Slot> slots_;
   std::vector<std::size_t> rank_pos_;          ///< shared per-rank cursor
   std::vector<std::vector<SlotId>> rank_slots_;  ///< active slots per rank
+  std::vector<SlotId> scratch_;                  ///< sequential-path sub-fan-out
   bool rank_slots_dirty_ = true;
   double cursor_ = 0.0;
   std::size_t num_active_ = 0;
@@ -98,6 +115,7 @@ class MetricBatch {
   std::size_t nthreads_ = 0;
   std::vector<std::thread> workers_;
   std::vector<std::vector<double>> partials_;
+  std::vector<BlockCounters> thread_counters_;
   std::mutex mu_;
   std::condition_variable cv_start_, cv_done_;
   std::uint64_t generation_ = 0;

@@ -1,0 +1,163 @@
+#include "metrics/simd_kernels.h"
+
+#include <cstring>
+
+#if defined(HISTPC_ENABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define HISTPC_HAVE_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace histpc::metrics::simd {
+
+namespace {
+
+// --- scalar fallbacks ----------------------------------------------------
+// The scalar masked sum emulates the vector lane structure exactly (four
+// accumulators over i%4, combined ((l0+l1)+(l2+l3)), sequential tail) so a
+// forced-scalar run reproduces the SIMD bits — see the header contract.
+
+double masked_sum_scalar(const double* t0, const double* t1, const std::uint8_t* mask,
+                         std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    if (mask[i]) l0 += t1[i] - t0[i];
+    if (mask[i + 1]) l1 += t1[i + 1] - t0[i + 1];
+    if (mask[i + 2]) l2 += t1[i + 2] - t0[i + 2];
+    if (mask[i + 3]) l3 += t1[i + 3] - t0[i + 3];
+  }
+  double v = (l0 + l1) + (l2 + l3);
+  for (std::size_t i = n4; i < n; ++i)
+    if (mask[i]) v += t1[i] - t0[i];
+  return v;
+}
+
+void build_state_mask_scalar(std::uint8_t* mask, const std::uint8_t* state,
+                             const bool (&accepted)[3], std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    mask[i] = accepted[state[i]] ? 0xFFu : 0x00u;
+}
+
+#ifdef HISTPC_HAVE_X86_KERNELS
+
+// --- SSE4.2 --------------------------------------------------------------
+// Two 2-lane registers hold the same four accumulator lanes the AVX2
+// register holds: accA = lanes (0, 1), accB = lanes (2, 3).
+
+__attribute__((target("sse4.2"))) double masked_sum_sse42(const double* t0,
+                                                          const double* t1,
+                                                          const std::uint8_t* mask,
+                                                          std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  __m128d accA = _mm_setzero_pd();
+  __m128d accB = _mm_setzero_pd();
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128d dA = _mm_sub_pd(_mm_loadu_pd(t1 + i), _mm_loadu_pd(t0 + i));
+    const __m128d dB = _mm_sub_pd(_mm_loadu_pd(t1 + i + 2), _mm_loadu_pd(t0 + i + 2));
+    std::int32_t mbits;
+    std::memcpy(&mbits, mask + i, 4);
+    const __m128i mv = _mm_cvtsi32_si128(mbits);
+    // pmovsxbq: 0xFF sign-extends to an all-ones 64-bit lane mask.
+    const __m128i mA = _mm_cvtepi8_epi64(mv);
+    const __m128i mB = _mm_cvtepi8_epi64(_mm_srli_epi32(mv, 16));
+    accA = _mm_add_pd(accA, _mm_and_pd(dA, _mm_castsi128_pd(mA)));
+    accB = _mm_add_pd(accB, _mm_and_pd(dB, _mm_castsi128_pd(mB)));
+  }
+  alignas(16) double a[2];
+  alignas(16) double b[2];
+  _mm_store_pd(a, accA);
+  _mm_store_pd(b, accB);
+  double v = (a[0] + a[1]) + (b[0] + b[1]);
+  for (std::size_t i = n4; i < n; ++i)
+    if (mask[i]) v += t1[i] - t0[i];
+  return v;
+}
+
+__attribute__((target("sse4.2"))) void build_state_mask_sse42(std::uint8_t* mask,
+                                                              const std::uint8_t* state,
+                                                              const bool (&accepted)[3],
+                                                              std::size_t n) {
+  const std::size_t n16 = n & ~std::size_t{15};
+  for (std::size_t i = 0; i < n16; i += 16) {
+    const __m128i sv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + i));
+    __m128i m = _mm_setzero_si128();
+    for (int s = 0; s < 3; ++s)
+      if (accepted[s])
+        m = _mm_or_si128(m, _mm_cmpeq_epi8(sv, _mm_set1_epi8(static_cast<char>(s))));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(mask + i), m);
+  }
+  for (std::size_t i = n16; i < n; ++i)
+    mask[i] = accepted[state[i]] ? 0xFFu : 0x00u;
+}
+
+// --- AVX2 ----------------------------------------------------------------
+
+__attribute__((target("avx2"))) double masked_sum_avx2(const double* t0, const double* t1,
+                                                       const std::uint8_t* mask,
+                                                       std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(t1 + i), _mm256_loadu_pd(t0 + i));
+    std::int32_t mbits;
+    std::memcpy(&mbits, mask + i, 4);
+    const __m256i lanes = _mm256_cvtepi8_epi64(_mm_cvtsi32_si128(mbits));
+    acc = _mm256_add_pd(acc, _mm256_and_pd(d, _mm256_castsi256_pd(lanes)));
+  }
+  alignas(32) double l[4];
+  _mm256_store_pd(l, acc);
+  double v = (l[0] + l[1]) + (l[2] + l[3]);
+  for (std::size_t i = n4; i < n; ++i)
+    if (mask[i]) v += t1[i] - t0[i];
+  return v;
+}
+
+__attribute__((target("avx2"))) void build_state_mask_avx2(std::uint8_t* mask,
+                                                           const std::uint8_t* state,
+                                                           const bool (&accepted)[3],
+                                                           std::size_t n) {
+  const std::size_t n32 = n & ~std::size_t{31};
+  for (std::size_t i = 0; i < n32; i += 32) {
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state + i));
+    __m256i m = _mm256_setzero_si256();
+    for (int s = 0; s < 3; ++s)
+      if (accepted[s])
+        m = _mm256_or_si256(m,
+                            _mm256_cmpeq_epi8(sv, _mm256_set1_epi8(static_cast<char>(s))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i), m);
+  }
+  for (std::size_t i = n32; i < n; ++i)
+    mask[i] = accepted[state[i]] ? 0xFFu : 0x00u;
+}
+
+#endif  // HISTPC_HAVE_X86_KERNELS
+
+}  // namespace
+
+double masked_sum(const double* t0, const double* t1, const std::uint8_t* mask,
+                  std::size_t n, util::SimdLevel level) {
+#ifdef HISTPC_HAVE_X86_KERNELS
+  if (level == util::SimdLevel::Avx2) return masked_sum_avx2(t0, t1, mask, n);
+  if (level == util::SimdLevel::Sse42) return masked_sum_sse42(t0, t1, mask, n);
+#else
+  (void)level;
+#endif
+  return masked_sum_scalar(t0, t1, mask, n);
+}
+
+void build_state_mask(std::uint8_t* mask, const std::uint8_t* state,
+                      const bool (&accepted)[3], std::size_t n, util::SimdLevel level) {
+#ifdef HISTPC_HAVE_X86_KERNELS
+  if (level == util::SimdLevel::Avx2) return build_state_mask_avx2(mask, state, accepted, n);
+  if (level == util::SimdLevel::Sse42)
+    return build_state_mask_sse42(mask, state, accepted, n);
+#else
+  (void)level;
+#endif
+  return build_state_mask_scalar(mask, state, accepted, n);
+}
+
+}  // namespace histpc::metrics::simd

@@ -1,0 +1,39 @@
+// Vectorized accumulation kernels for the block-max metric engine.
+//
+// Every kernel is dispatched on a util::SimdLevel chosen by the caller
+// (BlockIndex caches util::cpu_features().selected once) and obeys one
+// deterministic accumulation contract so the three dispatch levels are
+// bit-identical to each other:
+//
+//   * the leading multiple-of-4 prefix is summed into four independent
+//     accumulator lanes, lane j taking elements i0+j, i0+4+j, ... —
+//     exactly the lanes an AVX2 register holds and the two lane pairs two
+//     SSE registers hold;
+//   * lanes combine as ((l0 + l1) + (l2 + l3));
+//   * the up-to-3 tail elements are then added sequentially.
+//
+// Masked-out elements contribute +0.0, which is exact under IEEE-754
+// round-to-nearest (all summands here are non-negative), so "skip the
+// element" and "add a zeroed lane" produce the same bits. The property
+// tests in block_max_test.cpp assert scalar == SSE4.2 == AVX2 exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu_features.h"
+
+namespace histpc::metrics::simd {
+
+/// Sum of (t1[i] - t0[i]) over i in [0, n) where mask[i] != 0. Mask bytes
+/// must be 0x00 or 0xFF (build_state_mask and the filter mask builders
+/// guarantee this; 0xFF sign-extends to an all-ones lane mask).
+double masked_sum(const double* t0, const double* t1, const std::uint8_t* mask,
+                  std::size_t n, util::SimdLevel level);
+
+/// mask[i] = accepted[state[i]] ? 0xFF : 0x00 for i in [0, n). States must
+/// be < 3 (IntervalState values; ExecutionTrace::validate enforces this).
+void build_state_mask(std::uint8_t* mask, const std::uint8_t* state,
+                      const bool (&accepted)[3], std::size_t n, util::SimdLevel level);
+
+}  // namespace histpc::metrics::simd

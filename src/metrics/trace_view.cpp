@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "metrics/block_index.h"
 #include "metrics/interval_index.h"
 #include "metrics/metric_instance.h"
 #include "util/strings.h"
@@ -54,6 +55,16 @@ void FocusFilter::finalize() {
   if (!sync_unconstrained)
     for (std::size_t s = 0; s < sync_objects.size(); ++s)
       if (sync_objects[s]) selected_syncs.push_back(static_cast<std::int32_t>(s));
+
+  func_words.assign((funcs.size() + 1 + 63) / 64, 0);
+  for (std::size_t f = 0; f < funcs.size(); ++f)
+    if (funcs[f]) func_words[f / 64] |= std::uint64_t{1} << (f % 64);
+  if (accept_nofunc)
+    func_words[funcs.size() / 64] |= std::uint64_t{1} << (funcs.size() % 64);
+  sync_words.assign(sync_unconstrained ? 0 : (sync_objects.size() + 63) / 64, 0);
+  if (!sync_unconstrained)
+    for (std::size_t s = 0; s < sync_objects.size(); ++s)
+      if (sync_objects[s]) sync_words[s / 64] |= std::uint64_t{1} << (s % 64);
 }
 
 TraceView::TraceView(const ExecutionTrace& trace, const simmpi::TraceColumns* columns)
@@ -72,6 +83,7 @@ TraceView::TraceView(const ExecutionTrace& trace, const simmpi::TraceColumns* co
 
   compute_discovery_times();
   index_ = std::make_unique<IntervalIndex>(trace_, columns);
+  blocks_ = std::make_unique<BlockIndex>(trace_, columns);
   // The db is complete from here on: the table's hierarchy snapshot and
   // the per-ResourceId discovery vectors stay valid for the view's life.
   foci_ = std::make_unique<resources::FocusTable>(db_);
@@ -239,6 +251,11 @@ double TraceView::query(MetricKind metric, const Focus& focus, double t0, double
 double TraceView::query(MetricKind metric, const FocusFilter& filter, double t0,
                         double t1) const {
   return index_->query(filter, metric, t0, t1);
+}
+
+double TraceView::query_blocks(MetricKind metric, const FocusFilter& filter, double t0,
+                               double t1) const {
+  return blocks_->query(filter, metric, t0, t1);
 }
 
 double TraceView::query_scan(MetricKind metric, const FocusFilter& filter, double t0,

@@ -19,6 +19,7 @@
 
 namespace histpc::metrics {
 
+class BlockIndex;
 class IntervalIndex;
 
 /// A Focus compiled against one trace: constant-time per-interval matching.
@@ -41,6 +42,14 @@ struct FocusFilter {
   bool all_funcs = true;                     ///< every function + nofunc accepted
   std::vector<std::int32_t> selected_funcs;  ///< accepted FuncIds when !all_funcs
   std::vector<std::int32_t> selected_syncs;  ///< accepted ids when !sync_unconstrained
+
+  /// Word-packed twins of the acceptance bitmaps for the block-max engine's
+  /// summary intersections: bit f of func_words mirrors funcs[f], and one
+  /// extra trailing bit (index funcs.size()) mirrors accept_nofunc — the
+  /// same slot layout BlockIndex uses for its per-block coverage words.
+  /// sync_words is empty while sync_unconstrained.
+  std::vector<std::uint64_t> func_words;
+  std::vector<std::uint64_t> sync_words;
 
   /// Why the filter selects nothing, when it does: one line per focus part
   /// that matched no function/rank/sync-object in this trace (directives
@@ -75,6 +84,10 @@ class TraceView {
   const simmpi::ExecutionTrace& trace() const { return trace_; }
   const resources::ResourceDb& resources() const { return db_; }
   const IntervalIndex& index() const { return *index_; }
+  /// The block-max summary tier (block_index.h). MetricBatch consults its
+  /// per-block probes to skip provably-zero blocks; query_blocks() serves
+  /// whole windows through its skip/sum/SIMD-kernel classification.
+  const BlockIndex& blocks() const { return *blocks_; }
 
   /// The focus interner over this view's (immutable) resource db. Returned
   /// non-const from a const view: the table is internally synchronized and
@@ -108,6 +121,14 @@ class TraceView {
   /// MetricInstance scan. Kept for property-testing the indexed path.
   double query_scan(MetricKind metric, const FocusFilter& filter, double t0, double t1) const;
 
+  /// The same window query answered by the block-max engine: skip blocks
+  /// the summaries prove empty, O(1)-accumulate fully-covered blocks, run
+  /// the SIMD masked-sum kernel over the rest. Agrees with query() and
+  /// query_scan() to floating-point summation order (property-tested in
+  /// block_max_test.cpp).
+  double query_blocks(MetricKind metric, const FocusFilter& filter, double t0,
+                      double t1) const;
+
   /// Fraction of execution: query(...) normalized by window * selected ranks.
   double fraction(MetricKind metric, const resources::Focus& focus, double t0, double t1) const;
   double fraction(MetricKind metric, const FocusFilter& filter, double t0, double t1) const;
@@ -140,6 +161,7 @@ class TraceView {
   /// discovery_ mirrored onto ResourceIds: [hierarchy][rid] (roots 0.0).
   std::vector<std::vector<double>> discovery_by_resource_;
   std::unique_ptr<IntervalIndex> index_;
+  std::unique_ptr<BlockIndex> blocks_;
   /// Focus interner over db_. unique_ptr: the table is non-movable and
   /// snapshots hierarchy pointers, which stay valid if the view moves.
   std::unique_ptr<resources::FocusTable> foci_;

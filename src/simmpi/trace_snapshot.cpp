@@ -14,6 +14,7 @@
 #include <unistd.h>
 #endif
 
+#include "util/cpu_features.h"
 #include "util/json.h"  // read_file / write_file
 
 namespace histpc::simmpi {
@@ -68,7 +69,8 @@ std::uint32_t crc32c_sw(const char* p, std::size_t n, std::uint32_t crc) {
   return crc;
 }
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#if defined(HISTPC_ENABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
 #define HISTPC_HAVE_HW_CRC32C 1
 
 // CRC is linear over GF(2): appending `len` zero bytes to a message maps
@@ -156,7 +158,9 @@ __attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const char* p, std::si
 
 std::uint32_t crc32c(std::string_view bytes) {
 #ifdef HISTPC_HAVE_HW_CRC32C
-  static const bool hw = __builtin_cpu_supports("sse4.2");
+  // Shared runtime dispatch (util/cpu_features): the same probe the metric
+  // kernels use, so HISTPC_NO_SIMD / HISTPC_SIMD also steer the CRC path.
+  static const bool hw = util::cpu_features().selected >= util::SimdLevel::Sse42;
   if (hw) return crc32c_hw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
 #endif
   return crc32c_sw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;

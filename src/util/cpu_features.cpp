@@ -1,0 +1,83 @@
+#include "util/cpu_features.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/log.h"
+
+namespace histpc::util {
+
+namespace {
+
+SimdLevel hardware_level(bool sse42, bool avx2) {
+  if (avx2) return SimdLevel::Avx2;
+  if (sse42) return SimdLevel::Sse42;
+  return SimdLevel::Scalar;
+}
+
+/// Applies the HISTPC_NO_SIMD / HISTPC_SIMD environment caps to the
+/// hardware level. An unknown HISTPC_SIMD value is reported and ignored.
+SimdLevel apply_env_caps(SimdLevel hw, std::string* note) {
+  if (const char* no_simd = std::getenv("HISTPC_NO_SIMD");
+      no_simd != nullptr && *no_simd != '\0' && std::string(no_simd) != "0") {
+    *note = " (HISTPC_NO_SIMD set)";
+    return SimdLevel::Scalar;
+  }
+  const char* cap = std::getenv("HISTPC_SIMD");
+  if (cap == nullptr || *cap == '\0') return hw;
+  const std::string want(cap);
+  SimdLevel capped = hw;
+  if (want == "scalar") {
+    capped = SimdLevel::Scalar;
+  } else if (want == "sse4.2" || want == "sse42") {
+    capped = SimdLevel::Sse42;
+  } else if (want == "avx2") {
+    capped = SimdLevel::Avx2;
+  } else {
+    *note = " (unknown HISTPC_SIMD value '" + want + "' ignored)";
+    return hw;
+  }
+  // A cap can only lower the level: requesting avx2 on hardware without it
+  // still runs what the machine supports.
+  if (static_cast<int>(capped) < static_cast<int>(hw)) {
+    *note = " (capped by HISTPC_SIMD=" + want + ")";
+    return capped;
+  }
+  return hw;
+}
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  f.has_sse42 = __builtin_cpu_supports("sse4.2");
+  f.has_avx2 = __builtin_cpu_supports("avx2");
+#endif
+  std::string note;
+#ifdef HISTPC_ENABLE_SIMD
+  f.selected = apply_env_caps(hardware_level(f.has_sse42, f.has_avx2), &note);
+#else
+  note = " (built with HISTPC_ENABLE_SIMD=OFF)";
+#endif
+  HISTPC_LOG(Info) << "cpu features: sse4.2=" << (f.has_sse42 ? "yes" : "no")
+                   << " avx2=" << (f.has_avx2 ? "yes" : "no")
+                   << ", selected lanes: " << simd_level_name(f.selected) << note;
+  return f;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Sse42: return "sse4.2";
+    case SimdLevel::Avx2: return "avx2";
+  }
+  return "scalar";
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace histpc::util

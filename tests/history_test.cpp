@@ -84,7 +84,12 @@ TEST(Experiment, JsonRoundTrip) {
 
 class StoreTest : public testing::Test {
  protected:
-  StoreTest() : dir_(testing::TempDir() + "/histpc_store_test") {
+  // Per-test store directory: ctest runs each case as its own process in
+  // parallel, so a shared path would let one constructor wipe another
+  // test's store mid-run.
+  StoreTest()
+      : dir_(testing::TempDir() + "/histpc_store_test_" +
+             testing::UnitTest::GetInstance()->current_test_info()->name()) {
     std::filesystem::remove_all(dir_);
   }
   ~StoreTest() override { std::filesystem::remove_all(dir_); }
