@@ -4,8 +4,10 @@
 // insertion/dedup, directive parsing, and a full end-to-end diagnosis.
 //
 // Besides the console table, main() writes BENCH_metrics.json (metric-query
-// ns/query and queries/s, table1-equivalent end-to-end seconds) so future
-// PRs have a perf trajectory to compare against.
+// ns/query and queries/s plus p50/p99 from the telemetry histograms,
+// table1-equivalent end-to-end seconds) so future PRs have a perf
+// trajectory to compare against — and appends a telemetry::PerfRecord to
+// perf-log/micro_core.jsonl for `histpc perf-diff`.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -33,6 +35,8 @@
 #include "simmpi/trace_cache.h"
 #include "simmpi/trace_io.h"
 #include "simmpi/trace_snapshot.h"
+#include "telemetry/perf_record.h"
+#include "telemetry/registry.h"
 #include "telemetry/tracer.h"
 #include "util/json.h"
 
@@ -533,6 +537,38 @@ double time_ns_per_call(Fn&& fn, double budget = 0.05) {
   }
 }
 
+/// Like time_ns_per_call, but also records the *distribution*: the budget
+/// is split into kChunks timed chunks and each chunk's per-call seconds is
+/// recorded as one timer lap under `timer`, so `reg` ends up with a
+/// histogram of that name and p50/p99 per-call latencies fall out of it.
+/// Returns the overall mean ns per call, like time_ns_per_call.
+template <typename Fn>
+double time_ns_per_call_sampled(telemetry::Registry& reg, std::string_view timer,
+                                Fn&& fn, double budget = 0.05) {
+  constexpr int kChunks = 32;
+  const double chunk_budget = budget / kChunks;
+  // Calibrate how many calls fill one chunk.
+  std::size_t reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) fn();
+    const double elapsed = seconds_since(start);
+    if (elapsed >= chunk_budget || reps >= (1u << 20)) break;
+    reps *= 4;
+  }
+  double total = 0.0;
+  std::size_t calls = 0;
+  for (int c = 0; c < kChunks; ++c) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) fn();
+    const double elapsed = seconds_since(start);
+    reg.add_seconds(timer, elapsed / static_cast<double>(reps));
+    total += elapsed;
+    calls += reps;
+  }
+  return total * 1e9 / static_cast<double>(calls);
+}
+
 /// The table1_directives workload, in-process: one version-C session, a
 /// base diagnosis, directive generation, and the five directed re-runs.
 double table1_end_to_end_seconds() {
@@ -569,12 +605,19 @@ void write_bench_metrics(bool quick) {
   const double duration = view.trace().duration;
   const auto metric = metrics::MetricKind::SyncWaitTime;
 
-  const double indexed_ns = time_ns_per_call(
+  // Per-section latency distributions land here and the whole registry is
+  // appended to perf-log/micro_core.jsonl at the end, so `histpc
+  // perf-diff` can compare this run against earlier ones.
+  telemetry::Registry reg;
+
+  const double indexed_ns = time_ns_per_call_sampled(
+      reg, "bench.metric_query",
       [&] { benchmark::DoNotOptimize(view.query(metric, filter, 0.0, duration)); }, budget);
   const double scan_ns = time_ns_per_call(
       [&] { benchmark::DoNotOptimize(view.query_scan(metric, filter, 0.0, duration)); },
       budget);
   const double table1_s = table1_end_to_end_seconds();
+  reg.add_seconds("bench.table1_end_to_end", table1_s);
 
   util::Json out = util::Json::object();
   util::Json query = util::Json::object();
@@ -582,6 +625,11 @@ void write_bench_metrics(bool quick) {
   query["scan_ns_per_query"] = scan_ns;
   query["speedup_vs_scan"] = scan_ns > 0 ? scan_ns / indexed_ns : 0.0;
   query["queries_per_second"] = indexed_ns > 0 ? 1e9 / indexed_ns : 0.0;
+  {
+    const telemetry::Histogram* h = reg.histogram("bench.metric_query");
+    query["p50_ns_per_query"] = h ? h->quantile(0.5) * 1e9 : 0.0;
+    query["p99_ns_per_query"] = h ? h->quantile(0.99) * 1e9 : 0.0;
+  }
   out["metric_query"] = std::move(query);
   util::Json table1 = util::Json::object();
   table1["end_to_end_seconds"] = table1_s;
@@ -678,7 +726,8 @@ void write_bench_metrics(bool quick) {
     const double skipped =
         static_cast<double>(stats_after.blocks_skipped - stats_before.blocks_skipped);
 
-    const double block_ns = time_ns_per_call(
+    const double block_ns = time_ns_per_call_sampled(
+        reg, "bench.block_skip",
         [&] { benchmark::DoNotOptimize(bview.query_blocks(bmetric, bfilter, 0.0, bdur)); },
         budget);
     const double bindexed_ns = time_ns_per_call(
@@ -705,6 +754,11 @@ void write_bench_metrics(bool quick) {
     bs["speedup_vs_indexed"] = block_ns > 0 ? bindexed_ns / block_ns : 0.0;
     bs["speedup_vs_scan"] = block_ns > 0 ? bscan_ns / block_ns : 0.0;
     bs["blocks_skipped_ratio"] = visited > 0 ? skipped / visited : 0.0;
+    {
+      const telemetry::Histogram* h = reg.histogram("bench.block_skip");
+      bs["p50_ns_per_query"] = h ? h->quantile(0.5) * 1e9 : 0.0;
+      bs["p99_ns_per_query"] = h ? h->quantile(0.99) * 1e9 : 0.0;
+    }
     out["block_skip"] = std::move(bs);
     blockskip_block_ns = block_ns;
     blockskip_indexed_ns = bindexed_ns;
@@ -759,15 +813,15 @@ void write_bench_metrics(bool quick) {
     const simmpi::ExecutionTrace trace = simmpi::Simulator(net).run(program);
     const double cold_simulate_ns = seconds_since(sim_start) * 1e9;
 
-    telemetry::Registry reg;
-    simmpi::TraceCache cache({"trace-snapshot-cache", 64ull << 20}, &reg);
+    telemetry::Registry cache_reg;
+    simmpi::TraceCache cache({"trace-snapshot-cache", 64ull << 20}, &cache_reg);
     const std::uint64_t key = simmpi::trace_content_key(program, net);
     {
       simmpi::TraceColumns cols;
       if (!cache.load(key, &cols)) cache.store(key, trace);
     }
-    const double cache_hits = static_cast<double>(reg.counter("trace_cache.hit"));
-    const double cache_misses = static_cast<double>(reg.counter("trace_cache.miss"));
+    const double cache_hits = static_cast<double>(cache_reg.counter("trace_cache.hit"));
+    const double cache_misses = static_cast<double>(cache_reg.counter("trace_cache.miss"));
 
     const std::string bytes = simmpi::encode_trace_snapshot(trace);
     const double encode_ns = time_ns_per_call(
@@ -814,6 +868,24 @@ void write_bench_metrics(bool quick) {
   std::vector<std::pair<std::string, util::Json>> sections;
   for (auto& [name, value] : out.as_object()) sections.emplace_back(name, std::move(value));
   bench::write_bench_sections(std::move(sections));
+
+  // Append this run's registry (section-latency histograms and the table1
+  // macro timer) as a PerfRecord, making the bench's own performance a
+  // first-class history: CI diffs it against the committed baseline and a
+  // developer can run `histpc perf-diff --log perf-log/micro_core.jsonl`.
+  {
+    telemetry::PerfRecord rec;
+    rec.app = "micro_core";
+    rec.version = quick ? "quick" : "full";
+    rec.kind = "bench";
+    rec.machine = telemetry::machine_name();
+    rec.build = telemetry::build_id();
+    rec.config["quick"] = quick ? "1" : "0";
+    rec.registry = reg;
+    telemetry::PerfLog log("perf-log/micro_core.jsonl");
+    log.append(rec);
+    std::printf("appended perf record to %s\n", log.path().c_str());
+  }
   std::printf("wrote %s: metric query %.0f ns indexed / %.0f ns scan (%.1fx), "
               "block skip %.0f ns block-max / %.0f ns indexed (%.1fx, %.0f%% skipped), "
               "directive lookup %.0f ns indexed / %.0f ns scan (%.1fx @ %d directives), "

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate tests/data/perf_baseline.jsonl — the committed 5-record
+# baseline window that CI's bench-smoke job diffs fresh micro_core runs
+# against (histpc perf-diff --baseline).
+#
+# Run from the repo root after a perf-relevant change lands:
+#
+#   ./scripts/refresh_perf_baseline.sh [build-dir]
+#
+# The build dir defaults to build-release (the `release` CMake preset);
+# micro_core must already be built there. Each iteration runs the bench in
+# --quick mode from a scratch directory so the trace cache and perf log
+# start empty, then the five fresh records are concatenated into the
+# fixture. Commit the result together with the change that moved the
+# numbers.
+set -euo pipefail
+
+build_dir=${1:-build-release}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+bench="$repo_root/$build_dir/bench/micro_core"
+fixture="$repo_root/tests/data/perf_baseline.jsonl"
+
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not built — run: cmake --preset release && cmake --build $build_dir --target micro_core" >&2
+  exit 1
+fi
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+: > "$fixture.tmp"
+for i in 1 2 3 4 5; do
+  echo "baseline run $i/5..."
+  rundir="$scratch/run$i"
+  mkdir -p "$rundir"
+  (cd "$rundir" && "$bench" --quick > /dev/null)
+  cat "$rundir/perf-log/micro_core.jsonl" >> "$fixture.tmp"
+done
+mv "$fixture.tmp" "$fixture"
+echo "wrote $(wc -l < "$fixture") records to $fixture"

@@ -15,7 +15,13 @@ import json
 import sys
 
 REQUIRED = {
-    "metric_query": ["indexed_ns_per_query", "scan_ns_per_query", "speedup_vs_scan"],
+    "metric_query": [
+        "indexed_ns_per_query",
+        "scan_ns_per_query",
+        "speedup_vs_scan",
+        "p50_ns_per_query",
+        "p99_ns_per_query",
+    ],
     "block_skip": [
         "intervals",
         "block_size",
@@ -27,6 +33,8 @@ REQUIRED = {
         "speedup_vs_indexed",
         "speedup_vs_scan",
         "blocks_skipped_ratio",
+        "p50_ns_per_query",
+        "p99_ns_per_query",
     ],
     "directive_lookup": ["scan_ns_per_lookup", "indexed_ns_per_lookup", "speedup_vs_scan"],
     "focus_intern": ["string_ns_per_op", "interned_ns_per_op", "speedup_vs_string"],
@@ -72,6 +80,16 @@ def main() -> None:
             value = metrics[section][key]
             if isinstance(value, (int, float)) and not value == value:
                 sys.exit(f"BENCH_metrics.json: {section}.{key} is NaN")
+
+    # The histogram-derived percentiles must be ordered and positive: a
+    # zero p50 means the sampled path never recorded into the registry.
+    for section in ("metric_query", "block_skip"):
+        p50, p99 = metrics[section]["p50_ns_per_query"], metrics[section]["p99_ns_per_query"]
+        if not p50 > 0:
+            sys.exit(f"{section}: p50_ns_per_query {p50} not positive — "
+                     "the sampled timing path recorded no histogram laps")
+        if p99 < p50:
+            sys.exit(f"{section}: p99_ns_per_query {p99} < p50_ns_per_query {p50}")
 
     block_skip = metrics["block_skip"]
     ratio = block_skip["blocks_skipped_ratio"]

@@ -21,6 +21,8 @@
 #include "history/store.h"
 #include "simmpi/trace_io.h"
 #include "telemetry/event.h"
+#include "telemetry/perf_diff.h"
+#include "telemetry/perf_record.h"
 #include "telemetry/tracer.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -207,11 +209,24 @@ int cmd_run(const Args& args, std::ostream& out) {
     simmpi::save_trace(session.trace(), *trace_file);
     out << "\nwrote trace to " << *trace_file << "\n";
   }
+  const std::string version = args.option_or("version", std::string("1"));
   if (auto store_dir = args.option("store")) {
     ExperimentStore store(*store_dir);
-    const std::string version = args.option_or("version", std::string("1"));
     const std::string run_id = store.save(session.make_record(result, version));
     out << "\nstored experiment record '" << run_id << "' in " << *store_dir << "\n";
+  }
+  // Self-diagnosis telemetry: every stored run also appends this run's
+  // PerfRecord to the store's perf log (histpc's own historical
+  // performance data); --perf-log FILE redirects it elsewhere.
+  std::optional<std::string> perf_path = args.option("perf-log");
+  if (!perf_path) {
+    if (auto store_dir = args.option("store"))
+      perf_path = telemetry::PerfLog::path_in_store(*store_dir, session.app_name());
+  }
+  if (perf_path) {
+    telemetry::PerfLog log(*perf_path);
+    log.append(session.make_perf_record(version));
+    out << "appended perf record to " << log.path() << "\n";
   }
   return 0;
 }
@@ -397,9 +412,22 @@ int cmd_diagnose_trace(const Args& args, std::ostream& out) {
 
 int cmd_trace_report(const Args& args, std::ostream& out) {
   const std::string path = args.positional(0, "trace file");
-  const std::vector<telemetry::Event> events = telemetry::load_trace_file(path);
+  // A bad file should diagnose, not dump a bare JSON parse error: name the
+  // file, say what was expected, and exit non-zero so scripts notice.
+  std::vector<telemetry::Event> events;
+  try {
+    events = telemetry::load_trace_file(path);
+  } catch (const std::exception& e) {
+    out << path << ": not a readable telemetry trace: " << e.what() << "\n"
+        << "expected JSONL (one event object per line) or a Chrome trace-event file,\n"
+        << "as written by `histpc run <app> --trace FILE [--trace-format chrome]`\n";
+    return 1;
+  }
   out << path << ": " << events.size() << " events\n";
-  if (events.empty()) return 0;
+  if (events.empty()) {
+    out << "the trace is empty — was the run recorded with --trace?\n";
+    return 1;
+  }
 
   struct HypRow {
     std::uint64_t instruments = 0, trues = 0, falses = 0, refines = 0, prunes = 0;
@@ -410,6 +438,8 @@ int cmd_trace_report(const Args& args, std::ostream& out) {
   struct PhaseRow {
     std::uint64_t count = 0;
     double seconds = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
   };
   std::map<std::string, PhaseRow> phases;
   std::map<std::string, double> open_phases;
@@ -425,8 +455,11 @@ int cmd_trace_report(const Args& args, std::ostream& out) {
       case telemetry::EventKind::PhaseEnd:
         if (auto it = open_phases.find(e.detail); it != open_phases.end()) {
           PhaseRow& p = phases[e.detail];
+          const double lap = e.t - it->second;
           ++p.count;
-          p.seconds += e.t - it->second;
+          p.seconds += lap;
+          p.min = std::min(p.min, lap);
+          p.max = std::max(p.max, lap);
           open_phases.erase(it);
         }
         continue;
@@ -464,10 +497,13 @@ int cmd_trace_report(const Args& args, std::ostream& out) {
     table.print(out);
   }
   if (!phases.empty()) {
+    // Per-lap min/max expose outlier laps that the total/count would
+    // average away (one 30s phase among a hundred 1s phases).
     out << "\nphases (virtual time):\n";
-    util::TablePrinter table({"phase", "count", "seconds"});
+    util::TablePrinter table({"phase", "count", "seconds", "min lap", "max lap"});
     for (const auto& [name, p] : phases)
-      table.add_row({name, std::to_string(p.count), util::fmt_double(p.seconds, 1)});
+      table.add_row({name, std::to_string(p.count), util::fmt_double(p.seconds, 1),
+                     util::fmt_double(p.min, 1), util::fmt_double(p.max, 1)});
     table.print(out);
   }
   out << "\nprobe inserts:     " << probe_inserts << "\n"
@@ -475,6 +511,136 @@ int cmd_trace_report(const Args& args, std::ostream& out) {
       << "cost-gate engages: " << gate_engagements << "\n"
       << "peak active cost:  " << util::fmt_percent(peak_cost, 1) << "\n";
   return 0;
+}
+
+// ------------------------------------------------- perf-report / perf-diff
+
+/// Resolve the perf log the perf commands read: --log FILE wins; otherwise
+/// the per-store location `<store>/perf-log/<app>.jsonl` (needs --app).
+telemetry::PerfLog resolve_perf_log(const Args& args) {
+  if (auto log = args.option("log")) return telemetry::PerfLog(*log);
+  if (auto app = args.option("app"))
+    return telemetry::PerfLog(telemetry::PerfLog::path_in_store(
+        args.option_or("store", std::string(kDefaultStoreDir)), *app));
+  throw ArgsError("need --log FILE, or --app NAME [--store DIR]");
+}
+
+int cmd_perf_report(const Args& args, std::ostream& out) {
+  const telemetry::PerfLog log = resolve_perf_log(args);
+  const std::vector<telemetry::PerfRecord> records = log.read_all();
+  if (records.empty()) {
+    out << log.path() << ": no perf records (run `histpc run <app> --store DIR` or "
+        << "--perf-log FILE to start collecting)\n";
+    return 2;
+  }
+  const telemetry::PerfRecord& rec = records.back();
+  if (args.has_flag("json")) {
+    out << rec.to_json().dump(2) << "\n";
+    return 0;
+  }
+  out << "perf log:   " << log.path() << " (" << records.size() << " records)\n"
+      << "app:        " << rec.app << " (version " << rec.version << ", kind " << rec.kind
+      << ")\n"
+      << "machine:    " << rec.machine << "\n"
+      << "build:      " << rec.build << "\n";
+  if (!rec.config.empty()) {
+    out << "config:     ";
+    bool first = true;
+    for (const auto& [key, value] : rec.config) {
+      if (!first) out << ", ";
+      out << key << "=" << value;
+      first = false;
+    }
+    out << "\n";
+  }
+  if (!rec.registry.timers().empty()) {
+    out << "\ntimers:\n";
+    util::TablePrinter table(
+        {"timer", "count", "total", "mean", "min", "max", "p50", "p90", "p99"});
+    for (const auto& [name, stat] : rec.registry.timers()) {
+      const telemetry::Histogram* h = rec.registry.histogram(name);
+      const double mean = stat.count ? stat.seconds / static_cast<double>(stat.count) : 0.0;
+      table.add_row({name, std::to_string(stat.count), util::fmt_seconds(stat.seconds),
+                     util::fmt_seconds(mean), util::fmt_seconds(stat.count ? stat.min : 0.0),
+                     util::fmt_seconds(stat.count ? stat.max : 0.0),
+                     h ? util::fmt_seconds(h->quantile(0.50)) : "-",
+                     h ? util::fmt_seconds(h->quantile(0.90)) : "-",
+                     h ? util::fmt_seconds(h->quantile(0.99)) : "-"});
+    }
+    table.print(out);
+  }
+  if (!rec.registry.counters().empty()) {
+    out << "\ncounters:\n";
+    util::TablePrinter table({"counter", "value"});
+    for (const auto& [name, value] : rec.registry.counters())
+      table.add_row({name, std::to_string(value)});
+    table.print(out);
+  }
+  if (!rec.registry.gauges().empty()) {
+    out << "\ngauges:\n";
+    util::TablePrinter table({"gauge", "value"});
+    for (const auto& [name, value] : rec.registry.gauges())
+      table.add_row({name, util::fmt_double(value, 4)});
+    table.print(out);
+  }
+  return 0;
+}
+
+int cmd_perf_diff(const Args& args, std::ostream& out) {
+  const telemetry::PerfLog log = resolve_perf_log(args);
+  std::vector<telemetry::PerfRecord> records = log.read_all();
+  if (records.empty()) {
+    out << log.path() << ": no perf records to diff\n";
+    return 2;
+  }
+  const telemetry::PerfRecord current = std::move(records.back());
+  records.pop_back();
+
+  std::vector<telemetry::PerfRecord> baseline;
+  std::string baseline_desc;
+  if (auto baseline_path = args.option("baseline")) {
+    baseline = telemetry::PerfLog(*baseline_path).read_all();
+    baseline_desc = *baseline_path;
+  } else {
+    baseline = std::move(records);
+    baseline_desc = "earlier records in " + log.path();
+  }
+  if (baseline.empty()) {
+    out << "no baseline records (" << baseline_desc << " is empty) — "
+        << "need at least one historical run to diff against\n";
+    return 2;
+  }
+
+  telemetry::PerfDiffOptions opts;
+  opts.window = static_cast<std::size_t>(std::max(args.option_or("window", 5), 1));
+  opts.sigma = args.option_or("sigma", opts.sigma);
+  opts.min_rel = args.option_or("min-rel", opts.min_rel);
+  opts.min_abs = args.option_or("min-abs", opts.min_abs);
+  const telemetry::PerfDiffReport report = telemetry::perf_diff(current, baseline, opts);
+
+  if (args.has_flag("json")) {
+    out << report.to_json().dump(2) << "\n";
+    return report.regressions > 0 ? 1 : 0;
+  }
+  out << "current:  " << current.app << " (" << current.kind << ", build " << current.build
+      << ", " << current.machine << ")\n"
+      << "baseline: " << baseline_desc << " (window "
+      << std::min(opts.window, baseline.size()) << " of " << baseline.size() << ")\n";
+  for (const std::string& note : report.notes) out << "note: " << note << "\n";
+  if (report.entries.empty()) {
+    out << "no comparable metrics between current and baseline records\n";
+    return 2;
+  }
+  out << "\n";
+  util::TablePrinter table({"metric", "baseline median", "current", "ratio", "band", "verdict"});
+  for (const telemetry::PerfDiffEntry& e : report.entries)
+    table.add_row({e.metric, util::fmt_seconds(e.median), util::fmt_seconds(e.current),
+                   util::fmt_double(e.ratio, 2) + "x", util::fmt_seconds(e.band),
+                   e.regressed ? "REGRESSED" : (e.improved ? "improved" : "ok")});
+  table.print(out);
+  out << "\n" << report.entries.size() << " metrics: " << report.regressions
+      << " regressed, " << report.improvements << " improved\n";
+  return report.regressions > 0 ? 1 : 0;
 }
 
 struct Command {
@@ -490,7 +656,7 @@ const Command kCommands[] = {
     {"run",
      cmd_run,
      {"duration", "node-base", "threshold", "cost-limit", "directives", "store", "version",
-      "save-trace", "dot", "workload", "trace", "trace-format", "trace-cache"},
+      "save-trace", "dot", "workload", "trace", "trace-format", "trace-cache", "perf-log"},
      {"shg", "extended", "postmortem", "discovery", "no-trace-cache"}},
     {"variants",
      cmd_variants,
@@ -508,6 +674,11 @@ const Command kCommands[] = {
     {"diff", cmd_diff, {"store"}, {}},
     {"diagnose-trace", cmd_diagnose_trace, {"directives", "trace", "trace-format"}, {"shg"}},
     {"trace-report", cmd_trace_report, {}, {}},
+    {"perf-report", cmd_perf_report, {"log", "store", "app"}, {"json"}},
+    {"perf-diff",
+     cmd_perf_diff,
+     {"log", "store", "app", "baseline", "window", "sigma", "min-rel", "min-abs"},
+     {"json"}},
 };
 
 }  // namespace
@@ -528,11 +699,20 @@ std::string usage() {
         "  diff <id1> <id2>             execution map of two runs' resources\n"
         "  diagnose-trace <file.json>   diagnose a serialized trace\n"
         "  trace-report <trace>         summarize a saved telemetry trace\n"
+        "  perf-report                  show the latest self-telemetry perf record\n"
+        "  perf-diff                    flag cross-run performance regressions\n"
         "\nrun/diagnose-trace also take --trace FILE [--trace-format jsonl|chrome]\n"
         "to record the search's telemetry events (chrome = load in Perfetto).\n"
         "run/variants cache simulated traces as binary snapshots (default\n"
         "directory .histpc/trace-cache); --trace-cache DIR relocates the\n"
-        "cache and --no-trace-cache simulates from scratch.\n";
+        "cache and --no-trace-cache simulates from scratch.\n"
+        "run --store DIR also appends this run's telemetry (timers with\n"
+        "p50/p90/p99 lap histograms) as a PerfRecord under DIR/perf-log/;\n"
+        "--perf-log FILE redirects it. perf-report/perf-diff read those logs\n"
+        "(--log FILE, or --app NAME [--store DIR]); perf-diff compares the\n"
+        "newest record against a --window K baseline (or --baseline FILE)\n"
+        "with a MAD band (--sigma/--min-rel/--min-abs) and exits non-zero\n"
+        "when a metric regressed.\n";
   return os.str();
 }
 

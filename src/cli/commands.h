@@ -6,7 +6,7 @@
 //                    [--extended] [--discovery] [--store DIR] [--version V]
 //                    [--save-trace FILE] [--shg] [--dot FILE] [--postmortem]
 //                    [--trace FILE] [--trace-format jsonl|chrome]
-//                    [--trace-cache DIR] [--no-trace-cache]
+//                    [--trace-cache DIR] [--no-trace-cache] [--perf-log FILE]
 //   histpc report <app|--workload FILE> [--duration S] [--bins N]
 //   histpc variants <app|--workload FILE> [--duration S] [--node-base N]
 //                    [--threads N] [--threshold F] [--version V] [--string-foci]
@@ -23,6 +23,10 @@
 //   histpc diagnose-trace <trace.json> [--directives FILE] [--shg]
 //                    [--trace FILE] [--trace-format jsonl|chrome]
 //   histpc trace-report <telemetry-trace>
+//   histpc perf-report [--log FILE | --app NAME [--store DIR]] [--json]
+//   histpc perf-diff [--log FILE | --app NAME [--store DIR]]
+//                    [--baseline FILE] [--window K] [--sigma S]
+//                    [--min-rel F] [--min-abs S] [--json]
 //
 // Every command writes human-readable output to `out` and returns a
 // process exit code. main() dispatches and turns exceptions into error

@@ -65,6 +65,10 @@ pc::DiagnosisResult DiagnosisSession::diagnose(const pc::DirectiveSet& directive
     result = consultant.run();
   }
   last_shg_ = consultant.shg().render();
+  // Fold the consultant's registry (pc.* counters/timers and their lap
+  // histograms) into the session's, so registry() — and any PerfRecord
+  // made from it — covers the whole run, not just the session phases.
+  registry_.merge_from(consultant.tracer().registry());
   for (const auto& [name, stat] : registry_.timers())
     result.telemetry.phase_seconds[name] = stat.seconds;
   return result;
@@ -79,6 +83,22 @@ history::ExperimentRecord DiagnosisSession::make_record(const pc::DiagnosisResul
   if (auto pos = family.rfind('_'); pos != std::string::npos && pos + 2 == family.size())
     family.resize(pos);
   return history::make_record(family, version, *view_, result, threshold);
+}
+
+telemetry::PerfRecord DiagnosisSession::make_perf_record(const std::string& version) const {
+  telemetry::PerfRecord rec;
+  rec.app = app_name_;
+  rec.version = version;
+  rec.kind = "diagnose";
+  rec.machine = telemetry::machine_name();
+  rec.build = telemetry::build_id();
+  rec.config["threshold_override"] = std::to_string(config_.threshold_override);
+  rec.config["cost_limit"] = std::to_string(config_.cost_limit);
+  rec.config["batched_eval"] = config_.batched_eval ? "1" : "0";
+  rec.config["interned_foci"] = config_.interned_foci ? "1" : "0";
+  rec.config["trace_cache"] = config_.trace_cache_dir.empty() ? "0" : "1";
+  rec.registry = registry_;
+  return rec;
 }
 
 }  // namespace histpc::core

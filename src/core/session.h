@@ -26,6 +26,7 @@
 #include "history/experiment.h"
 #include "metrics/trace_view.h"
 #include "pc/consultant.h"
+#include "telemetry/perf_record.h"
 #include "telemetry/registry.h"
 
 namespace histpc::core {
@@ -59,12 +60,21 @@ class DiagnosisSession {
   /// "session.view_build", "session.diagnose" timers — plus, when the
   /// trace cache is enabled (PcConfig::trace_cache_dir), "session.record"
   /// and "session.trace_load" timers and the `trace_cache.*` counters.
-  /// diagnose() merges the timers into the result's phase_seconds.
+  /// diagnose() merges the timers into the result's phase_seconds, and
+  /// folds the consultant's own registry (pc.* counters and timers, with
+  /// their lap histograms) in here, so after a diagnosis this registry is
+  /// the complete performance picture of the run.
   const telemetry::Registry& registry() const { return registry_; }
 
   /// Build a storable experiment record from a diagnosis of this session.
   history::ExperimentRecord make_record(const pc::DiagnosisResult& result,
                                         const std::string& version) const;
+
+  /// Snapshot this session's telemetry as a historical performance record
+  /// of histpc itself (app, version, machine, build id, config knobs, and
+  /// the full registry). Append it to a telemetry::PerfLog to make future
+  /// runs diagnosable with `histpc perf-diff`.
+  telemetry::PerfRecord make_perf_record(const std::string& version) const;
 
  private:
   std::string app_name_;

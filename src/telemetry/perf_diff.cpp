@@ -1,0 +1,117 @@
+#include "telemetry/perf_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace histpc::telemetry {
+
+namespace {
+
+/// Consistency constant: 1.4826 * MAD estimates the standard deviation of
+/// normally distributed data, so `sigma` reads in familiar units.
+constexpr double kMadToSigma = 1.4826;
+
+double mean_lap(const Registry::TimerStat& stat) {
+  return stat.count ? stat.seconds / static_cast<double>(stat.count) : 0.0;
+}
+
+/// The comparable metrics of one record: every timer's mean lap plus the
+/// histogram median when present.
+std::map<std::string, double> extract_metrics(const PerfRecord& rec) {
+  std::map<std::string, double> out;
+  for (const auto& [name, stat] : rec.registry.timers()) {
+    out[name + ".mean"] = mean_lap(stat);
+    if (const Histogram* h = rec.registry.histogram(name); h && !h->empty())
+      out[name + ".p50"] = h->quantile(0.5);
+  }
+  return out;
+}
+
+}  // namespace
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+util::Json PerfDiffReport::to_json() const {
+  util::Json j = util::Json::object();
+  util::Json arr = util::Json::array();
+  for (const PerfDiffEntry& e : entries) {
+    util::Json row = util::Json::object();
+    row["metric"] = e.metric;
+    row["current"] = e.current;
+    row["median"] = e.median;
+    row["mad"] = e.mad;
+    row["band"] = e.band;
+    row["ratio"] = e.ratio;
+    row["baseline_n"] = e.baseline_n;
+    row["regressed"] = e.regressed;
+    row["improved"] = e.improved;
+    arr.push_back(std::move(row));
+  }
+  j["entries"] = std::move(arr);
+  j["regressions"] = regressions;
+  j["improvements"] = improvements;
+  util::Json ns = util::Json::array();
+  for (const std::string& n : notes) ns.push_back(n);
+  j["notes"] = std::move(ns);
+  return j;
+}
+
+PerfDiffReport perf_diff(const PerfRecord& current, const std::vector<PerfRecord>& baseline,
+                         const PerfDiffOptions& options) {
+  PerfDiffReport report;
+
+  const std::size_t first =
+      baseline.size() > options.window ? baseline.size() - options.window : 0;
+  const std::vector<PerfRecord> window(baseline.begin() + static_cast<std::ptrdiff_t>(first),
+                                       baseline.end());
+
+  std::set<std::string> machines, builds;
+  for (const PerfRecord& rec : window) {
+    if (!rec.machine.empty() && rec.machine != current.machine) machines.insert(rec.machine);
+    if (!rec.build.empty() && rec.build != current.build) builds.insert(rec.build);
+  }
+  if (!machines.empty())
+    report.notes.push_back("baseline includes records from other machines (current: " +
+                           current.machine + ") — wall-clock comparisons are approximate");
+  if (!builds.empty())
+    report.notes.push_back("baseline spans other builds (current: " + current.build +
+                           ") — a shift may be the build, not a regression");
+
+  const std::map<std::string, double> cur = extract_metrics(current);
+  std::map<std::string, std::vector<double>> base;
+  for (const PerfRecord& rec : window)
+    for (const auto& [name, value] : extract_metrics(rec)) base[name].push_back(value);
+
+  for (const auto& [name, value] : cur) {
+    const auto it = base.find(name);
+    if (it == base.end() || it->second.empty()) continue;  // no history to regress against
+    PerfDiffEntry e;
+    e.metric = name;
+    e.current = value;
+    e.baseline_n = it->second.size();
+    e.median = median_of(it->second);
+    std::vector<double> deviations;
+    deviations.reserve(it->second.size());
+    for (double v : it->second) deviations.push_back(std::abs(v - e.median));
+    e.mad = median_of(std::move(deviations));
+    e.band = std::max({options.sigma * kMadToSigma * e.mad, options.min_rel * e.median,
+                       options.min_abs});
+    e.ratio = e.median > 0.0 ? e.current / e.median : 0.0;
+    e.regressed = e.current > e.median + e.band;
+    e.improved = e.current < e.median - e.band;
+    if (e.regressed) ++report.regressions;
+    if (e.improved) ++report.improvements;
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+}  // namespace histpc::telemetry

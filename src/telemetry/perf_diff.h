@@ -1,0 +1,66 @@
+// Cross-run regression detection over PerfRecords.
+//
+// Compares the current run's wall-clock metrics against a baseline window
+// of K historical records: for each metric the baseline median and MAD
+// (median absolute deviation) define a robust band, and a current value
+// past `median + max(sigma * 1.4826 * MAD, min_rel * median, min_abs)` is
+// flagged as a regression (symmetrically below, an improvement). MAD
+// rather than stddev so one outlier baseline run cannot widen the band
+// arbitrarily; the relative and absolute floors keep micro-benchmark
+// jitter on near-zero or near-constant metrics from flagging noise.
+//
+// Metrics compared, per timer name T in the current record:
+//   "T.mean" — seconds / count (mean lap)
+//   "T.p50"  — histogram median lap, when the histogram exists
+// Counters and gauges are identity data, not performance, and are skipped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/perf_record.h"
+
+namespace histpc::telemetry {
+
+struct PerfDiffOptions {
+  std::size_t window = 5;  ///< most recent baseline records considered
+  double sigma = 5.0;      ///< MAD multiplier for the regression band
+  double min_rel = 0.5;    ///< band floor as a fraction of the baseline median
+  double min_abs = 50e-6;  ///< band floor in absolute seconds
+};
+
+struct PerfDiffEntry {
+  std::string metric;          ///< "pc.advance.mean", "session.diagnose.p50", ...
+  double current = 0.0;        ///< this run's value (seconds)
+  double median = 0.0;         ///< baseline median
+  double mad = 0.0;            ///< baseline median absolute deviation
+  double band = 0.0;           ///< half-width of the acceptance band
+  double ratio = 0.0;          ///< current / median (0 when median is 0)
+  std::size_t baseline_n = 0;  ///< baseline records carrying this metric
+  bool regressed = false;      ///< current > median + band
+  bool improved = false;       ///< current < median - band
+};
+
+struct PerfDiffReport {
+  std::vector<PerfDiffEntry> entries;  ///< sorted by metric name
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  /// Context warnings that make the numbers suspect (machine or build
+  /// mismatch between current and baseline records); empty when clean.
+  std::vector<std::string> notes;
+
+  util::Json to_json() const;
+};
+
+/// Median of `values` (averaged middle pair for even sizes). 0 when empty.
+double median_of(std::vector<double> values);
+
+/// Diff `current` against the last `options.window` records of `baseline`
+/// (oldest first, as PerfLog::read_all returns them). Metrics present in
+/// the current record but absent from every baseline record are skipped —
+/// a new timer has no history to regress against.
+PerfDiffReport perf_diff(const PerfRecord& current, const std::vector<PerfRecord>& baseline,
+                         const PerfDiffOptions& options = {});
+
+}  // namespace histpc::telemetry

@@ -1,0 +1,118 @@
+#include "telemetry/perf_record.h"
+
+#include <filesystem>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace histpc::telemetry {
+
+namespace fs = std::filesystem;
+
+std::string build_id() {
+#ifdef HISTPC_BUILD_ID
+  return HISTPC_BUILD_ID;
+#else
+  return "unknown";
+#endif
+}
+
+std::string machine_name() {
+#ifndef _WIN32
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+util::Json PerfRecord::to_json() const {
+  util::Json j = util::Json::object();
+  j["schema"] = schema;
+  j["app"] = app;
+  j["version"] = version;
+  j["kind"] = kind;
+  j["machine"] = machine;
+  j["build"] = build;
+  util::Json cfg = util::Json::object();
+  for (const auto& [key, value] : config) cfg[key] = value;
+  j["config"] = std::move(cfg);
+  j["telemetry"] = registry.to_json();
+  return j;
+}
+
+PerfRecord PerfRecord::from_json(const util::Json& j) {
+  PerfRecord rec;
+  rec.schema = static_cast<int>(j.at("schema").as_double());
+  if (rec.schema > kSchemaVersion)
+    throw util::JsonError("perf record schema " + std::to_string(rec.schema) +
+                          " is newer than this binary understands (" +
+                          std::to_string(kSchemaVersion) + ")");
+  rec.app = j.at("app").as_string();
+  rec.version = j.get_or("version", std::string());
+  rec.kind = j.get_or("kind", std::string());
+  rec.machine = j.get_or("machine", std::string());
+  rec.build = j.get_or("build", std::string());
+  if (const util::Json* cfg = j.as_object().find("config")) {
+    for (const auto& [key, value] : cfg->as_object())
+      rec.config.emplace(key, value.as_string());
+  }
+  rec.registry = Registry::from_json(j.at("telemetry"));
+  return rec;
+}
+
+PerfLog::PerfLog(std::string path) : path_(std::move(path)) {
+  const fs::path parent = fs::path(path_).parent_path();
+  if (!parent.empty()) fs::create_directories(parent);
+}
+
+void PerfLog::append(const PerfRecord& record) {
+  std::string content;
+  if (fs::exists(path_)) {
+    content = util::read_file(path_);
+    if (!content.empty() && content.back() != '\n') content += '\n';
+  }
+  content += record.to_json().dump();
+  content += '\n';
+  util::write_file(path_, content);
+}
+
+std::vector<PerfRecord> PerfLog::read_all() const {
+  std::vector<PerfRecord> out;
+  if (!fs::exists(path_)) return out;
+  const std::string text = util::read_file(path_);
+  std::size_t pos = 0, line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    try {
+      out.push_back(PerfRecord::from_json(util::Json::parse(line)));
+    } catch (const std::exception& e) {
+      HISTPC_LOG(Warn) << "quarantining corrupt perf-log line " << line_no << " in "
+                       << path_ << ": " << e.what();
+    }
+  }
+  return out;
+}
+
+std::optional<PerfRecord> PerfLog::latest() const {
+  std::vector<PerfRecord> all = read_all();
+  if (all.empty()) return std::nullopt;
+  return std::move(all.back());
+}
+
+std::string PerfLog::path_in_store(const std::string& store_dir, const std::string& app) {
+  std::string name(app);
+  for (char& c : name)
+    if (c == '/' || c == '\\') c = '-';
+  return store_dir + "/perf-log/" + name + ".jsonl";
+}
+
+}  // namespace histpc::telemetry

@@ -1,0 +1,85 @@
+// PerfRecord: one run's telemetry, persisted as historical performance
+// data about histpc itself.
+//
+// The paper's thesis — historical performance data improves online
+// diagnosis — applies to the diagnoser too: a diagnosis whose `pc.advance`
+// got slower is a regression we should detect the same way the consultant
+// detects application bottlenecks, by comparing against prior runs. Each
+// DiagnosisSession (and each bench binary) can snapshot its Registry into
+// a versioned PerfRecord and append it to a JSONL PerfLog; `histpc
+// perf-report` renders the latest record and `histpc perf-diff` flags
+// metrics whose value shifted beyond a MAD-based band over a baseline
+// window (see perf_diff.h).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "util/json.h"
+
+namespace histpc::telemetry {
+
+/// Identity of the binary: `git describe --always --dirty` captured at
+/// configure time (CMake), "unknown" when built outside a git checkout.
+std::string build_id();
+/// Hostname, or "unknown" when it cannot be determined.
+std::string machine_name();
+
+struct PerfRecord {
+  /// Bump when the serialized shape changes incompatibly; from_json
+  /// rejects records from a newer schema instead of misreading them.
+  static constexpr int kSchemaVersion = 1;
+
+  int schema = kSchemaVersion;
+  std::string app;       ///< what ran ("poisson_c", "micro_core")
+  std::string version;   ///< app version label ("1", "C", "bench")
+  std::string kind;      ///< "diagnose" | "bench"
+  std::string machine;   ///< hostname the record was measured on
+  std::string build;     ///< build_id() of the recording binary
+  /// Config knobs that shape performance (threshold, cost limit, engine
+  /// toggles) — a diff across records with different knobs is noise, so
+  /// they travel with the numbers.
+  std::map<std::string, std::string> config;
+  /// Full counters/gauges/timers/histograms snapshot.
+  Registry registry;
+
+  /// One JSON object (a single JSONL line when dumped compact).
+  util::Json to_json() const;
+  /// Throws util::JsonError on malformed input or a newer schema.
+  static PerfRecord from_json(const util::Json& j);
+};
+
+/// Append-only JSONL file of PerfRecords, newest last. Writes go through
+/// the store's atomic temp+rename pattern (util::write_file), so a crash
+/// mid-append can truncate at worst the file being replaced, never leave a
+/// half-written line; reads quarantine corrupt lines (one Warn naming the
+/// path and line, then skip) instead of aborting — the same
+/// quarantine-on-corrupt contract as ExperimentStore::try_load.
+class PerfLog {
+ public:
+  explicit PerfLog(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// Persist one record at the end of the log.
+  void append(const PerfRecord& record);
+
+  /// All parseable records, oldest first. Corrupt or foreign lines are
+  /// quarantined (warned and skipped); a missing file reads as empty.
+  std::vector<PerfRecord> read_all() const;
+
+  /// Newest parseable record, or nullopt when the log is empty.
+  std::optional<PerfRecord> latest() const;
+
+  /// Canonical per-store location: `<store_dir>/perf-log/<app>.jsonl`,
+  /// with the app name escaped the same way run ids are.
+  static std::string path_in_store(const std::string& store_dir, const std::string& app);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace histpc::telemetry

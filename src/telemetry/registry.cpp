@@ -1,8 +1,127 @@
 #include "telemetry/registry.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace histpc::telemetry {
+
+namespace {
+
+/// Upper-bound table: kBounds[j] is the exclusive upper bound of bucket j
+/// (and the inclusive lower bound of bucket j+1). Generated once; lookups
+/// binary-search it so bucket assignment is exact at the boundaries —
+/// recording bucket_lower_bound(i) lands in bucket i, not a float-fuzz
+/// neighbor.
+const std::array<double, Histogram::kNumBounds>& bucket_bounds() {
+  static const std::array<double, Histogram::kNumBounds> bounds = [] {
+    std::array<double, Histogram::kNumBounds> b{};
+    for (int j = 0; j < Histogram::kNumBounds; ++j)
+      b[static_cast<std::size_t>(j)] =
+          Histogram::kMinValue * std::pow(2.0, static_cast<double>(j) / Histogram::kSubBuckets);
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double seconds) {
+  const auto& bounds = bucket_bounds();
+  // First bound strictly greater than the value: bucket j covers
+  // [bounds[j-1], bounds[j]), bucket 0 is v < bounds[0] == kMinValue, and
+  // v >= the last bound saturates into the overflow bucket.
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), seconds);
+  return static_cast<int>(it - bounds.begin());
+}
+
+double Histogram::bucket_lower_bound(int i) {
+  if (i <= 0) return 0.0;
+  return bucket_bounds()[static_cast<std::size_t>(i - 1)];
+}
+
+void Histogram::record(double seconds) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(seconds))];
+  ++count_;
+  sum_ += seconds;
+  min_ = std::min(min_, seconds);
+  max_ = std::max(max_, seconds);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in (0, count]: the quantile is the value of the target-th
+  // sample in sorted order, located by walking cumulative bucket counts
+  // and interpolating linearly inside the holding bucket.
+  const double target = std::max(q * static_cast<double>(count_), 1e-12);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    const std::uint64_t next = cum + n;
+    if (static_cast<double>(next) >= target) {
+      const double lo = bucket_lower_bound(i);
+      // The overflow bucket has no upper bound; the recorded max serves.
+      const double hi = i + 1 < kNumBuckets ? bucket_lower_bound(i + 1) : max_;
+      const double frac = (target - static_cast<double>(cum)) / static_cast<double>(n);
+      const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      // Clamping to the exact extrema makes one-sample (and one-bucket
+      // tail) quantiles exact instead of bucket-midpoint approximations.
+      return std::clamp(v, min_, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+util::Json Histogram::to_json() const {
+  util::Json j = util::Json::object();
+  j["count"] = count_;
+  j["sum"] = sum_;
+  j["min"] = min();
+  j["max"] = max();
+  j["p50"] = quantile(0.50);
+  j["p90"] = quantile(0.90);
+  j["p99"] = quantile(0.99);
+  util::Json buckets = util::Json::array();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    util::Json pair = util::Json::array();
+    pair.push_back(static_cast<std::int64_t>(i));
+    pair.push_back(buckets_[i]);
+    buckets.push_back(std::move(pair));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
+
+Histogram Histogram::from_json(const util::Json& j) {
+  Histogram h;
+  h.count_ = static_cast<std::uint64_t>(j.at("count").as_double());
+  h.sum_ = j.at("sum").as_double();
+  if (h.count_ > 0) {
+    h.min_ = j.at("min").as_double();
+    h.max_ = j.at("max").as_double();
+  }
+  for (const auto& pair : j.at("buckets").as_array()) {
+    const auto& arr = pair.as_array();
+    if (arr.size() != 2) throw util::JsonError("histogram bucket entry is not [index, count]");
+    const std::int64_t idx = arr[0].as_int();
+    if (idx < 0 || idx >= kNumBuckets)
+      throw util::JsonError("histogram bucket index " + std::to_string(idx) + " out of range");
+    h.buckets_[static_cast<std::size_t>(idx)] = static_cast<std::uint64_t>(arr[1].as_double());
+  }
+  return h;
+}
 
 void Registry::add(std::string_view name, std::uint64_t delta) {
   auto it = counters_.find(name);
@@ -44,11 +163,14 @@ double Registry::gauge(std::string_view name) const {
 void Registry::add_seconds(std::string_view name, double seconds) {
   auto it = timers_.find(name);
   if (it == timers_.end()) {
-    timers_.emplace(std::string(name), TimerStat{1, seconds});
+    timers_.emplace(std::string(name), TimerStat{1, seconds, seconds, seconds});
   } else {
     ++it->second.count;
     it->second.seconds += seconds;
+    it->second.min = std::min(it->second.min, seconds);
+    it->second.max = std::max(it->second.max, seconds);
   }
+  record_value(name, seconds);
 }
 
 Registry::TimerStat Registry::timer(std::string_view name) const {
@@ -56,10 +178,47 @@ Registry::TimerStat Registry::timer(std::string_view name) const {
   return it == timers_.end() ? TimerStat{} : it->second;
 }
 
+void Registry::record_value(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  it->second.record(value);
+}
+
+const Histogram* Registry::histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, v] : other.counters_) add(name, v);
+  for (const auto& [name, v] : other.gauges_) gauge_max(name, v);
+  for (const auto& [name, stat] : other.timers_) {
+    auto it = timers_.find(name);
+    if (it == timers_.end()) {
+      timers_.emplace(name, stat);
+    } else {
+      it->second.count += stat.count;
+      it->second.seconds += stat.seconds;
+      it->second.min = std::min(it->second.min, stat.min);
+      it->second.max = std::max(it->second.max, stat.max);
+    }
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.merge_from(hist);
+    }
+  }
+}
+
 void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 util::Json Registry::to_json() const {
@@ -75,10 +234,41 @@ util::Json Registry::to_json() const {
     util::Json t = util::Json::object();
     t["count"] = stat.count;
     t["seconds"] = stat.seconds;
+    // Untouched timers never serialize (they aren't in the map), so the
+    // extrema here are always finite.
+    t["min"] = stat.count ? stat.min : 0.0;
+    t["max"] = stat.count ? stat.max : 0.0;
     timers[name] = std::move(t);
   }
   j["timers"] = std::move(timers);
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, hist] : histograms_) histograms[name] = hist.to_json();
+  j["histograms"] = std::move(histograms);
   return j;
+}
+
+Registry Registry::from_json(const util::Json& j) {
+  Registry reg;
+  for (const auto& [name, v] : j.at("counters").as_object())
+    reg.counters_.emplace(name, static_cast<std::uint64_t>(v.as_double()));
+  for (const auto& [name, v] : j.at("gauges").as_object())
+    reg.gauges_.emplace(name, v.as_double());
+  for (const auto& [name, t] : j.at("timers").as_object()) {
+    TimerStat stat;
+    stat.count = static_cast<std::uint64_t>(t.at("count").as_double());
+    stat.seconds = t.at("seconds").as_double();
+    // Records from before per-lap extrema existed carry only the totals;
+    // the mean lap is the best available stand-in for both.
+    const double mean = stat.count ? stat.seconds / static_cast<double>(stat.count) : 0.0;
+    stat.min = t.get_or("min", mean);
+    stat.max = t.get_or("max", mean);
+    reg.timers_.emplace(name, stat);
+  }
+  if (const util::Json* hists = j.as_object().find("histograms")) {
+    for (const auto& [name, h] : hists->as_object())
+      reg.histograms_.emplace(name, Histogram::from_json(h));
+  }
+  return reg;
 }
 
 }  // namespace histpc::telemetry

@@ -1,4 +1,4 @@
-// Counters / gauges / timers registry.
+// Counters / gauges / timers / histograms registry.
 //
 // A Registry is per-session (one per PerformanceConsultant or
 // DiagnosisSession) and deliberately unsynchronized: the search loop is
@@ -6,10 +6,18 @@
 // lock is what makes it cheap enough to leave always on. Timers measure
 // wall-clock (std::chrono::steady_clock) seconds — virtual time lives in
 // the event stream, not here.
+//
+// Every timer lap is also routed into a fixed-log-bucket Histogram of the
+// same name, so any ScopedTimer gains p50/p90/p99/max for free. Registries
+// merge deterministically (merge_from), which is what makes quantiles
+// independent of how work was split across threads: bucket counts are
+// summed, and quantile extraction depends only on the summed counts.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -18,11 +26,78 @@
 
 namespace histpc::telemetry {
 
+/// Fixed-log-bucket latency histogram over positive seconds.
+//
+// Bucket layout: bucket 0 is the underflow bucket (v < 1ns); then
+// kSubBuckets buckets per power of two from 1ns up through kOctaves
+// octaves (~68s); everything larger lands in a saturating overflow
+// bucket. Recording is one binary search over a precomputed bound table
+// plus an array increment — no allocation, no lock.
+//
+// Quantiles are extracted by linear interpolation within the bucket that
+// holds the target rank, clamped to the exact recorded [min, max] — so a
+// one-sample histogram reports that sample exactly, and two histograms
+// with equal bucket counts report bit-identical quantiles regardless of
+// the order (or thread) the samples arrived on.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;   ///< buckets per power of two (~19% wide)
+  static constexpr int kOctaves = 36;     ///< 1ns .. ~68.7s before saturating
+  static constexpr int kNumBounds = kSubBuckets * kOctaves;
+  static constexpr int kNumBuckets = kNumBounds + 1;  ///< + saturating overflow
+  static constexpr double kMinValue = 1e-9;
+
+  /// Record one sample (seconds). Non-positive values count into the
+  /// underflow bucket; values past the last bound saturate into the
+  /// overflow bucket (no sample is ever dropped).
+  void record(double seconds);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// 0 when empty.
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Quantile in [0, 1]; q=0 is the recorded min, q=1 the recorded max.
+  /// 0.0 when the histogram is empty. Deterministic: a pure function of
+  /// the bucket counts and the recorded min/max.
+  double quantile(double q) const;
+
+  /// Sum counts bucket-wise (and fold count/sum/min/max).
+  void merge_from(const Histogram& other);
+
+  bool empty() const { return count_ == 0; }
+
+  /// Lower bound of bucket `i` in seconds (0.0 for the underflow bucket).
+  static double bucket_lower_bound(int i);
+  /// Bucket index a value records into (exposed for boundary tests).
+  static int bucket_index(double seconds);
+
+  /// {"count", "sum", "min", "max", "p50", "p90", "p99",
+  ///  "buckets": [[index, count], ...]} — buckets sparse, quantiles
+  /// precomputed for human readers; from_json rebuilds from the buckets.
+  util::Json to_json() const;
+  static Histogram from_json(const util::Json& j);
+
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
 class Registry {
  public:
   struct TimerStat {
     std::uint64_t count = 0;
     double seconds = 0.0;
+    /// Per-lap extrema; min is +inf (and max -inf) until the first lap so
+    /// folding two stats is a plain min/max.
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
   };
 
   /// Monotonic counter bump (creates the counter at 0 on first use).
@@ -35,26 +110,50 @@ class Registry {
   void gauge_max(std::string_view name, double value);
   double gauge(std::string_view name) const;
 
-  /// Accumulate wall seconds under `name` (one timer "lap").
+  /// Accumulate wall seconds under `name` (one timer "lap"). The lap is
+  /// also recorded into the histogram of the same name.
   void add_seconds(std::string_view name, double seconds);
   TimerStat timer(std::string_view name) const;
+
+  /// Record into a named histogram without touching the timers — for
+  /// distributions that aren't wall-clock laps (e.g. per-query ns).
+  void record_value(std::string_view name, double value);
+  /// nullptr when the histogram has never been touched.
+  const Histogram* histogram(std::string_view name) const;
 
   const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
     return counters_;
   }
   const std::map<std::string, double, std::less<>>& gauges() const { return gauges_; }
   const std::map<std::string, TimerStat, std::less<>>& timers() const { return timers_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
 
-  bool empty() const { return counters_.empty() && gauges_.empty() && timers_.empty(); }
+  /// Fold another registry into this one: counters and timers sum (timer
+  /// min/max fold), histograms merge bucket-wise, gauges keep the maximum
+  /// (peak semantics — the only gauge style the system records).
+  /// Order-independent, so folding per-thread registries is deterministic.
+  void merge_from(const Registry& other);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && timers_.empty() && histograms_.empty();
+  }
   void clear();
 
-  /// {"counters": {...}, "gauges": {...}, "timers": {name: {count, seconds}}}
+  /// {"counters": {...}, "gauges": {...},
+  ///  "timers": {name: {count, seconds, min, max}},
+  ///  "histograms": {name: Histogram::to_json()}}
   util::Json to_json() const;
+  /// Inverse of to_json (tolerates records written before histograms /
+  /// timer extrema existed). Throws util::JsonError on malformed input.
+  static Registry from_json(const util::Json& j);
 
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, TimerStat, std::less<>> timers_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 /// RAII wall-clock lap: adds elapsed seconds to `registry` on destruction.

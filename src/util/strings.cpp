@@ -114,4 +114,22 @@ std::string fmt_percent(double fraction, int prec) {
   return fmt_double(fraction * 100.0, prec) + "%";
 }
 
+std::string fmt_seconds(double seconds) {
+  const double mag = seconds < 0 ? -seconds : seconds;
+  char buf[64];
+  if (mag < 1e-9) {
+    // Sub-ns values only arise from division artifacts; show raw seconds.
+    std::snprintf(buf, sizeof buf, "%.3gs", seconds);
+  } else if (mag < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.0fns", seconds * 1e9);
+  } else if (mag < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", seconds * 1e6);
+  } else if (mag < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", seconds);
+  }
+  return buf;
+}
+
 }  // namespace histpc::util

@@ -47,4 +47,10 @@ std::string fmt_double(double v, int prec = 1);
 /// Format a fraction as a percentage string, e.g. 0.935 -> "93.5%".
 std::string fmt_percent(double fraction, int prec = 1);
 
+/// Format seconds with a unit scaled to the magnitude: "85ns", "3.142us",
+/// "12.70ms", "2.400s". The same function renders quantiles in both the
+/// perf-report table and its tests, so a table cell and the --json value
+/// it mirrors stay bit-identical (one double, one formatter).
+std::string fmt_seconds(double seconds);
+
 }  // namespace histpc::util

@@ -7,8 +7,10 @@
 #include "cli/args.h"
 #include "cli/commands.h"
 #include "telemetry/event.h"
+#include "telemetry/perf_record.h"
 #include "util/json.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 namespace histpc::cli {
 namespace {
@@ -357,11 +359,147 @@ TEST_F(CliTest, TraceRoundTripsThroughDiagnoseTrace) {
   EXPECT_NE(report.find("peak active cost:"), std::string::npos);
 }
 
+TEST_F(CliTest, TraceReportDiagnosesEmptyAndCorruptFiles) {
+  fs::create_directories(store_dir_);
+  // An empty trace is a user mistake worth a pointed message, not a silent
+  // zero-count report — and scripts need the non-zero exit.
+  const std::string empty_file = store_dir_ + "/empty.jsonl";
+  util::write_file(empty_file, "");
+  std::ostringstream out;
+  EXPECT_EQ(run_command("trace-report", {empty_file}, out), 1);
+  EXPECT_NE(out.str().find("the trace is empty"), std::string::npos) << out.str();
+
+  const std::string corrupt_file = store_dir_ + "/corrupt.jsonl";
+  util::write_file(corrupt_file, "this is not an event\n");
+  std::ostringstream out2;
+  EXPECT_EQ(run_command("trace-report", {corrupt_file}, out2), 1);
+  EXPECT_NE(out2.str().find("not a readable telemetry trace"), std::string::npos)
+      << out2.str();
+  EXPECT_NE(out2.str().find(corrupt_file), std::string::npos);
+}
+
+TEST_F(CliTest, TraceReportShowsPhaseLapExtrema) {
+  fs::create_directories(store_dir_);
+  const std::string trace_file = store_dir_ + "/search.jsonl";
+  run("run", {"poisson_a", "--duration", "400", "--trace", trace_file});
+  const std::string report = run("trace-report", {trace_file});
+  EXPECT_NE(report.find("min lap"), std::string::npos);
+  EXPECT_NE(report.find("max lap"), std::string::npos);
+}
+
+TEST_F(CliTest, RunAppendsPerfRecordAndPerfReportRendersIt) {
+  const std::string out = run("run", {"poisson_c", "--duration", "300", "--store",
+                                      store_dir_, "--version", "C"});
+  EXPECT_NE(out.find("appended perf record to"), std::string::npos);
+  ASSERT_TRUE(fs::exists(store_dir_ + "/perf-log/poisson_c.jsonl"));
+
+  const std::string report =
+      run("perf-report", {"--app", "poisson_c", "--store", store_dir_});
+  EXPECT_NE(report.find("app:        poisson_c (version C, kind diagnose)"),
+            std::string::npos)
+      << report;
+  // The session phases and the consultant's own timers both made it in.
+  EXPECT_NE(report.find("session.diagnose"), std::string::npos);
+  EXPECT_NE(report.find("pc.advance"), std::string::npos);
+  EXPECT_NE(report.find("p50"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+}
+
+TEST_F(CliTest, PerfReportJsonAndTableQuantilesAreBitIdentical) {
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+  const std::string table =
+      run("perf-report", {"--app", "poisson_c", "--store", store_dir_});
+  const std::string json_text =
+      run("perf-report", {"--app", "poisson_c", "--store", store_dir_, "--json"});
+
+  // Both outputs derive from the same Histogram::quantile doubles; the
+  // table cell must be exactly fmt_seconds of the JSON value, for every
+  // timer and every reported quantile.
+  const util::Json rec = util::Json::parse(json_text);
+  const auto& hists = rec.at("telemetry").at("histograms").as_object();
+  std::size_t checked = 0;
+  for (const auto& [name, h] : hists) {
+    for (const char* q : {"p50", "p90", "p99"}) {
+      EXPECT_NE(table.find(util::fmt_seconds(h.at(q).as_double())), std::string::npos)
+          << name << " " << q;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(CliTest, PerfDiffDetectsInjectedSlowdownAndExitsNonZero) {
+  fs::create_directories(store_dir_);
+  // Synthetic history: five baseline records of ~2 ms laps, then a current
+  // log whose latest record runs the same timer at 4 ms (the injected 2x
+  // slowdown from the acceptance criteria).
+  auto make_record = [](double lap) {
+    telemetry::PerfRecord rec;
+    rec.app = "synthetic";
+    rec.kind = "diagnose";
+    rec.machine = "host";
+    rec.build = "build1";
+    for (int i = 0; i < 8; ++i) rec.registry.add_seconds("hot.path", lap * (1.0 + 0.01 * i));
+    return rec;
+  };
+  const std::string baseline_path = store_dir_ + "/baseline.jsonl";
+  telemetry::PerfLog baseline(baseline_path);
+  for (int i = 0; i < 5; ++i) baseline.append(make_record(2e-3 * (1.0 + 0.02 * (i - 2))));
+
+  const std::string slow_path = store_dir_ + "/slow.jsonl";
+  telemetry::PerfLog(slow_path).append(make_record(4e-3));
+  std::ostringstream slow_out;
+  EXPECT_EQ(run_command("perf-diff",
+                        {"--log", slow_path, "--baseline", baseline_path}, slow_out),
+            1);
+  // Both the mean and the histogram median of the slowed timer regress.
+  EXPECT_NE(slow_out.str().find("REGRESSED"), std::string::npos) << slow_out.str();
+  EXPECT_NE(slow_out.str().find("2 regressed"), std::string::npos) << slow_out.str();
+
+  // Unmodified code (same ~2 ms laps) passes with exit 0.
+  const std::string ok_path = store_dir_ + "/ok.jsonl";
+  telemetry::PerfLog(ok_path).append(make_record(2e-3));
+  const std::string ok_out =
+      run("perf-diff", {"--log", ok_path, "--baseline", baseline_path});
+  EXPECT_EQ(ok_out.find("REGRESSED"), std::string::npos) << ok_out;
+  EXPECT_NE(ok_out.find("0 regressed"), std::string::npos);
+
+  // --json agrees on the verdict and exit code.
+  std::ostringstream json_out;
+  EXPECT_EQ(run_command("perf-diff",
+                        {"--log", slow_path, "--baseline", baseline_path, "--json"},
+                        json_out),
+            1);
+  EXPECT_GT(util::Json::parse(json_out.str()).at("regressions").as_int(), 0);
+}
+
+TEST_F(CliTest, PerfDiffWithoutHistoryExitsTwo) {
+  fs::create_directories(store_dir_);
+  // Missing log entirely: nothing to compare.
+  std::ostringstream out;
+  EXPECT_EQ(run_command("perf-diff", {"--log", store_dir_ + "/nope.jsonl"}, out), 2);
+  EXPECT_NE(out.str().find("no perf records"), std::string::npos);
+
+  // One record but no earlier runs and no --baseline: still nothing.
+  const std::string lone_path = store_dir_ + "/lone.jsonl";
+  telemetry::PerfRecord rec;
+  rec.app = "synthetic";
+  rec.registry.add_seconds("t", 1e-3);
+  telemetry::PerfLog(lone_path).append(rec);
+  std::ostringstream out2;
+  EXPECT_EQ(run_command("perf-diff", {"--log", lone_path}, out2), 2);
+  EXPECT_NE(out2.str().find("no baseline records"), std::string::npos);
+
+  // perf-report on an empty log also signals "nothing here" with 2.
+  std::ostringstream out3;
+  EXPECT_EQ(run_command("perf-report", {"--log", store_dir_ + "/nope.jsonl"}, out3), 2);
+}
+
 TEST(CliUsage, MentionsEveryCommand) {
   const std::string u = usage();
   for (const char* cmd :
        {"apps", "report", "run", "list", "show", "harvest", "map", "diff", "diagnose-trace",
-        "trace-report"})
+        "trace-report", "perf-report", "perf-diff"})
     EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
 }
 

@@ -164,6 +164,21 @@ TEST(TelemetryRegistry, TimerAndScopedTimer) {
   EXPECT_GE(reg.timer("scoped").seconds, 0.0);
 }
 
+TEST(TelemetryRegistry, TimerTracksPerLapExtrema) {
+  Registry reg;
+  reg.add_seconds("t", 0.5);
+  reg.add_seconds("t", 0.25);
+  reg.add_seconds("t", 2.0);
+  EXPECT_DOUBLE_EQ(reg.timer("t").min, 0.25);
+  EXPECT_DOUBLE_EQ(reg.timer("t").max, 2.0);
+  // Every lap also lands in the histogram of the same name.
+  const Histogram* h = reg.histogram("t");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.25);
+  EXPECT_DOUBLE_EQ(h->max(), 2.0);
+}
+
 TEST(TelemetryRegistry, ToJson) {
   Registry reg;
   reg.add("c", 3);
@@ -173,6 +188,140 @@ TEST(TelemetryRegistry, ToJson) {
   EXPECT_EQ(j.at("counters").at("c").as_int(), 3);
   EXPECT_DOUBLE_EQ(j.at("gauges").at("g").as_double(), 1.5);
   EXPECT_EQ(j.at("timers").at("t").at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(j.at("timers").at("t").at("min").as_double(), 0.1);
+  EXPECT_DOUBLE_EQ(j.at("timers").at("t").at("max").as_double(), 0.1);
+  EXPECT_EQ(j.at("histograms").at("t").at("count").as_int(), 1);
+}
+
+TEST(TelemetryRegistry, FromJsonRoundTripsAndToleratesOldRecords) {
+  Registry reg;
+  reg.add("c", 3);
+  reg.gauge_max("g", 1.5);
+  reg.add_seconds("t", 0.1);
+  reg.add_seconds("t", 0.3);
+  reg.record_value("h", 42e-9);
+  const Registry back = Registry::from_json(util::Json::parse(reg.to_json().dump()));
+  EXPECT_EQ(back.to_json().dump(), reg.to_json().dump());
+
+  // Records written before per-lap extrema and histograms existed still
+  // load: min/max default to the mean lap, histograms to absent.
+  const Registry old = Registry::from_json(util::Json::parse(
+      R"({"counters":{"c":2},"gauges":{},"timers":{"t":{"count":2,"seconds":0.4}}})"));
+  EXPECT_EQ(old.counter("c"), 2u);
+  EXPECT_DOUBLE_EQ(old.timer("t").min, 0.2);
+  EXPECT_DOUBLE_EQ(old.timer("t").max, 0.2);
+  EXPECT_EQ(old.histogram("t"), nullptr);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(TelemetryHistogram, ZeroSamples) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(TelemetryHistogram, OneSampleIsExactAtEveryQuantile) {
+  Histogram h;
+  h.record(4.2e-3);
+  for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 4.2e-3) << "q=" << q;
+  EXPECT_DOUBLE_EQ(h.min(), 4.2e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 4.2e-3);
+}
+
+TEST(TelemetryHistogram, BucketBoundariesAreExact) {
+  // A value exactly on bucket i's lower bound must record into bucket i,
+  // not a float-fuzz neighbor — the bound table is searched, not recomputed.
+  for (int i = 1; i <= Histogram::kNumBounds; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower_bound(i)), i) << i;
+    EXPECT_GT(Histogram::bucket_lower_bound(i), Histogram::bucket_lower_bound(i - 1)) << i;
+  }
+  // Underflow: non-positive and sub-ns values land in bucket 0.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(0.5e-9), 0);
+  Histogram h;
+  h.record(0.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(TelemetryHistogram, OverflowSaturatesWithoutDroppingSamples) {
+  Histogram h;
+  h.record(1e6);  // ~11.6 days, far past the ~68.7s top bound
+  h.record(2e6);
+  EXPECT_EQ(h.buckets()[Histogram::kNumBuckets - 1], 2u);
+  EXPECT_EQ(h.count(), 2u);
+  // The overflow bucket has no upper bound; quantiles use the recorded max.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2e6);
+  EXPECT_LE(h.quantile(0.5), 2e6);
+  EXPECT_GE(h.quantile(0.5), 1e6);
+}
+
+TEST(TelemetryHistogram, QuantilesMonotoneAndWithinExtrema) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 1e-6);
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  // The median of 1..1000 us is near 500 us — well within one bucket width
+  // (~19%) of the exact answer.
+  EXPECT_NEAR(h.quantile(0.5), 500e-6, 500e-6 * 0.2);
+}
+
+TEST(TelemetryHistogram, JsonRoundTripPreservesQuantiles) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1e-6 * (1 + i % 17));
+  const Histogram back = Histogram::from_json(util::Json::parse(h.to_json().dump()));
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.buckets(), h.buckets());
+  for (double q : {0.5, 0.9, 0.99}) EXPECT_EQ(back.quantile(q), h.quantile(q)) << q;
+}
+
+TEST(TelemetryRegistry, MergeIsOrderIndependent) {
+  // The same samples, split across three registries and merged in two
+  // different orders, must yield bit-identical quantiles — this is what
+  // makes histogram quantiles independent of thread count.
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) samples.push_back(1e-6 * (1 + (i * 37) % 100));
+
+  Registry parts[3];
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    parts[i % 3].add_seconds("t", samples[i]);
+
+  Registry forward, backward;
+  for (int i = 0; i < 3; ++i) forward.merge_from(parts[i]);
+  for (int i = 2; i >= 0; --i) backward.merge_from(parts[i]);
+
+  const Histogram* hf = forward.histogram("t");
+  const Histogram* hb = backward.histogram("t");
+  ASSERT_NE(hf, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hf->buckets(), hb->buckets());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(hf->quantile(q), hb->quantile(q)) << q;  // bit-identical
+  }
+  EXPECT_EQ(forward.timer("t").count, 300u);
+  EXPECT_DOUBLE_EQ(forward.timer("t").min, backward.timer("t").min);
+  EXPECT_DOUBLE_EQ(forward.timer("t").max, backward.timer("t").max);
+  // Counters and gauges fold too: sum and max respectively.
+  Registry a, b;
+  a.add("c", 2);
+  b.add("c", 3);
+  a.gauge_max("g", 1.0);
+  b.gauge_max("g", 5.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 5.0);
 }
 
 TEST(TelemetryTracer, SinkRouting) {
