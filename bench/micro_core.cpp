@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 #include <limits>
 #include <string_view>
 #include <thread>
@@ -22,8 +23,10 @@
 #include "util/cpu_features.h"
 #include "core/session.h"
 #include "core/variant_runner.h"
+#include "history/combiner.h"
 #include "history/generator.h"
 #include "history/postmortem.h"
+#include "history/store.h"
 #include "metrics/metric_batch.h"
 #include "metrics/metric_instance.h"
 #include "metrics/trace_view.h"
@@ -796,6 +799,128 @@ void write_bench_metrics(bool quick) {
   lookup["speedup_vs_scan"] = dir_indexed_ns > 0 ? dir_scan_ns / dir_indexed_ns : 0.0;
   out["directive_lookup"] = std::move(lookup);
 
+  // Experiment store at fleet scale: 1000 stored runs. Indexed latest()
+  // answers from index-v1.jsonl and loads one record; the pre-index path
+  // re-parses every file per query — measured both over binary snapshots
+  // and over the legacy JSON layout (the >=10x acceptance bar is against
+  // JSON re-parse). "cold" constructs a fresh store per query, paying the
+  // index fold each time; the warm number reuses the instance snapshot.
+  {
+    namespace fs = std::filesystem;
+    const std::size_t n_runs = 1000;
+    const std::string root = "exp-store-bench";
+    fs::remove_all(root);
+    history::ExperimentStore bin_store(root + "/bin");
+    const std::string json_dir = root + "/json";
+    fs::create_directories(json_dir);
+
+    history::ExperimentRecord proto;
+    proto.app = "poisson";
+    proto.nranks = 16;
+    proto.machine_process_one_to_one = true;
+    proto.threshold_used = 0.2;
+    proto.resources.add_hierarchy("Code");
+    for (const char* r : {"/Code/oned.f", "/Code/exchng2.f", "/Code/diff.f"})
+      proto.resources.add_resource(r);
+    for (int k = 0; k < 12; ++k)
+      proto.nodes.push_back({"ExcessiveSyncWaitingTime", "</Code/oned.f,/Machine>",
+                             k % 3 ? pc::NodeStatus::False : pc::NodeStatus::True,
+                             pc::Priority::Medium, 10.0 + k, 0.05 * (k % 7)});
+    proto.bottlenecks.push_back({"CPUbound", "</Code/diff.f>", 40.0, 0.31});
+    proto.code_usage = {{"/Code/oned.f", 0.45}, {"/Code/exchng2.f", 0.30}};
+    for (std::size_t i = 0; i < n_runs; ++i) {
+      history::ExperimentRecord rec = proto;
+      rec.version = "C" + std::to_string(i % 10);
+      rec.machine = "node" + std::to_string(i % 8);
+      rec.scenario = "scale-" + std::to_string(16 << (i % 3));
+      rec.duration = 100.0 + static_cast<double>(i % 17);
+      rec.pairs_tested = 100 + i;
+      rec.run_id = bin_store.save(rec);
+      util::write_file(json_dir + "/" + rec.run_id + ".json", rec.to_json().dump(2));
+    }
+
+    const history::StoreQuery query{"poisson", "C3", "", ""};
+    const double indexed_ns = time_ns_per_call_sampled(
+        reg, "bench.store_query",
+        [&] { benchmark::DoNotOptimize(bin_store.latest(query)); }, budget);
+    const double indexed_cold_ns = time_ns_per_call(
+        [&] {
+          history::ExperimentStore cold(root + "/bin");
+          benchmark::DoNotOptimize(cold.latest(query));
+        },
+        budget);
+    const double scan_binary_ns = time_ns_per_call(
+        [&] { benchmark::DoNotOptimize(bin_store.scan_latest("poisson", "C3")); }, budget);
+    const history::ExperimentStore json_store(json_dir);
+    const double json_scan_ns = time_ns_per_call(
+        [&] { benchmark::DoNotOptimize(json_store.scan_latest("poisson", "C3")); }, budget);
+
+    util::Json sq = util::Json::object();
+    sq["runs"] = static_cast<double>(n_runs);
+    sq["indexed_ns_per_query"] = indexed_ns;
+    sq["indexed_cold_ns_per_query"] = indexed_cold_ns;
+    sq["scan_binary_ns_per_query"] = scan_binary_ns;
+    sq["json_scan_ns_per_query"] = json_scan_ns;
+    sq["speedup_vs_json_scan"] = indexed_ns > 0 ? json_scan_ns / indexed_ns : 0.0;
+    sq["speedup_vs_binary_scan"] = indexed_ns > 0 ? scan_binary_ns / indexed_ns : 0.0;
+    {
+      const telemetry::Histogram* h = reg.histogram("bench.store_query");
+      sq["p50_ns_per_query"] = h ? h->quantile(0.5) * 1e9 : 0.0;
+      sq["p99_ns_per_query"] = h ? h->quantile(0.99) * 1e9 : 0.0;
+    }
+    out["store_query"] = std::move(sq);
+
+    // N-run directive generation over the same synthetic history: pooled
+    // from_records, the pairwise combine fold, and weighted aggregation,
+    // all over the newest 16 runs.
+    {
+      std::vector<history::ExperimentRecord> records;
+      for (std::size_t i = 0; i < 16; ++i) {
+        history::ExperimentRecord rec = proto;
+        rec.version = "C3";
+        rec.run_id = "poisson_C3_" + std::to_string(i + 1);
+        // Vary conclusions so the sets genuinely disagree across runs.
+        for (std::size_t k = 0; k < rec.nodes.size(); ++k)
+          rec.nodes[k].status =
+              (k + i) % 3 ? pc::NodeStatus::False : pc::NodeStatus::True;
+        records.push_back(std::move(rec));
+      }
+      const history::DirectiveGenerator generator;
+      std::vector<pc::DirectiveSet> sets;
+      for (const auto& rec : records) sets.push_back(generator.from_record(rec));
+
+      const double pooled_ns = time_ns_per_call(
+          [&] { benchmark::DoNotOptimize(generator.from_records(records)); }, budget);
+      const double fold_ns = time_ns_per_call(
+          [&] {
+            pc::DirectiveSet acc = sets.front();
+            for (std::size_t i = 1; i < sets.size(); ++i)
+              acc = history::combine(acc, sets[i], history::CombineMode::Intersection);
+            benchmark::DoNotOptimize(acc);
+          },
+          budget);
+      const double nrun_ns = time_ns_per_call(
+          [&] {
+            benchmark::DoNotOptimize(
+                history::combine_runs(sets, history::CombineMode::Intersection));
+          },
+          budget);
+      const double weighted_ns = time_ns_per_call(
+          [&] { benchmark::DoNotOptimize(generator.from_records_weighted(records)); },
+          budget);
+
+      util::Json dg = util::Json::object();
+      dg["runs"] = static_cast<double>(records.size());
+      dg["pooled_ns_per_gen"] = pooled_ns;
+      dg["pairwise_fold_ns_per_gen"] = fold_ns;
+      dg["nrun_combine_ns_per_gen"] = nrun_ns;
+      dg["weighted_ns_per_gen"] = weighted_ns;
+      dg["speedup_vs_pairwise_fold"] = nrun_ns > 0 ? fold_ns / nrun_ns : 0.0;
+      out["directive_gen_nruns"] = std::move(dg);
+    }
+    fs::remove_all(root);
+  }
+
   // Trace snapshots: cold simulate vs binary encode/decode vs warm cache
   // load, plus sizes vs the JSON oracle. The cache directory lives in the
   // working directory so it persists across processes — CI runs micro_core
@@ -815,7 +940,7 @@ void write_bench_metrics(bool quick) {
 
     telemetry::Registry cache_reg;
     simmpi::TraceCache cache({"trace-snapshot-cache", 64ull << 20}, &cache_reg);
-    const std::uint64_t key = simmpi::trace_content_key(program, net);
+    const simmpi::TraceKey key = simmpi::trace_content_key(program, net);
     {
       simmpi::TraceColumns cols;
       if (!cache.load(key, &cols)) cache.store(key, trace);

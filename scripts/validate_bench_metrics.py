@@ -37,6 +37,24 @@ REQUIRED = {
         "p99_ns_per_query",
     ],
     "directive_lookup": ["scan_ns_per_lookup", "indexed_ns_per_lookup", "speedup_vs_scan"],
+    "store_query": [
+        "runs",
+        "indexed_ns_per_query",
+        "indexed_cold_ns_per_query",
+        "scan_binary_ns_per_query",
+        "json_scan_ns_per_query",
+        "speedup_vs_json_scan",
+        "speedup_vs_binary_scan",
+        "p50_ns_per_query",
+        "p99_ns_per_query",
+    ],
+    "directive_gen_nruns": [
+        "runs",
+        "pooled_ns_per_gen",
+        "pairwise_fold_ns_per_gen",
+        "nrun_combine_ns_per_gen",
+        "weighted_ns_per_gen",
+    ],
     "focus_intern": ["string_ns_per_op", "interned_ns_per_op", "speedup_vs_string"],
     "parallel_variants": [
         "variants",
@@ -83,7 +101,7 @@ def main() -> None:
 
     # The histogram-derived percentiles must be ordered and positive: a
     # zero p50 means the sampled path never recorded into the registry.
-    for section in ("metric_query", "block_skip"):
+    for section in ("metric_query", "block_skip", "store_query"):
         p50, p99 = metrics[section]["p50_ns_per_query"], metrics[section]["p99_ns_per_query"]
         if not p50 > 0:
             sys.exit(f"{section}: p50_ns_per_query {p50} not positive — "
@@ -101,6 +119,16 @@ def main() -> None:
         sys.exit("block_skip: speedup_vs_indexed missing or non-positive")
     if block_skip["simd_lane_width"] not in (1, 2, 4):
         sys.exit(f"block_skip: unexpected simd_lane_width {block_skip['simd_lane_width']}")
+
+    # Experiment-store acceptance bar: at >= 1000 stored runs the indexed
+    # latest() must beat the legacy JSON re-parse by >= 10x.
+    store_query = metrics["store_query"]
+    if store_query["runs"] < 1000:
+        sys.exit(f"store_query: benchmarked {store_query['runs']} runs, expected >= 1000")
+    if store_query["speedup_vs_json_scan"] < 10:
+        sys.exit(f"store_query: indexed latest() only "
+                 f"{store_query['speedup_vs_json_scan']:.1f}x over JSON re-parse "
+                 "(acceptance bar is 10x at 1000 runs)")
 
     snapshot = metrics["trace_snapshot"]
     if mode == "cold" and snapshot["cache_misses"] < 1:

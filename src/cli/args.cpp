@@ -46,8 +46,14 @@ std::string Args::option_or(const std::string& name, const std::string& fallback
 double Args::option_or(const std::string& name, double fallback) const {
   auto v = option(name);
   if (!v) return fallback;
+  // std::stod alone accepts trailing garbage ("0.5x" parses as 0.5);
+  // require the whole token to be consumed so typos fail instead of
+  // silently truncating.
   try {
-    return std::stod(*v);
+    std::size_t pos = 0;
+    const double value = std::stod(*v, &pos);
+    if (pos != v->size()) throw ArgsError("");
+    return value;
   } catch (const std::exception&) {
     throw ArgsError("option --" + name + " expects a number, got '" + *v + "'");
   }
@@ -56,8 +62,12 @@ double Args::option_or(const std::string& name, double fallback) const {
 int Args::option_or(const std::string& name, int fallback) const {
   auto v = option(name);
   if (!v) return fallback;
+  // As above: "--threads 8x" must be an error, not 8.
   try {
-    return std::stoi(*v);
+    std::size_t pos = 0;
+    const int value = std::stoi(*v, &pos);
+    if (pos != v->size()) throw ArgsError("");
+    return value;
   } catch (const std::exception&) {
     throw ArgsError("option --" + name + " expects an integer, got '" + *v + "'");
   }

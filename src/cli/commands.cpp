@@ -18,6 +18,7 @@
 #include "history/mapper.h"
 #include "history/postmortem.h"
 #include "history/report.h"
+#include "history/similarity.h"
 #include "history/store.h"
 #include "simmpi/trace_io.h"
 #include "telemetry/event.h"
@@ -212,7 +213,9 @@ int cmd_run(const Args& args, std::ostream& out) {
   const std::string version = args.option_or("version", std::string("1"));
   if (auto store_dir = args.option("store")) {
     ExperimentStore store(*store_dir);
-    const std::string run_id = store.save(session.make_record(result, version));
+    ExperimentRecord record = session.make_record(result, version);
+    record.scenario = args.option_or("scenario", std::string());
+    const std::string run_id = store.save(std::move(record));
     out << "\nstored experiment record '" << run_id << "' in " << *store_dir << "\n";
   }
   // Self-diagnosis telemetry: every stored run also appends this run's
@@ -269,22 +272,35 @@ int cmd_variants(const Args& args, std::ostream& out) {
 
 int cmd_list(const Args& args, std::ostream& out) {
   ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
-  util::TablePrinter table({"run id", "app", "version", "ranks", "duration", "bottlenecks"});
-  for (const auto& id :
-       store.list(args.option_or("app", std::string()), args.option_or("version", std::string()))) {
-    // try_load: one corrupt file should drop out of the listing (with a
-    // warning), not abort it. `show <id>` stays strict.
-    auto rec = store.try_load(id);
-    if (!rec) continue;
-    table.add_row({id, rec->app, rec->version, std::to_string(rec->nranks),
-                   util::fmt_double(rec->duration, 1) + "s",
-                   std::to_string(rec->bottlenecks.size())});
-  }
+  history::StoreQuery query;
+  query.app = args.option_or("app", std::string());
+  query.version = args.option_or("version", std::string());
+  query.machine = args.option_or("machine", std::string());
+  query.scenario = args.option_or("scenario", std::string());
+  // Rendered from the index: no record files are opened, so listing stays
+  // O(index) at thousands of stored runs. Unreadable files drop out of the
+  // listing with a warning during the index heal pass; `show <id>` stays
+  // strict.
+  util::TablePrinter table(
+      {"run id", "app", "version", "machine", "scenario", "ranks", "duration",
+       "bottlenecks"});
+  for (const history::IndexEntry& e : store.summaries(query))
+    table.add_row({e.run_id, e.app, e.version, e.machine, e.scenario,
+                   std::to_string(e.nranks), util::fmt_double(e.duration, 1) + "s",
+                   std::to_string(e.bottlenecks)});
   if (table.num_rows() == 0) {
     out << "(no records)\n";
   } else {
     table.print(out);
   }
+  return 0;
+}
+
+int cmd_migrate(const Args& args, std::ostream& out) {
+  ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
+  const std::size_t migrated = store.migrate_all();
+  out << "migrated " << migrated << " legacy JSON record(s) to binary in "
+      << store.directory() << "\n";
   return 0;
 }
 
@@ -313,6 +329,32 @@ int cmd_harvest(const Args& args, std::ostream& out) {
   ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
   std::vector<ExperimentRecord> records;
   for (const auto& id : args.positionals()) records.push_back(load_or_throw(store, id));
+  if (auto ref_id = args.option("similar-to")) {
+    // Auto-select the input runs: score every stored run of the same app
+    // against the reference and keep the best few, oldest first. Explicit
+    // positional ids can ride along (they come first, i.e. oldest).
+    const ExperimentRecord reference = load_or_throw(store, *ref_id);
+    std::vector<ExperimentRecord> candidates;
+    for (const history::IndexEntry& e :
+         store.summaries({reference.app, "", "", ""})) {
+      if (e.run_id == reference.run_id) continue;
+      if (auto rec = store.try_load(e.run_id)) candidates.push_back(std::move(*rec));
+    }
+    const int max_runs = args.option_or("max-runs", 8);
+    if (max_runs < 1) throw ArgsError("option --max-runs expects a positive integer");
+    const auto selected = history::select_similar_runs(
+        candidates, reference, static_cast<std::size_t>(max_runs),
+        args.option_or("min-similarity", 0.25));
+    if (selected.empty() && records.empty())
+      throw ArgsError("no stored runs similar to '" + *ref_id + "' in store " +
+                      store.directory());
+    for (const auto& s : selected) {
+      out << "# similar run " << s.run_id << " (similarity "
+          << util::fmt_double(s.similarity, 2) << ")\n";
+      for (auto& rec : candidates)
+        if (rec.run_id == s.run_id) records.push_back(std::move(rec));
+    }
+  }
   if (records.empty()) throw ArgsError("missing argument: run id(s)");
 
   history::GeneratorOptions opts;
@@ -325,16 +367,26 @@ int cmd_harvest(const Args& args, std::ostream& out) {
 
   pc::DirectiveSet directives;
   if (auto combine_mode = args.option("combine")) {
-    // Pairwise combination semantics (paper §4.3): fold the per-run sets
-    // with A∩B or A∪B instead of pooling the records.
-    history::CombineMode mode;
-    if (*combine_mode == "intersect") mode = history::CombineMode::Intersection;
-    else if (*combine_mode == "union") mode = history::CombineMode::Union;
-    else throw ArgsError("--combine expects 'intersect' or 'union'");
-    if (records.size() < 2) throw ArgsError("--combine needs at least two run ids");
-    directives = generator.from_record(records.front());
-    for (std::size_t i = 1; i < records.size(); ++i)
-      directives = history::combine(directives, generator.from_record(records[i]), mode);
+    if (*combine_mode == "weighted") {
+      // Recency/frequency-weighted N-run aggregation: records are ordered
+      // oldest → newest, and --half-life K halves a run's vote every K
+      // runs of age.
+      history::WeightedCombineOptions wopts;
+      wopts.half_life_runs = args.option_or("half-life", wopts.half_life_runs);
+      directives = generator.from_records_weighted(records, wopts);
+    } else {
+      // Combination semantics (paper §4.3) over all N runs: high in ALL
+      // (intersect) or high in ANY (union) instead of pooling the records.
+      history::CombineMode mode;
+      if (*combine_mode == "intersect") mode = history::CombineMode::Intersection;
+      else if (*combine_mode == "union") mode = history::CombineMode::Union;
+      else throw ArgsError("--combine expects 'intersect', 'union' or 'weighted'");
+      if (records.size() < 2) throw ArgsError("--combine needs at least two run ids");
+      std::vector<pc::DirectiveSet> sets;
+      sets.reserve(records.size());
+      for (const auto& rec : records) sets.push_back(generator.from_record(rec));
+      directives = history::combine_runs(sets, mode);
+    }
   } else {
     directives = generator.from_records(records);
   }
@@ -612,7 +664,16 @@ int cmd_perf_diff(const Args& args, std::ostream& out) {
   }
 
   telemetry::PerfDiffOptions opts;
-  opts.window = static_cast<std::size_t>(std::max(args.option_or("window", 5), 1));
+  // Don't clamp: --window 0 means "compare against nothing", which is a
+  // degenerate request the caller should hear about, not silently a
+  // window of 1. Negative windows are nonsense.
+  const int window = args.option_or("window", 5);
+  if (window < 0) throw ArgsError("option --window expects a non-negative integer");
+  if (window == 0) {
+    out << "nothing to compare: --window 0 selects no baseline records\n";
+    return 2;
+  }
+  opts.window = static_cast<std::size_t>(window);
   opts.sigma = args.option_or("sigma", opts.sigma);
   opts.min_rel = args.option_or("min-rel", opts.min_rel);
   opts.min_abs = args.option_or("min-abs", opts.min_abs);
@@ -656,17 +717,19 @@ const Command kCommands[] = {
     {"run",
      cmd_run,
      {"duration", "node-base", "threshold", "cost-limit", "directives", "store", "version",
-      "save-trace", "dot", "workload", "trace", "trace-format", "trace-cache", "perf-log"},
+      "scenario", "save-trace", "dot", "workload", "trace", "trace-format", "trace-cache",
+      "perf-log"},
      {"shg", "extended", "postmortem", "discovery", "no-trace-cache"}},
     {"variants",
      cmd_variants,
      {"duration", "node-base", "workload", "threads", "threshold", "version", "trace-cache"},
      {"string-foci", "no-trace-cache"}},
-    {"list", cmd_list, {"store", "app", "version"}, {}},
+    {"list", cmd_list, {"store", "app", "version", "machine", "scenario"}, {}},
+    {"migrate", cmd_migrate, {"store"}, {}},
     {"show", cmd_show, {"store"}, {"report"}},
     {"harvest",
      cmd_harvest,
-     {"store", "out", "combine"},
+     {"store", "out", "combine", "half-life", "similar-to", "max-runs", "min-similarity"},
      {"no-priorities", "no-general-prunes", "no-historic-prunes", "false-pair-prunes",
       "thresholds"}},
     {"map", cmd_map, {"store"}, {}},
@@ -692,6 +755,7 @@ std::string usage() {
         "  run <app>                    simulate + diagnose (optionally directed/stored)\n"
         "  variants <app>               run the table-1 directive variants in parallel\n"
         "  list                         list stored experiment records\n"
+        "  migrate                      convert legacy JSON records to binary\n"
         "  show <run_id>                print one record\n"
         "  harvest <run_id>             extract search directives from a record\n"
         "  map <from_id> <to_id>        suggest resource mappings between two runs\n"
@@ -701,6 +765,15 @@ std::string usage() {
         "  trace-report <trace>         summarize a saved telemetry trace\n"
         "  perf-report                  show the latest self-telemetry perf record\n"
         "  perf-diff                    flag cross-run performance regressions\n"
+        "\nexperiment records are stored as binary snapshots (.histexp) with\n"
+        "an on-disk index; legacy .json records still load and migrate on\n"
+        "first read (or all at once via migrate --store DIR). list filters\n"
+        "on --app/--version/--machine/--scenario straight from the index;\n"
+        "run --scenario LABEL tags the stored record. harvest combines\n"
+        "several runs with --combine intersect|union|weighted (weighted\n"
+        "decays each run's vote with --half-life K runs) and can pick the\n"
+        "input runs automatically: --similar-to RUN_ID [--max-runs N]\n"
+        "[--min-similarity S] scores every stored run of the same app.\n"
         "\nrun/diagnose-trace also take --trace FILE [--trace-format jsonl|chrome]\n"
         "to record the search's telemetry events (chrome = load in Perfetto).\n"
         "run/variants cache simulated traces as binary snapshots (default\n"

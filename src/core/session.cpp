@@ -27,7 +27,7 @@ DiagnosisSession::DiagnosisSession(const std::string& app_name, apps::AppParams 
     }
     simmpi::TraceCache cache({config_.trace_cache_dir, config_.trace_cache_max_bytes},
                              &registry_);
-    const std::uint64_t key = simmpi::trace_content_key(program, net);
+    const simmpi::TraceKey key = simmpi::trace_content_key(program, net);
     std::optional<simmpi::ExecutionTrace> cached;
     {
       telemetry::ScopedTimer timer(registry_, "session.trace_load");

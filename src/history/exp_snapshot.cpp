@@ -1,0 +1,290 @@
+#include "history/exp_snapshot.h"
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "util/binio.h"
+#include "util/crc32c.h"
+#include "util/json.h"  // read_file / write_file
+
+namespace histpc::history {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 12;  // magic (8) + version (4)
+constexpr std::size_t kTrailerSize = 4;  // CRC32
+
+using util::crc32c;
+using util::binio::put_column;
+using util::binio::put_f64;
+using util::binio::put_str;
+using util::binio::put_u32;
+using util::binio::put_u64;
+using util::binio::put_u8;
+using Cursor = util::binio::Cursor<ExpSnapshotError>;
+
+/// Insertion-ordered string interner for the snapshot's string table.
+class StringTable {
+ public:
+  std::uint32_t intern(const std::string& s) {
+    auto [it, inserted] = index_.try_emplace(s, static_cast<std::uint32_t>(strings_.size()));
+    if (inserted) strings_.push_back(&it->first);
+    return it->second;
+  }
+
+  void write(std::string& out) const {
+    put_u32(out, static_cast<std::uint32_t>(strings_.size()));
+    for (const std::string* s : strings_) put_str(out, *s);
+  }
+
+ private:
+  std::map<std::string, std::uint32_t> index_;
+  std::vector<const std::string*> strings_;
+};
+
+/// Bounds-checked lookup into the decoded string table.
+const std::string& table_at(const std::vector<std::string>& table, std::uint32_t idx,
+                            const char* what) {
+  if (idx >= table.size())
+    throw ExpSnapshotError("string-table index " + std::to_string(idx) + " out of range for " +
+                           std::string(what) + " (table has " + std::to_string(table.size()) +
+                           " entries)");
+  return table[idx];
+}
+
+constexpr std::uint8_t kMaxNodeStatus = static_cast<std::uint8_t>(pc::NodeStatus::NeverRan);
+constexpr std::uint8_t kMaxPriority = static_cast<std::uint8_t>(pc::Priority::High);
+
+}  // namespace
+
+std::string encode_experiment_record(const ExperimentRecord& record) {
+  std::string out;
+  out.reserve(kHeaderSize + 256 + record.nodes.size() * 26 + record.bottlenecks.size() * 24 +
+              record.code_usage.size() * 12 + kTrailerSize);
+  out.append(kExpSnapshotMagic);
+  put_u32(out, kExpSnapshotVersion);
+
+  put_str(out, record.app);
+  put_str(out, record.version);
+  put_str(out, record.run_id);
+  put_str(out, record.machine);
+  put_str(out, record.scenario);
+  put_f64(out, record.duration);
+  put_u32(out, static_cast<std::uint32_t>(record.nranks));
+  put_u8(out, record.machine_process_one_to_one ? 1 : 0);
+  put_f64(out, record.threshold_used);
+  put_u64(out, static_cast<std::uint64_t>(record.pairs_tested));
+
+  // Two passes over the interned names: one to populate the table (which
+  // must precede its users in the byte stream), one to emit the columns.
+  StringTable table;
+  struct HierEnc {
+    std::uint32_t name_idx;
+    std::vector<std::uint32_t> resources;
+  };
+  std::vector<HierEnc> hiers;
+  hiers.reserve(record.resources.num_hierarchies());
+  for (std::size_t i = 0; i < record.resources.num_hierarchies(); ++i) {
+    const auto& h = record.resources.hierarchy(i);
+    HierEnc enc;
+    enc.name_idx = table.intern(h.name());
+    for (resources::ResourceId id : h.preorder()) {
+      if (id == h.root()) continue;  // the root is implied by the name
+      enc.resources.push_back(table.intern(h.node(id).full_name));
+    }
+    hiers.push_back(std::move(enc));
+  }
+
+  std::vector<std::uint32_t> node_hyp, node_focus;
+  std::vector<std::uint8_t> node_status, node_priority;
+  std::vector<double> node_conclude, node_fraction;
+  node_hyp.reserve(record.nodes.size());
+  for (const pc::NodeSnapshot& n : record.nodes) {
+    node_hyp.push_back(table.intern(n.hypothesis));
+    node_focus.push_back(table.intern(n.focus));
+    node_status.push_back(static_cast<std::uint8_t>(n.status));
+    node_priority.push_back(static_cast<std::uint8_t>(n.priority));
+    node_conclude.push_back(n.conclude_time);
+    node_fraction.push_back(n.fraction);
+  }
+
+  std::vector<std::uint32_t> bn_hyp, bn_focus;
+  std::vector<double> bn_t, bn_fraction;
+  bn_hyp.reserve(record.bottlenecks.size());
+  for (const pc::BottleneckReport& b : record.bottlenecks) {
+    bn_hyp.push_back(table.intern(b.hypothesis));
+    bn_focus.push_back(table.intern(b.focus));
+    bn_t.push_back(b.t_found);
+    bn_fraction.push_back(b.fraction);
+  }
+
+  std::vector<std::uint32_t> usage_name;
+  std::vector<double> usage_fraction;
+  usage_name.reserve(record.code_usage.size());
+  for (const auto& [name, frac] : record.code_usage) {
+    usage_name.push_back(table.intern(name));
+    usage_fraction.push_back(frac);
+  }
+
+  table.write(out);
+
+  put_u32(out, static_cast<std::uint32_t>(hiers.size()));
+  for (const HierEnc& h : hiers) {
+    put_u32(out, h.name_idx);
+    put_u32(out, static_cast<std::uint32_t>(h.resources.size()));
+    put_column(out, h.resources);
+  }
+
+  put_u64(out, static_cast<std::uint64_t>(record.nodes.size()));
+  put_column(out, node_hyp);
+  put_column(out, node_focus);
+  put_column(out, node_status);
+  put_column(out, node_priority);
+  put_column(out, node_conclude);
+  put_column(out, node_fraction);
+
+  put_u64(out, static_cast<std::uint64_t>(record.bottlenecks.size()));
+  put_column(out, bn_hyp);
+  put_column(out, bn_focus);
+  put_column(out, bn_t);
+  put_column(out, bn_fraction);
+
+  put_u64(out, static_cast<std::uint64_t>(record.code_usage.size()));
+  put_column(out, usage_name);
+  put_column(out, usage_fraction);
+
+  put_u32(out, crc32c(std::string_view(out).substr(kHeaderSize)));
+  return out;
+}
+
+ExperimentRecord decode_experiment_record(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize + kTrailerSize)
+    throw ExpSnapshotError("snapshot too small (" + std::to_string(bytes.size()) + " bytes)");
+  if (bytes.substr(0, kExpSnapshotMagic.size()) != kExpSnapshotMagic)
+    throw ExpSnapshotError("bad snapshot magic (not a histpc-exp-bin file)");
+
+  Cursor cur{bytes.data(), bytes.size() - kTrailerSize, kExpSnapshotMagic.size()};
+  const std::uint32_t version = cur.u32("format version");
+  if (version != kExpSnapshotVersion)
+    throw ExpSnapshotError("unsupported snapshot version " + std::to_string(version) +
+                           " (expected " + std::to_string(kExpSnapshotVersion) + ")");
+
+  const std::string_view payload =
+      bytes.substr(kHeaderSize, bytes.size() - kHeaderSize - kTrailerSize);
+  Cursor trailer{bytes.data(), bytes.size(), bytes.size() - kTrailerSize};
+  const std::uint32_t stored_crc = trailer.u32("payload CRC");
+  const std::uint32_t computed_crc = crc32c(payload);
+  if (stored_crc != computed_crc)
+    throw ExpSnapshotError("snapshot CRC mismatch (stored " + std::to_string(stored_crc) +
+                           ", computed " + std::to_string(computed_crc) + ")");
+
+  ExperimentRecord r;
+  r.app = cur.str("app");
+  r.version = cur.str("version");
+  r.run_id = cur.str("run id");
+  r.machine = cur.str("machine");
+  r.scenario = cur.str("scenario");
+  r.duration = cur.f64("duration");
+  r.nranks = static_cast<int>(cur.u32("rank count"));
+  const std::uint8_t flags = cur.u8("flags");
+  if (flags > 1) throw ExpSnapshotError("invalid flags byte " + std::to_string(flags));
+  r.machine_process_one_to_one = flags & 1;
+  r.threshold_used = cur.f64("threshold used");
+  r.pairs_tested = static_cast<std::size_t>(cur.u64("pairs tested"));
+
+  const std::uint32_t table_size = cur.u32("string table size");
+  std::vector<std::string> table;
+  table.reserve(table_size);
+  for (std::uint32_t i = 0; i < table_size; ++i) table.push_back(cur.str("string table entry"));
+
+  const std::uint32_t nhiers = cur.u32("hierarchy count");
+  for (std::uint32_t i = 0; i < nhiers; ++i) {
+    const std::string& name = table_at(table, cur.u32("hierarchy name"), "hierarchy name");
+    r.resources.add_hierarchy(name);
+    const std::uint32_t nres = cur.u32("resource count");
+    std::vector<std::uint32_t> res;
+    cur.column(res, nres, "resource names");
+    for (std::uint32_t idx : res) {
+      const std::string& full = table_at(table, idx, "resource name");
+      try {
+        r.resources.add_resource(full);
+      } catch (const std::exception& e) {
+        throw ExpSnapshotError("invalid resource name in snapshot: " + std::string(e.what()));
+      }
+    }
+  }
+
+  const std::uint64_t nnodes64 = cur.u64("node count");
+  if (nnodes64 > std::numeric_limits<std::uint32_t>::max())
+    throw ExpSnapshotError("implausible node count " + std::to_string(nnodes64));
+  const std::size_t nnodes = static_cast<std::size_t>(nnodes64);
+  std::vector<std::uint32_t> node_hyp, node_focus;
+  std::vector<std::uint8_t> node_status, node_priority;
+  std::vector<double> node_conclude, node_fraction;
+  cur.column(node_hyp, nnodes, "node hypothesis column");
+  cur.column(node_focus, nnodes, "node focus column");
+  cur.column(node_status, nnodes, "node status column");
+  cur.column(node_priority, nnodes, "node priority column");
+  cur.column(node_conclude, nnodes, "node conclude-time column");
+  cur.column(node_fraction, nnodes, "node fraction column");
+  r.nodes.resize(nnodes);
+  for (std::size_t i = 0; i < nnodes; ++i) {
+    pc::NodeSnapshot& n = r.nodes[i];
+    n.hypothesis = table_at(table, node_hyp[i], "node hypothesis");
+    n.focus = table_at(table, node_focus[i], "node focus");
+    if (node_status[i] > kMaxNodeStatus)
+      throw ExpSnapshotError("invalid node status " + std::to_string(node_status[i]));
+    if (node_priority[i] > kMaxPriority)
+      throw ExpSnapshotError("invalid node priority " + std::to_string(node_priority[i]));
+    n.status = static_cast<pc::NodeStatus>(node_status[i]);
+    n.priority = static_cast<pc::Priority>(node_priority[i]);
+    n.conclude_time = node_conclude[i];
+    n.fraction = node_fraction[i];
+  }
+
+  const std::uint64_t nbn64 = cur.u64("bottleneck count");
+  if (nbn64 > std::numeric_limits<std::uint32_t>::max())
+    throw ExpSnapshotError("implausible bottleneck count " + std::to_string(nbn64));
+  const std::size_t nbn = static_cast<std::size_t>(nbn64);
+  std::vector<std::uint32_t> bn_hyp, bn_focus;
+  std::vector<double> bn_t, bn_fraction;
+  cur.column(bn_hyp, nbn, "bottleneck hypothesis column");
+  cur.column(bn_focus, nbn, "bottleneck focus column");
+  cur.column(bn_t, nbn, "bottleneck time column");
+  cur.column(bn_fraction, nbn, "bottleneck fraction column");
+  r.bottlenecks.resize(nbn);
+  for (std::size_t i = 0; i < nbn; ++i) {
+    pc::BottleneckReport& b = r.bottlenecks[i];
+    b.hypothesis = table_at(table, bn_hyp[i], "bottleneck hypothesis");
+    b.focus = table_at(table, bn_focus[i], "bottleneck focus");
+    b.t_found = bn_t[i];
+    b.fraction = bn_fraction[i];
+  }
+
+  const std::uint64_t nusage64 = cur.u64("code-usage count");
+  if (nusage64 > std::numeric_limits<std::uint32_t>::max())
+    throw ExpSnapshotError("implausible code-usage count " + std::to_string(nusage64));
+  const std::size_t nusage = static_cast<std::size_t>(nusage64);
+  std::vector<std::uint32_t> usage_name;
+  std::vector<double> usage_fraction;
+  cur.column(usage_name, nusage, "code-usage name column");
+  cur.column(usage_fraction, nusage, "code-usage fraction column");
+  for (std::size_t i = 0; i < nusage; ++i)
+    r.code_usage[table_at(table, usage_name[i], "code-usage name")] = usage_fraction[i];
+
+  if (cur.off != cur.size)
+    throw ExpSnapshotError("snapshot has " + std::to_string(cur.size - cur.off) +
+                           " trailing payload bytes");
+  return r;
+}
+
+void save_experiment_record(const ExperimentRecord& record, const std::string& path) {
+  util::write_file(path, encode_experiment_record(record));
+}
+
+ExperimentRecord load_experiment_record(const std::string& path) {
+  return decode_experiment_record(util::read_file(path));
+}
+
+}  // namespace histpc::history

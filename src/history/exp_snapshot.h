@@ -1,0 +1,68 @@
+// Binary columnar experiment records: the `histpc-exp-bin-v1` format.
+//
+// The JSON schema in experiment.h stays the human-readable debug format,
+// the migration source, and the round-trip oracle; this format exists so a
+// store holding thousands of historical runs can be queried without
+// re-parsing JSON. Layout (all integers and doubles little-endian, same
+// wire conventions as simmpi/trace_snapshot):
+//
+//   magic "HPCEXB1\n" (8 bytes)
+//   u32   format version (= 1)
+//   payload:
+//     str app; str version; str run_id; str machine; str scenario
+//     f64 duration; u32 nranks; u8 flags (bit 0 = machine_process_one_to_one)
+//     f64 threshold_used; u64 pairs_tested
+//     string table: u32 count; per entry: str  (all interned names below
+//       are u32 indexes into this table)
+//     resources: u32 num_hierarchies; per hierarchy:
+//       u32 name_idx; u32 num_resources; u32 resource_idx[num_resources]
+//       (full names in preorder, hierarchy root omitted — the JSON schema)
+//     nodes (SoA): u64 n; u32 hyp_idx[n]; u32 focus_idx[n]; u8 status[n];
+//       u8 priority[n]; f64 conclude_time[n]; f64 fraction[n]
+//     bottlenecks (SoA): u64 n; u32 hyp_idx[n]; u32 focus_idx[n];
+//       f64 t_found[n]; f64 fraction[n]
+//     code_usage: u64 n; u32 name_idx[n]; f64 fraction[n]  (sorted by name,
+//       the std::map iteration order)
+//   u32   CRC-32C (Castagnoli) of the payload
+//
+// Strings are length-prefixed (u32 byte count, then bytes). Hypothesis and
+// focus names repeat heavily across the SHG snapshot, so interning them
+// through one string table keeps a record a fraction of its JSON size.
+//
+// Decoding is strict: bad magic, unknown version, a CRC mismatch,
+// truncated or trailing bytes, out-of-range enum values and string-table
+// indexes all throw ExpSnapshotError. Discovery flows (ExperimentStore
+// listings) catch it and quarantine, exactly like the JSON path.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "history/experiment.h"
+
+namespace histpc::history {
+
+inline constexpr std::string_view kExpSnapshotMagic = "HPCEXB1\n";
+inline constexpr std::uint32_t kExpSnapshotVersion = 1;
+
+/// Malformed experiment-snapshot bytes (truncation, bad magic/version, CRC
+/// mismatch, invalid field values). The message names the offending field.
+class ExpSnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialize `record` to histpc-exp-bin-v1 bytes.
+std::string encode_experiment_record(const ExperimentRecord& record);
+
+/// Parse and validate snapshot bytes. Throws ExpSnapshotError on malformed
+/// input.
+ExperimentRecord decode_experiment_record(std::string_view bytes);
+
+/// File convenience wrappers (atomic write via util::write_file).
+void save_experiment_record(const ExperimentRecord& record, const std::string& path);
+ExperimentRecord load_experiment_record(const std::string& path);
+
+}  // namespace histpc::history

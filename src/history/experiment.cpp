@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "telemetry/perf_record.h"
 #include "util/strings.h"
 
 namespace histpc::history {
@@ -44,6 +45,8 @@ Json ExperimentRecord::to_json() const {
   j["app"] = app;
   j["version"] = version;
   j["run_id"] = run_id;
+  j["machine"] = machine;
+  j["scenario"] = scenario;
   j["duration"] = duration;
   j["nranks"] = nranks;
   j["machine_process_one_to_one"] = machine_process_one_to_one;
@@ -77,6 +80,9 @@ ExperimentRecord ExperimentRecord::from_json(const Json& j) {
   r.app = j.at("app").as_string();
   r.version = j.at("version").as_string();
   r.run_id = j.at("run_id").as_string();
+  // Absent from records written before the fleet-scale store existed.
+  r.machine = j.get_or("machine", std::string());
+  r.scenario = j.get_or("scenario", std::string());
   r.duration = j.at("duration").as_double();
   r.nranks = static_cast<int>(j.at("nranks").as_int());
   r.machine_process_one_to_one = j.at("machine_process_one_to_one").as_bool();
@@ -103,6 +109,7 @@ ExperimentRecord make_record(std::string app, std::string version,
   ExperimentRecord r;
   r.app = std::move(app);
   r.version = std::move(version);
+  r.machine = telemetry::machine_name();
   const auto& trace = view.trace();
   r.duration = trace.duration;
   r.nranks = trace.num_ranks();

@@ -21,6 +21,14 @@ struct ExperimentRecord {
   std::string version;  ///< code version, e.g. "A"
   std::string run_id;   ///< unique per stored run; assigned by the store if empty
 
+  /// Host the run executed (or was simulated) on; filled by make_record.
+  /// Part of the store index key, so fleet queries can restrict directive
+  /// harvesting to runs from comparable machines. Empty in legacy records.
+  std::string machine;
+  /// Free-form workload/scenario label (e.g. "strong-scaling-64"), set by
+  /// the caller (`histpc run --scenario`). Empty in legacy records.
+  std::string scenario;
+
   double duration = 0.0;  ///< program execution time (virtual seconds)
   int nranks = 0;
 

@@ -118,4 +118,13 @@ pc::DirectiveSet DirectiveGenerator::from_records(const std::vector<ExperimentRe
   return out;
 }
 
+pc::DirectiveSet DirectiveGenerator::from_records_weighted(
+    const std::vector<ExperimentRecord>& records, const WeightedCombineOptions& combine,
+    const pc::HypothesisSet& hyps) const {
+  std::vector<pc::DirectiveSet> sets;
+  sets.reserve(records.size());
+  for (const ExperimentRecord& rec : records) sets.push_back(from_record(rec, hyps));
+  return combine_weighted(sets, combine);
+}
+
 }  // namespace histpc::history

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "history/combiner.h"
 #include "history/experiment.h"
 #include "pc/directives.h"
 #include "pc/hypothesis.h"
@@ -57,6 +58,16 @@ class DirectiveGenerator {
   pc::DirectiveSet from_records(const std::vector<ExperimentRecord>& records,
                                 const pc::HypothesisSet& hyps =
                                     pc::HypothesisSet::standard()) const;
+
+  /// Harvest each record separately and aggregate with combine_weighted:
+  /// `records` ordered oldest → newest, recent runs dominate old ones
+  /// (exponential decay), and a directive needs weighted-majority support
+  /// to survive. The fleet-scale alternative to from_records' pooled
+  /// union when hundreds of runs of varying age are available.
+  pc::DirectiveSet from_records_weighted(const std::vector<ExperimentRecord>& records,
+                                         const WeightedCombineOptions& combine = {},
+                                         const pc::HypothesisSet& hyps =
+                                             pc::HypothesisSet::standard()) const;
 
   const GeneratorOptions& options() const { return options_; }
 

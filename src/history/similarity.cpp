@@ -1,0 +1,87 @@
+#include "history/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "history/store.h"  // run_id_natural_less
+#include "util/strings.h"
+
+namespace histpc::history {
+
+namespace {
+
+/// 1 when both sides agree (including both-empty), graded by edit distance
+/// when both are known, 0 when only one side knows the field.
+double field_similarity(const std::string& a, const std::string& b) {
+  if (a == b) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  return util::name_similarity(a, b);
+}
+
+/// min/max ratio in [0,1]; 1 when both are zero (both unknown).
+double ratio_similarity(double a, double b) {
+  if (a <= 0.0 && b <= 0.0) return 1.0;
+  if (a <= 0.0 || b <= 0.0) return 0.0;
+  return std::min(a, b) / std::max(a, b);
+}
+
+/// Cosine similarity of the two sparse code-usage vectors. Empty profiles
+/// on both sides count as a match (legacy records); one-sided emptiness
+/// scores 0.
+double usage_similarity(const std::map<std::string, double>& a,
+                        const std::map<std::string, double>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [name, va] : a) {
+    na += va * va;
+    if (auto it = b.find(name); it != b.end()) dot += va * it->second;
+  }
+  for (const auto& [name, vb] : b) nb += vb * vb;
+  if (na <= 0.0 || nb <= 0.0) return a == b ? 1.0 : 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace
+
+double run_similarity(const ExperimentRecord& reference, const ExperimentRecord& candidate,
+                      const SimilarityWeights& w) {
+  if (reference.app != candidate.app) return 0.0;
+  const double total = w.version + w.machine + w.scenario + w.scale + w.usage;
+  if (total <= 0.0) return 0.0;
+  double score = 0.0;
+  score += w.version * field_similarity(reference.version, candidate.version);
+  score += w.machine * (reference.machine == candidate.machine ? 1.0 : 0.0);
+  score += w.scenario * field_similarity(reference.scenario, candidate.scenario);
+  score += w.scale * 0.5 *
+           (ratio_similarity(reference.nranks, candidate.nranks) +
+            ratio_similarity(reference.duration, candidate.duration));
+  score += w.usage * usage_similarity(reference.code_usage, candidate.code_usage);
+  return score / total;
+}
+
+std::vector<SelectedRun> select_similar_runs(const std::vector<ExperimentRecord>& candidates,
+                                             const ExperimentRecord& reference,
+                                             std::size_t max_runs, double min_similarity,
+                                             const SimilarityWeights& weights) {
+  std::vector<SelectedRun> scored;
+  scored.reserve(candidates.size());
+  for (const ExperimentRecord& rec : candidates) {
+    const double s = run_similarity(reference, rec, weights);
+    if (s >= min_similarity && s > 0.0) scored.push_back({rec.run_id, s});
+  }
+  // Best first; equal scores break toward the smaller run_id so selection
+  // is independent of the candidates' iteration order.
+  std::sort(scored.begin(), scored.end(), [](const SelectedRun& a, const SelectedRun& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.run_id < b.run_id;
+  });
+  if (scored.size() > max_runs) scored.resize(max_runs);
+  // Oldest first for recency weighting downstream.
+  std::sort(scored.begin(), scored.end(), [](const SelectedRun& a, const SelectedRun& b) {
+    return run_id_natural_less(a.run_id, b.run_id);
+  });
+  return scored;
+}
+
+}  // namespace histpc::history

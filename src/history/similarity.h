@@ -1,0 +1,57 @@
+// Run similarity: which historical runs should feed directives for a new
+// execution?
+//
+// The paper hand-picks the prior runs to harvest from; at fleet scale
+// (thousands of stored runs per app) that choice must be automatic. Each
+// candidate record is scored against a reference run on the dimensions
+// that predict transferable diagnosis behaviour — same code version, same
+// machine, same scenario label, comparable scale (ranks / duration), and
+// overlapping code-usage profile — and the top-scoring runs become the
+// inputs to weighted N-run aggregation (combiner.h). This is the
+// cross-run-analysis direction of Cankur et al. (arXiv 2401.13150).
+//
+// Everything here is deterministic: ties in score break on run_id, so the
+// same store always selects the same runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "history/experiment.h"
+
+namespace histpc::history {
+
+struct SimilarityWeights {
+  double version = 0.30;   ///< code version match (edit-distance graded)
+  double machine = 0.10;   ///< same host
+  double scenario = 0.15;  ///< same scenario label
+  double scale = 0.15;     ///< rank-count and duration ratios
+  double usage = 0.30;     ///< cosine similarity of code-usage profiles
+};
+
+/// Similarity of `candidate` to `reference` in [0, 1]. Records of a
+/// different app score 0 — directives never cross applications. Fields
+/// empty on BOTH sides (e.g. two legacy records without a machine) count
+/// as a match; a field known on one side only scores 0 for that term.
+double run_similarity(const ExperimentRecord& reference, const ExperimentRecord& candidate,
+                      const SimilarityWeights& weights = {});
+
+struct SelectedRun {
+  std::string run_id;
+  double similarity = 0.0;
+};
+
+/// Rank `candidates` by run_similarity to `reference` and keep the top
+/// `max_runs` scoring at least `min_similarity`. The result is ordered by
+/// run-id sequence (oldest first) — the order weighted aggregation expects
+/// for recency weighting — with the score preserved for reporting.
+/// Deterministic: equal scores break toward the lexicographically smaller
+/// run_id.
+std::vector<SelectedRun> select_similar_runs(const std::vector<ExperimentRecord>& candidates,
+                                             const ExperimentRecord& reference,
+                                             std::size_t max_runs,
+                                             double min_similarity = 0.0,
+                                             const SimilarityWeights& weights = {});
+
+}  // namespace histpc::history

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 
+#include "history/exp_snapshot.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -19,6 +21,11 @@ std::string escape_run_id_component(std::string_view component) {
 }
 
 namespace {
+
+constexpr const char* kBinaryExtension = ".histexp";
+constexpr const char* kJsonExtension = ".json";
+constexpr const char* kIndexFile = "index-v1.jsonl";
+
 /// Strict trailing-sequence parse: everything after the last '_' must be
 /// one or more digits that fit a long. nullopt for foreign names like
 /// "notes" or "poisson_A_backup" — callers must not mistake those for
@@ -36,14 +43,179 @@ std::optional<long> parse_seq(std::string_view run_id) {
   }
   return value;
 }
+
+util::Json entry_to_json(const IndexEntry& e) {
+  util::Json j = util::Json::object();
+  j["run_id"] = e.run_id;
+  j["app"] = e.app;
+  j["version"] = e.version;
+  j["machine"] = e.machine;
+  j["scenario"] = e.scenario;
+  j["seq"] = static_cast<double>(e.seq);
+  j["ranks"] = e.nranks;
+  j["duration"] = e.duration;
+  j["bottlenecks"] = static_cast<double>(e.bottlenecks);
+  return j;
+}
+
+IndexEntry entry_from_json(const util::Json& j) {
+  IndexEntry e;
+  e.run_id = j.at("run_id").as_string();
+  e.app = j.at("app").as_string();
+  e.version = j.at("version").as_string();
+  e.machine = j.get_or("machine", std::string());
+  e.scenario = j.get_or("scenario", std::string());
+  e.seq = static_cast<long>(j.get_or("seq", 0.0));
+  e.nranks = static_cast<int>(j.get_or("ranks", 0.0));
+  e.duration = j.get_or("duration", 0.0);
+  e.bottlenecks = static_cast<std::size_t>(j.get_or("bottlenecks", 0.0));
+  return e;
+}
+
+bool matches(const StoreQuery& q, const IndexEntry& e) {
+  if (!q.app.empty() && e.app != q.app) return false;
+  if (!q.version.empty() && e.version != q.version) return false;
+  if (!q.machine.empty() && e.machine != q.machine) return false;
+  if (!q.scenario.empty() && e.scenario != q.scenario) return false;
+  return true;
+}
+
 }  // namespace
+
+bool run_id_natural_less(std::string_view a, std::string_view b) {
+  const auto seq_a = parse_seq(a);
+  const auto seq_b = parse_seq(b);
+  if (seq_a && seq_b) {
+    const std::string_view head_a = a.substr(0, a.rfind('_'));
+    const std::string_view head_b = b.substr(0, b.rfind('_'));
+    if (head_a == head_b && *seq_a != *seq_b) return *seq_a < *seq_b;
+  }
+  return a < b;
+}
+
+IndexEntry make_index_entry(const ExperimentRecord& record) {
+  IndexEntry e;
+  e.run_id = record.run_id;
+  e.app = record.app;
+  e.version = record.version;
+  e.machine = record.machine;
+  e.scenario = record.scenario;
+  e.seq = parse_seq(record.run_id).value_or(0);
+  e.nranks = record.nranks;
+  e.duration = record.duration;
+  e.bottlenecks = record.bottlenecks.size();
+  return e;
+}
 
 ExperimentStore::ExperimentStore(std::string directory) : dir_(std::move(directory)) {
   fs::create_directories(dir_);
 }
 
-std::string ExperimentStore::path_for(const std::string& run_id) const {
-  return dir_ + "/" + run_id + ".json";
+std::string ExperimentStore::bin_path_for(const std::string& run_id) const {
+  return dir_ + "/" + run_id + kBinaryExtension;
+}
+
+std::string ExperimentStore::json_path_for(const std::string& run_id) const {
+  return dir_ + "/" + run_id + kJsonExtension;
+}
+
+std::string ExperimentStore::index_path() const { return dir_ + "/" + kIndexFile; }
+
+std::set<std::string> ExperimentStore::record_stems() const {
+  std::set<std::string> stems;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != kBinaryExtension && ext != kJsonExtension) continue;
+    stems.insert(entry.path().stem().string());
+  }
+  return stems;
+}
+
+void ExperimentStore::append_index_line(const util::Json& line) const {
+  // A single short appended line is effectively atomic; a crash mid-line
+  // leaves one corrupt tail line, which the reader skips with a warning
+  // and the next heal pass compacts away.
+  std::ofstream out(index_path(), std::ios::app | std::ios::binary);
+  if (!out) {
+    HISTPC_LOG(Warn) << "cannot append to store index " << index_path();
+    return;
+  }
+  out << line.dump() << "\n";
+}
+
+void ExperimentStore::rewrite_index(const IndexState& state) const {
+  std::string content;
+  for (const auto& [id, entry] : state.entries) content += entry_to_json(entry).dump() + "\n";
+  try {
+    util::write_file(index_path(), content);  // atomic temp+rename
+  } catch (const std::exception& e) {
+    HISTPC_LOG(Warn) << "cannot rewrite store index " << index_path() << ": " << e.what();
+  }
+}
+
+ExperimentStore::IndexState& ExperimentStore::index() const {
+  if (index_) return *index_;
+  IndexState st;
+  const std::set<std::string> stems = record_stems();
+
+  // Fold the JSONL index: later lines win, tombstones erase, entries whose
+  // record file vanished are dropped, unparsable lines are skipped.
+  bool compact = false;
+  if (fs::exists(index_path())) {
+    const std::string content = util::read_file(index_path());
+    std::size_t line_no = 0;
+    for (std::string_view line : util::split_view(content, '\n')) {
+      ++line_no;
+      if (line.empty()) continue;
+      try {
+        const util::Json j = util::Json::parse(std::string(line));
+        const std::string id = j.at("run_id").as_string();
+        if (j.get_or("removed", false)) {
+          st.entries.erase(id);
+          continue;
+        }
+        if (!stems.contains(id)) {
+          compact = true;  // stale: the record file is gone
+          continue;
+        }
+        st.entries[id] = entry_from_json(j);
+      } catch (const std::exception& e) {
+        HISTPC_LOG(Warn) << "skipping corrupt line " << line_no << " of store index "
+                         << index_path() << ": " << e.what();
+        compact = true;
+      }
+    }
+  }
+
+  // Heal: record files the index does not know about (a legacy JSON
+  // directory being adopted, or files copied in by hand) are parsed once
+  // and indexed; unreadable ones are remembered so they warn once per
+  // instance, not once per query.
+  std::vector<util::Json> appended;
+  for (const std::string& stem : stems) {
+    if (st.entries.contains(stem)) continue;
+    auto rec = try_load(stem);
+    if (!rec) {
+      st.unloadable.insert(stem);
+      continue;
+    }
+    IndexEntry e = make_index_entry(*rec);
+    // Key by the filename stem: that is the id load() answers to, even if
+    // a hand-copied file disagrees with its embedded run_id.
+    e.run_id = stem;
+    e.seq = parse_seq(stem).value_or(0);
+    appended.push_back(entry_to_json(e));
+    st.entries[stem] = std::move(e);
+  }
+
+  index_ = std::move(st);
+  if (compact)
+    rewrite_index(*index_);  // also folds the healed entries in
+  else
+    for (const util::Json& line : appended) append_index_line(line);
+  return *index_;
 }
 
 std::string ExperimentStore::save(ExperimentRecord record) {
@@ -57,69 +229,154 @@ std::string ExperimentStore::save(ExperimentRecord record) {
     const std::string prefix = escape_run_id_component(record.app) + "_" +
                                escape_run_id_component(record.version) + "_";
     long max_seq = 0;
-    for (const auto& id : list()) {
+    for (const auto& id : record_stems()) {
       if (!util::starts_with(id, prefix)) continue;
       if (auto seq = parse_seq(id)) max_seq = std::max(max_seq, *seq);
     }
     record.run_id = prefix + std::to_string(max_seq + 1);
   }
-  util::write_file(path_for(record.run_id), record.to_json().dump(2));
+  save_experiment_record(record, bin_path_for(record.run_id));
+  IndexEntry e = make_index_entry(record);
+  append_index_line(entry_to_json(e));
+  if (index_) {
+    index_->unloadable.erase(e.run_id);
+    index_->entries[e.run_id] = std::move(e);
+  }
   return record.run_id;
 }
 
 std::optional<ExperimentRecord> ExperimentStore::load(const std::string& run_id) const {
-  const std::string path = path_for(run_id);
-  if (!fs::exists(path)) return std::nullopt;
-  return ExperimentRecord::from_json(util::Json::parse(util::read_file(path)));
+  const std::string bin = bin_path_for(run_id);
+  if (fs::exists(bin)) return load_experiment_record(bin);  // strict: throws on damage
+  const std::string json = json_path_for(run_id);
+  if (!fs::exists(json)) return std::nullopt;
+  ExperimentRecord rec = ExperimentRecord::from_json(util::Json::parse(util::read_file(json)));
+  migrate_to_binary(rec);
+  return rec;
 }
 
 std::optional<ExperimentRecord> ExperimentStore::try_load(const std::string& run_id) const {
-  const std::string path = path_for(run_id);
-  if (!fs::exists(path)) return std::nullopt;
+  const std::string bin = bin_path_for(run_id);
+  const std::string json = json_path_for(run_id);
+  if (fs::exists(bin)) {
+    try {
+      return load_experiment_record(bin);
+    } catch (const std::exception& e) {
+      HISTPC_LOG(Warn) << "quarantining unreadable store record " << bin << ": " << e.what();
+      // Fall through: an intact legacy JSON can repair the binary.
+    }
+  }
+  if (!fs::exists(json)) return std::nullopt;
   try {
-    return ExperimentRecord::from_json(util::Json::parse(util::read_file(path)));
+    ExperimentRecord rec =
+        ExperimentRecord::from_json(util::Json::parse(util::read_file(json)));
+    migrate_to_binary(rec);
+    return rec;
   } catch (const std::exception& e) {
-    HISTPC_LOG(Warn) << "quarantining unreadable store record " << path << ": " << e.what();
+    HISTPC_LOG(Warn) << "quarantining unreadable store record " << json << ": " << e.what();
     return std::nullopt;
+  }
+}
+
+void ExperimentStore::migrate_to_binary(const ExperimentRecord& record) const {
+  // Best-effort by design: the record was already loaded successfully, so
+  // a failed migration (read-only store, disk full) costs speed, never
+  // data. The legacy JSON is left in place; the binary wins next load.
+  try {
+    save_experiment_record(record, bin_path_for(record.run_id));
+    IndexEntry e = make_index_entry(record);
+    if (!index_ || !index_->entries.contains(e.run_id)) append_index_line(entry_to_json(e));
+    if (index_) {
+      index_->unloadable.erase(e.run_id);
+      index_->entries[e.run_id] = std::move(e);
+    }
+    HISTPC_LOG(Debug) << "migrated legacy JSON record " << record.run_id
+                      << " to binary snapshot";
+  } catch (const std::exception& e) {
+    HISTPC_LOG(Warn) << "cannot migrate record " << record.run_id
+                     << " to binary: " << e.what();
   }
 }
 
 std::vector<std::string> ExperimentStore::list(const std::string& app,
                                                const std::string& version) const {
   std::vector<std::string> out;
-  if (!fs::exists(dir_)) return out;
-  const bool filtered = !app.empty() || !version.empty();
-  for (const auto& entry : fs::directory_iterator(dir_)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
-    std::string run_id = entry.path().stem().string();
-    if (filtered) {
-      // Match on the record's stored fields: id-prefix matching is
-      // ambiguous when app or version contain '_' ("a_b_c_1" splits two
-      // ways), and the stored fields survive run-id escaping unchanged.
-      auto rec = try_load(run_id);
-      if (!rec) continue;
-      if (!app.empty() && rec->app != app) continue;
-      if (!version.empty() && rec->version != version) continue;
-    }
-    out.push_back(std::move(run_id));
+  if (app.empty() && version.empty()) {
+    // Unfiltered: a pure directory view (foreign files included), no index
+    // required and no warnings emitted.
+    const auto stems = record_stems();
+    out.assign(stems.begin(), stems.end());
+  } else {
+    for (const IndexEntry& e : summaries({app, version, "", ""})) out.push_back(e.run_id);
   }
-  std::sort(out.begin(), out.end());
+  std::sort(out.begin(), out.end(),
+            [](const std::string& a, const std::string& b) { return run_id_natural_less(a, b); });
   return out;
+}
+
+std::vector<IndexEntry> ExperimentStore::summaries(const StoreQuery& query) const {
+  const IndexState& st = index();
+  std::vector<IndexEntry> out;
+  for (const auto& [id, e] : st.entries)
+    if (matches(query, e)) out.push_back(e);
+  std::sort(out.begin(), out.end(), [](const IndexEntry& a, const IndexEntry& b) {
+    return run_id_natural_less(a.run_id, b.run_id);
+  });
+  return out;
+}
+
+std::optional<ExperimentRecord> ExperimentStore::latest(const StoreQuery& query) const {
+  IndexState& st = index();
+  // Highest sequence first (ties toward the naturally-larger id); load
+  // only the winner. A record that fails to load is skipped with a warning
+  // (try_load) and dropped from this instance's view, and the next
+  // candidate wins — one damaged file cannot abort the query.
+  std::vector<const IndexEntry*> candidates;
+  for (const auto& [id, e] : st.entries)
+    if (matches(query, e)) candidates.push_back(&e);
+  std::sort(candidates.begin(), candidates.end(), [](const IndexEntry* a, const IndexEntry* b) {
+    if (a->seq != b->seq) return a->seq > b->seq;
+    return run_id_natural_less(b->run_id, a->run_id);
+  });
+  for (const IndexEntry* e : candidates) {
+    auto rec = try_load(e->run_id);
+    if (rec) return rec;
+    const std::string id = e->run_id;  // e dies with the erase below
+    st.unloadable.insert(id);
+    st.entries.erase(id);
+  }
+  return std::nullopt;
 }
 
 std::optional<ExperimentRecord> ExperimentStore::latest(const std::string& app,
                                                         const std::string& version) const {
-  // Lexicographic order mis-sorts _10 before _2; compare sequence numbers
-  // (ids without a numeric tail — explicit caller-chosen run_ids — rank as
-  // 0). try_load skips and logs corrupt or foreign files instead of
-  // letting one damaged record abort the whole query.
+  return latest(StoreQuery{app, version, "", ""});
+}
+
+std::optional<ExperimentRecord> ExperimentStore::scan_latest(const std::string& app,
+                                                             const std::string& version) const {
+  // The pre-index implementation: parse every record, keep the highest
+  // sequence (lexicographic order mis-sorts _10 before _2, so compare
+  // sequence numbers; ids without a numeric tail rank as 0).
   std::optional<ExperimentRecord> best;
   long best_seq = -1;
-  for (const auto& id : list()) {
+  for (const auto& id : record_stems()) {
     const long seq = parse_seq(id).value_or(0);
     if (seq <= best_seq) continue;
-    auto rec = try_load(id);
-    if (!rec) continue;
+    // Side-effect free (unlike try_load, no migration): the oracle must
+    // read whatever format is on disk without changing it, or it could
+    // not serve as the bench's JSON re-parse baseline.
+    std::optional<ExperimentRecord> rec;
+    try {
+      const std::string bin = bin_path_for(id);
+      if (fs::exists(bin))
+        rec = load_experiment_record(bin);
+      else
+        rec = ExperimentRecord::from_json(util::Json::parse(util::read_file(json_path_for(id))));
+    } catch (const std::exception& e) {
+      HISTPC_LOG(Warn) << "quarantining unreadable store record " << id << ": " << e.what();
+      continue;
+    }
     if (!app.empty() && rec->app != app) continue;
     if (!version.empty() && rec->version != version) continue;
     best = std::move(rec);
@@ -129,7 +386,36 @@ std::optional<ExperimentRecord> ExperimentStore::latest(const std::string& app,
 }
 
 bool ExperimentStore::remove(const std::string& run_id) {
-  return fs::remove(path_for(run_id));
+  std::error_code ec;
+  const bool had_bin = fs::remove(bin_path_for(run_id), ec);
+  const bool had_json = fs::remove(json_path_for(run_id), ec);
+  if (!had_bin && !had_json) return false;
+  util::Json tomb = util::Json::object();
+  tomb["run_id"] = run_id;
+  tomb["removed"] = true;
+  append_index_line(tomb);
+  if (index_) {
+    index_->entries.erase(run_id);
+    index_->unloadable.erase(run_id);
+  }
+  return true;
+}
+
+std::size_t ExperimentStore::migrate_all() {
+  // Snapshot the JSON-only stems before touching the index: the heal pass
+  // inside index() migrates unindexed records as a side effect, and those
+  // must count toward this call's total.
+  std::set<std::string> pending;
+  for (const std::string& stem : record_stems())
+    if (!fs::exists(bin_path_for(stem)) && fs::exists(json_path_for(stem)))
+      pending.insert(stem);
+  index();  // adopt + index everything readable
+  std::size_t migrated = 0;
+  for (const std::string& stem : pending) {
+    if (!fs::exists(bin_path_for(stem))) try_load(stem);
+    if (fs::exists(bin_path_for(stem))) ++migrated;
+  }
+  return migrated;
 }
 
 }  // namespace histpc::history

@@ -1,10 +1,34 @@
-// ExperimentStore: a directory of experiment records, one JSON file per
-// diagnostic run. This is the persistent multi-execution performance-data
-// store the paper's infrastructure work (Karavanic & Miller, SC'97)
-// provides; here it is file-based and intentionally simple to inspect.
+// ExperimentStore: a directory of experiment records — the persistent
+// multi-execution performance-data store the paper's infrastructure work
+// (Karavanic & Miller, SC'97) provides, grown to fleet scale.
+//
+// Storage format. New records are written as binary columnar snapshots
+// (`<run_id>.histexp`, histpc-exp-bin-v1 — see exp_snapshot.h); legacy
+// `<run_id>.json` records remain a read-compatible slow path and are
+// transparently migrated (the binary file is written beside the JSON on
+// first successful load; the JSON is left untouched). When both files
+// exist the binary wins; a corrupt binary falls back to the JSON and is
+// rewritten from it.
+//
+// Index. Queries used to re-parse every record file; with thousands of
+// stored runs that made `latest()` the slowest call in the system. The
+// store now maintains an append-only JSONL index (`index-v1.jsonl` in the
+// store directory) holding one summary line per record — run_id, app,
+// version, machine, scenario, sequence number, ranks, duration, bottleneck
+// count — plus tombstone lines for removals. Queries fold the index once
+// per store instance and answer from memory, loading only the records they
+// return. The index is self-healing: entries whose files vanished are
+// dropped, record files missing from the index are parsed once and
+// appended (this is also how a legacy JSON directory is adopted), corrupt
+// index lines are skipped with a warning, and a deleted index is simply
+// rebuilt. An ExperimentStore instance snapshots the index at first use;
+// construct a fresh instance to observe records written by other
+// processes.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +45,33 @@ namespace histpc::history {
 /// splitting the id back apart.
 std::string escape_run_id_component(std::string_view component);
 
+/// Natural run-id ordering: ids that differ only in a trailing numeric
+/// sequence compare by that number ("run_9" < "run_10"), everything else
+/// lexicographically. The order list()/latest() use, so sequence 10 no
+/// longer sorts before 2.
+bool run_id_natural_less(std::string_view a, std::string_view b);
+
+/// One index line: everything a listing needs without loading the record.
+struct IndexEntry {
+  std::string run_id;
+  std::string app;
+  std::string version;
+  std::string machine;
+  std::string scenario;
+  long seq = 0;  ///< numeric run-id tail (0 for caller-chosen ids)
+  int nranks = 0;
+  double duration = 0.0;
+  std::size_t bottlenecks = 0;
+};
+
+/// Field filter for index queries; empty fields match everything.
+struct StoreQuery {
+  std::string app;
+  std::string version;
+  std::string machine;
+  std::string scenario;
+};
+
 class ExperimentStore {
  public:
   /// Opens (creating if needed) the store rooted at `directory`.
@@ -28,39 +79,88 @@ class ExperimentStore {
 
   const std::string& directory() const { return dir_; }
 
-  /// Persist a record; assigns run_id ("<app>_<version>_<n>") when empty.
-  /// Returns the assigned run id.
+  /// Persist a record as a binary snapshot; assigns run_id
+  /// ("<app>_<version>_<n>") when empty. Returns the assigned run id.
   std::string save(ExperimentRecord record);
 
   /// Load by run id; nullopt when absent. Strict: a file that exists but
-  /// cannot be parsed throws (util::JsonError / std::invalid_argument) —
-  /// the caller named this record explicitly and should hear about damage.
+  /// cannot be parsed throws (ExpSnapshotError for binary records,
+  /// util::JsonError for legacy JSON) — the caller named this record
+  /// explicitly and should hear about damage. Loading a JSON-only record
+  /// migrates it to binary as a side effect (best-effort).
   std::optional<ExperimentRecord> load(const std::string& run_id) const;
 
   /// Like load(), but quarantines instead of throwing: a corrupt,
   /// truncated, or foreign file logs one Warn line naming the path and
-  /// yields nullopt. Used by every flow that merely *discovers* records
-  /// (list / latest / CLI listings), so one damaged file cannot abort a
-  /// whole diagnosis.
+  /// yields nullopt (a corrupt binary with an intact legacy JSON falls
+  /// back and repairs the binary). Used by every flow that merely
+  /// *discovers* records (list / latest / CLI listings), so one damaged
+  /// file cannot abort a whole diagnosis.
   std::optional<ExperimentRecord> try_load(const std::string& run_id) const;
 
-  /// All run ids, sorted. With an app and/or version filter, records are
-  /// matched on their *stored* fields (unreadable files are skipped with a
-  /// warning); without a filter this is a pure directory listing.
+  /// All run ids, in natural order. With an app and/or version filter,
+  /// records are matched on their *stored* fields via the index
+  /// (unreadable files are skipped with a warning); without a filter this
+  /// is a pure directory listing (foreign files and all).
   std::vector<std::string> list(const std::string& app = "",
                                 const std::string& version = "") const;
 
-  /// Most recent record for (app, version), by run-id sequence. Skips
-  /// corrupt or foreign files (see try_load) rather than aborting.
+  /// Index summaries matching `query`, in natural run-id order. O(index):
+  /// no record files are opened. The CLI listing renders from this.
+  std::vector<IndexEntry> summaries(const StoreQuery& query = {}) const;
+
+  /// Most recent record matching the query, by run-id sequence (ties
+  /// break toward the naturally-larger run id). Answered from the index;
+  /// only the winning record is loaded. Skips corrupt files (see
+  /// try_load) rather than aborting.
+  std::optional<ExperimentRecord> latest(const StoreQuery& query) const;
   std::optional<ExperimentRecord> latest(const std::string& app,
                                          const std::string& version) const;
 
-  /// Remove one record; true if it existed.
+  /// Index-free latest(): re-parses every record file, exactly what the
+  /// store did before the index existed. Kept as the property-test oracle
+  /// for the indexed path and as the bench baseline. Side-effect free: it
+  /// never migrates legacy JSON records (so a JSON-only directory scans as
+  /// JSON every time).
+  std::optional<ExperimentRecord> scan_latest(const std::string& app,
+                                              const std::string& version) const;
+
+  /// Remove one record (binary and/or legacy JSON file); true if one
+  /// existed. Appends a tombstone to the index.
   bool remove(const std::string& run_id);
 
+  /// Force migration of every readable legacy JSON record to binary and
+  /// bring the index fully up to date. Returns the number of records
+  /// migrated (binary file newly written).
+  std::size_t migrate_all();
+
  private:
-  std::string path_for(const std::string& run_id) const;
+  struct IndexState {
+    std::map<std::string, IndexEntry> entries;  // keyed by run_id
+    /// Stems that failed to parse during this instance's heal pass;
+    /// remembered so one bad file warns once, not once per query.
+    std::set<std::string> unloadable;
+  };
+
+  std::string bin_path_for(const std::string& run_id) const;
+  std::string json_path_for(const std::string& run_id) const;
+  std::string index_path() const;
+  /// Record stems present in the directory (either extension, deduped).
+  std::set<std::string> record_stems() const;
+  /// Load-or-build the cached index (fold JSONL, drop stale entries, heal
+  /// unindexed stems, rewrite when compaction is due).
+  IndexState& index() const;
+  void append_index_line(const util::Json& line) const;
+  void rewrite_index(const IndexState& state) const;
+  /// Best-effort: write the binary snapshot for a JSON-loaded record and
+  /// index it. Never throws.
+  void migrate_to_binary(const ExperimentRecord& record) const;
+
   std::string dir_;
+  mutable std::optional<IndexState> index_;
 };
+
+/// Index summary of one record (shared by save and the heal pass).
+IndexEntry make_index_entry(const ExperimentRecord& record);
 
 }  // namespace histpc::history

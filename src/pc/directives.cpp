@@ -156,7 +156,10 @@ DirectiveSet DirectiveSet::parse(std::string_view text) {
       if (tokens.size() != 3) fail("threshold expects: threshold <hypothesis|*> <fraction>");
       double value = 0;
       try {
-        value = std::stod(tokens[2]);
+        // Require full consumption: "0.2;" is a typo, not 0.2.
+        std::size_t consumed = 0;
+        value = std::stod(tokens[2], &consumed);
+        if (consumed != tokens[2].size()) fail("bad threshold value '" + tokens[2] + "'");
       } catch (const std::exception&) {
         fail("bad threshold value '" + tokens[2] + "'");
       }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <system_error>
 #include <vector>
 
@@ -20,6 +22,22 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kSnapshotExtension = ".htb";
+
+/// Cache-file key header: magic + the full TraceKey, ahead of the
+/// snapshot bytes. Distinct from the snapshot's own magic so a raw
+/// snapshot dropped into the cache directory is recognized as unverified.
+constexpr char kKeyMagic[8] = {'H', 'P', 'C', 'C', 'K', 'F', '1', '\n'};
+constexpr std::size_t kKeyHeaderSize = sizeof(kKeyMagic) + 2 * sizeof(std::uint64_t);
+
+std::uint64_t read_le_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void append_le_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
 
 /// Incremental FNV-1a 64. Every value is folded in as canonical
 /// little-endian bytes, so the digest is platform-stable.
@@ -69,9 +87,12 @@ std::string temp_path_for(const std::string& path) {
 
 }  // namespace
 
-std::uint64_t trace_content_key(const SimProgram& program, const NetworkModel& net) {
+namespace {
+
+std::uint64_t hash_trace_inputs(const SimProgram& program, const NetworkModel& net,
+                                const char* seed) {
   Fnv1a h;
-  h.str("histpc-trace-key-v1");
+  h.str(seed);
 
   h.f64(net.latency);
   h.f64(net.bytes_per_second);
@@ -109,6 +130,17 @@ std::uint64_t trace_content_key(const SimProgram& program, const NetworkModel& n
   return h.digest();
 }
 
+}  // namespace
+
+TraceKey trace_content_key(const SimProgram& program, const NetworkModel& net) {
+  // Two independent digests of the same serialization: the primary keeps
+  // its pre-TraceKey seed so cache file names stay stable across the
+  // format change; the check digest uses a different seed, so agreeing on
+  // both by accident requires a 128-bit collision.
+  return {hash_trace_inputs(program, net, "histpc-trace-key-v1"),
+          hash_trace_inputs(program, net, "histpc-trace-check-v1")};
+}
+
 TraceCache::TraceCache(TraceCacheConfig config, telemetry::Registry* registry)
     : config_(std::move(config)), registry_(registry) {}
 
@@ -116,11 +148,11 @@ void TraceCache::count(const char* name) const {
   if (registry_) registry_->add(name, 1);
 }
 
-std::string TraceCache::path_for(std::uint64_t key) const {
-  return (fs::path(config_.directory) / (hex16(key) + kSnapshotExtension)).string();
+std::string TraceCache::path_for(const TraceKey& key) const {
+  return (fs::path(config_.directory) / (hex16(key.primary) + kSnapshotExtension)).string();
 }
 
-std::optional<ExecutionTrace> TraceCache::load(std::uint64_t key, TraceColumns* columns) const {
+std::optional<ExecutionTrace> TraceCache::load(const TraceKey& key, TraceColumns* columns) const {
   const std::string path = path_for(key);
   std::error_code ec;
   if (!fs::exists(path, ec)) {
@@ -128,7 +160,31 @@ std::optional<ExecutionTrace> TraceCache::load(std::uint64_t key, TraceColumns* 
     return std::nullopt;
   }
   try {
-    ExecutionTrace trace = load_trace_snapshot(path, columns);
+    // Verify the stored key material before decoding: the filename only
+    // carries 64 of the key's 128 bits, and files can be renamed or
+    // copied. A mismatch is a miss (the caller re-simulates and store()
+    // overwrites the file), not corruption — the snapshot may be a
+    // perfectly valid trace of some *other* configuration.
+    std::string header(kKeyHeaderSize, '\0');
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (!in.read(header.data(), static_cast<std::streamsize>(header.size())))
+        throw SnapshotError("snapshot shorter than its key header");
+    }
+    if (std::memcmp(header.data(), kKeyMagic, sizeof(kKeyMagic)) != 0)
+      throw SnapshotError("bad cache key header magic");
+    const auto* p = reinterpret_cast<const unsigned char*>(header.data() + sizeof(kKeyMagic));
+    const TraceKey stored{read_le_u64(p), read_le_u64(p + 8)};
+    if (!(stored == key)) {
+      count("trace_cache.key_mismatch");
+      count("trace_cache.miss");
+      HISTPC_LOG(Warn) << "trace cache key mismatch for " << path
+                       << " (stored " << hex16(stored.primary) << "/" << hex16(stored.check)
+                       << ", wanted " << hex16(key.primary) << "/" << hex16(key.check)
+                       << ") — treating as miss";
+      return std::nullopt;
+    }
+    ExecutionTrace trace = load_trace_snapshot(path, columns, kKeyHeaderSize);
     count("trace_cache.hit");
     // Touch for LRU; best-effort (a failed touch only skews eviction).
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
@@ -147,11 +203,15 @@ std::optional<ExecutionTrace> TraceCache::load(std::uint64_t key, TraceColumns* 
   }
 }
 
-void TraceCache::store(std::uint64_t key, const ExecutionTrace& trace) const {
+void TraceCache::store(const TraceKey& key, const ExecutionTrace& trace) const {
   const std::string path = path_for(key);
   try {
     fs::create_directories(config_.directory);
-    const std::string bytes = encode_trace_snapshot(trace);
+    std::string bytes;
+    bytes.append(kKeyMagic, sizeof(kKeyMagic));
+    append_le_u64(bytes, key.primary);
+    append_le_u64(bytes, key.check);
+    bytes += encode_trace_snapshot(trace);
     const std::string tmp = temp_path_for(path);
     util::write_file(tmp, bytes);
     fs::rename(tmp, path);

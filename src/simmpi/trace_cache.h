@@ -3,10 +3,13 @@
 // The simulator is deterministic: a given (recorded program, network
 // model) pair — the machine spec travels inside the program — always
 // produces the same ExecutionTrace. The cache exploits that by keying
-// snapshots on a stable FNV-1a hash of those inputs, so a session that
-// would re-simulate an already-seen configuration instead reloads the
-// trace at memory-bandwidth speed (the `session.trace_load` timer vs the
-// `session.simulate` one).
+// snapshots on a stable FNV-1a hash of those inputs (TraceKey), so a
+// session that would re-simulate an already-seen configuration instead
+// reloads the trace at memory-bandwidth speed (the `session.trace_load`
+// timer vs the `session.simulate` one). Each cache file carries the full
+// key material in a small header ("HPCCKF1\n" + primary + check digests)
+// that is re-verified on every hit, so a hit is served only for the exact
+// inputs that produced the snapshot.
 //
 // Robustness mirrors the experiment store's hardening rules:
 //  * writes are atomic (unique temp file in the cache directory, then
@@ -20,7 +23,8 @@
 //
 // When a telemetry::Registry is attached, the cache maintains the
 // `trace_cache.hit` / `trace_cache.miss` / `trace_cache.store` /
-// `trace_cache.evicted` / `trace_cache.quarantined` counters.
+// `trace_cache.evicted` / `trace_cache.quarantined` /
+// `trace_cache.key_mismatch` counters.
 #pragma once
 
 #include <cstdint>
@@ -34,12 +38,22 @@
 
 namespace histpc::simmpi {
 
-/// Stable 64-bit content hash of everything that determines a simulated
-/// trace: the network model, the machine spec, the function table, and
-/// every recorded op of every rank. FNV-1a over a canonical little-endian
-/// byte serialization — the same inputs hash identically across runs,
-/// platforms, and processes.
-std::uint64_t trace_content_key(const SimProgram& program, const NetworkModel& net);
+/// Content key of everything that determines a simulated trace: the
+/// network model, the machine spec, the function table, and every recorded
+/// op of every rank. Two independent FNV-1a digests over the same
+/// canonical little-endian serialization, differing only in seed: the
+/// primary digest addresses the cache file, and the check digest is stored
+/// inside it and re-verified on every hit, so a filename collision (or a
+/// hand-renamed file) is detected instead of silently serving the wrong
+/// trace. Same inputs hash identically across runs, platforms, processes.
+struct TraceKey {
+  std::uint64_t primary = 0;  ///< addresses the snapshot file
+  std::uint64_t check = 0;    ///< verified against the file header on load
+
+  bool operator==(const TraceKey&) const = default;
+};
+
+TraceKey trace_content_key(const SimProgram& program, const NetworkModel& net);
 
 struct TraceCacheConfig {
   std::string directory;
@@ -53,18 +67,23 @@ class TraceCache {
 
   const TraceCacheConfig& config() const { return config_; }
 
-  /// Snapshot path for `key`: "<dir>/<016x key>.htb".
-  std::string path_for(std::uint64_t key) const;
+  /// Snapshot path for `key`: "<dir>/<016x key.primary>.htb".
+  std::string path_for(const TraceKey& key) const;
 
   /// Load the snapshot for `key`. Returns the trace (and fills `columns`
   /// when non-null) on a hit; nullopt on a miss or after quarantining a
-  /// file that failed validation. Never throws on corrupt input.
-  std::optional<ExecutionTrace> load(std::uint64_t key, TraceColumns* columns = nullptr) const;
+  /// file that failed validation. A file whose stored key material does
+  /// not match `key` (filename collision, renamed or pre-key-header
+  /// legacy file) counts as a miss with a warning and bumps
+  /// `trace_cache.key_mismatch`; the file is left for store() to
+  /// overwrite. Never throws on corrupt input.
+  std::optional<ExecutionTrace> load(const TraceKey& key, TraceColumns* columns = nullptr) const;
 
-  /// Store a snapshot for `key` (atomic write-then-rename), then enforce
-  /// the byte cap. Failures are logged and swallowed: the cache is an
-  /// optimization, never a reason to fail a diagnosis.
-  void store(std::uint64_t key, const ExecutionTrace& trace) const;
+  /// Store a snapshot for `key` (atomic write-then-rename) with the full
+  /// key material in the file header, then enforce the byte cap. Failures
+  /// are logged and swallowed: the cache is an optimization, never a
+  /// reason to fail a diagnosis.
+  void store(const TraceKey& key, const ExecutionTrace& trace) const;
 
  private:
   void count(const char* name) const;

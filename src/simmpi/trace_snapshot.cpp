@@ -1,10 +1,7 @@
 #include "simmpi/trace_snapshot.h"
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cmath>
-#include <cstring>
 #include <limits>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -14,7 +11,8 @@
 #include <unistd.h>
 #endif
 
-#include "util/cpu_features.h"
+#include "util/binio.h"
+#include "util/crc32c.h"
 #include "util/json.h"  // read_file / write_file
 
 namespace histpc::simmpi {
@@ -24,262 +22,16 @@ namespace {
 constexpr std::size_t kHeaderSize = 12;  // magic (8) + version (4)
 constexpr std::size_t kTrailerSize = 4;  // CRC32
 
-// The payload checksum is CRC-32C (Castagnoli, reflected polynomial
-// 0x82F63B78) rather than the zip/png CRC-32: it has a hardware
-// instruction on x86-64 (SSE4.2), and the checksum pass over a
-// multi-megabyte snapshot would otherwise dominate the warm-load path the
-// trace cache exists to make cheap.
-
-std::uint32_t crc32c_sw(const char* p, std::size_t n, std::uint32_t crc) {
-  // Slice-by-8 software fallback (~1 ns/byte vs ~3 ns/byte for the naive
-  // byte-at-a-time loop).
-  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
-    std::array<std::array<std::uint32_t, 256>, 8> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
-      t[0][i] = c;
-    }
-    for (std::uint32_t i = 0; i < 256; ++i)
-      for (int s = 1; s < 8; ++s) t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
-    return t;
-  }();
-  while (n >= 8) {
-    std::uint32_t lo;
-    std::uint32_t hi;
-    std::memcpy(&lo, p, 4);
-    std::memcpy(&hi, p + 4, 4);
-    if constexpr (std::endian::native != std::endian::little) {
-      // The slicing tables assume little-endian word loads.
-      auto bswap = [](std::uint32_t v) {
-        return (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) | (v << 24);
-      };
-      lo = bswap(lo);
-      hi = bswap(hi);
-    }
-    lo ^= crc;
-    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
-          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^ tables[3][hi & 0xFFu] ^
-          tables[2][(hi >> 8) & 0xFFu] ^ tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
-    p += 8;
-    n -= 8;
-  }
-  for (; n > 0; ++p, --n)
-    crc = tables[0][(crc ^ static_cast<unsigned char>(*p)) & 0xFFu] ^ (crc >> 8);
-  return crc;
-}
-
-#if defined(HISTPC_ENABLE_SIMD) && defined(__x86_64__) && \
-    (defined(__GNUC__) || defined(__clang__))
-#define HISTPC_HAVE_HW_CRC32C 1
-
-// CRC is linear over GF(2): appending `len` zero bytes to a message maps
-// its CRC through a fixed 32x32 bit matrix, so crc(A||B) =
-// shift_len(B)(crc(A)) ^ crc0(B). We precompute that operator for one
-// fixed block size as four 256-entry tables (Adler's matrix-squaring
-// trick from zlib's crc32_combine) and use it to merge independent lanes.
-struct CrcShift {
-  std::uint32_t t[4][256];
-};
-
-std::uint32_t gf2_times(const std::uint32_t* mat, std::uint32_t vec) {
-  std::uint32_t sum = 0;
-  while (vec) {
-    if (vec & 1u) sum ^= *mat;
-    vec >>= 1;
-    ++mat;
-  }
-  return sum;
-}
-
-CrcShift make_crc_shift(std::size_t zero_bytes) {
-  // Operator for one zero bit of a reflected CRC: bit 0 folds the
-  // polynomial in, every other bit shifts down by one.
-  std::uint32_t a[32], b[32];
-  a[0] = 0x82F63B78u;
-  for (int i = 1; i < 32; ++i) a[i] = 1u << (i - 1);
-  std::uint32_t* cur = a;
-  std::uint32_t* nxt = b;
-  for (std::size_t bits = 1; bits < 8 * zero_bytes; bits <<= 1) {
-    for (int i = 0; i < 32; ++i) nxt[i] = gf2_times(cur, cur[i]);  // square
-    std::swap(cur, nxt);
-  }
-  CrcShift s;
-  for (int k = 0; k < 4; ++k)
-    for (std::uint32_t i = 0; i < 256; ++i) s.t[k][i] = gf2_times(cur, i << (8 * k));
-  return s;
-}
-
-std::uint32_t apply_crc_shift(const CrcShift& s, std::uint32_t crc) {
-  return s.t[0][crc & 0xFFu] ^ s.t[1][(crc >> 8) & 0xFFu] ^ s.t[2][(crc >> 16) & 0xFFu] ^
-         s.t[3][crc >> 24];
-}
-
-__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const char* p, std::size_t n,
-                                                          std::uint32_t crc) {
-  // The crc32 instruction has multi-cycle latency but single-cycle
-  // throughput, so one dependency chain runs at a third of peak; run
-  // three independent lanes per block and merge them with the
-  // precomputed shift operator.
-  constexpr std::size_t kLane = 1024;
-  static const CrcShift shift_lane = make_crc_shift(kLane);
-  std::uint64_t c0 = crc;
-  while (n >= 3 * kLane) {
-    std::uint64_t c1 = 0, c2 = 0;
-    const char* p1 = p + kLane;
-    const char* p2 = p + 2 * kLane;
-    for (std::size_t i = 0; i < kLane; i += 8) {
-      std::uint64_t v0, v1, v2;
-      std::memcpy(&v0, p + i, 8);
-      std::memcpy(&v1, p1 + i, 8);
-      std::memcpy(&v2, p2 + i, 8);
-      c0 = __builtin_ia32_crc32di(c0, v0);
-      c1 = __builtin_ia32_crc32di(c1, v1);
-      c2 = __builtin_ia32_crc32di(c2, v2);
-    }
-    c0 = apply_crc_shift(shift_lane, static_cast<std::uint32_t>(c0)) ^ c1;
-    c0 = apply_crc_shift(shift_lane, static_cast<std::uint32_t>(c0)) ^ c2;
-    p += 3 * kLane;
-    n -= 3 * kLane;
-  }
-  while (n >= 8) {
-    std::uint64_t v;
-    std::memcpy(&v, p, 8);
-    c0 = __builtin_ia32_crc32di(c0, v);
-    p += 8;
-    n -= 8;
-  }
-  while (n--)
-    c0 = __builtin_ia32_crc32qi(static_cast<std::uint32_t>(c0),
-                                static_cast<unsigned char>(*p++));
-  return static_cast<std::uint32_t>(c0);
-}
-#endif
-
-std::uint32_t crc32c(std::string_view bytes) {
-#ifdef HISTPC_HAVE_HW_CRC32C
-  // Shared runtime dispatch (util/cpu_features): the same probe the metric
-  // kernels use, so HISTPC_NO_SIMD / HISTPC_SIMD also steer the CRC path.
-  static const bool hw = util::cpu_features().selected >= util::SimdLevel::Sse42;
-  if (hw) return crc32c_hw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
-#endif
-  return crc32c_sw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
-}
-
-// --- writer -------------------------------------------------------------
-
-[[maybe_unused]] void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-
-void put_u32(std::string& out, std::uint32_t v) {
-  char b[4];
-  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
-  out.append(b, 4);
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  char b[8];
-  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
-  out.append(b, 8);
-}
-
-void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
-
-void put_str(std::string& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
-
-/// Append a whole column. On little-endian targets the element bytes are
-/// already in wire order, so the column is one memcpy-style append.
-template <typename T>
-void put_column(std::string& out, const std::vector<T>& col) {
-  if (col.empty()) return;  // data() of an empty vector may be null
-  if constexpr (std::endian::native == std::endian::little) {
-    out.append(reinterpret_cast<const char*>(col.data()), col.size() * sizeof(T));
-  } else {
-    for (const T& v : col) {
-      if constexpr (sizeof(T) == 8)
-        put_u64(out, std::bit_cast<std::uint64_t>(v));
-      else if constexpr (sizeof(T) == 4)
-        put_u32(out, std::bit_cast<std::uint32_t>(v));
-      else
-        put_u8(out, std::bit_cast<std::uint8_t>(v));
-    }
-  }
-}
-
-// --- reader -------------------------------------------------------------
-
-struct Cursor {
-  const char* data;
-  std::size_t size;
-  std::size_t off = 0;
-
-  /// Throws SnapshotError naming `what` if fewer than `n` bytes remain.
-  void need(std::size_t n, const char* what) const {
-    if (n > size - off)
-      throw SnapshotError("snapshot truncated reading " + std::string(what) + " at offset " +
-                          std::to_string(off));
-  }
-
-  std::uint8_t u8(const char* what) {
-    need(1, what);
-    return static_cast<std::uint8_t>(data[off++]);
-  }
-
-  std::uint32_t u32(const char* what) {
-    need(4, what);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[off + i])) << (8 * i);
-    off += 4;
-    return v;
-  }
-
-  std::uint64_t u64(const char* what) {
-    need(8, what);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[off + i])) << (8 * i);
-    off += 8;
-    return v;
-  }
-
-  std::int32_t i32(const char* what) { return static_cast<std::int32_t>(u32(what)); }
-  double f64(const char* what) { return std::bit_cast<double>(u64(what)); }
-
-  std::string str(const char* what) {
-    const std::uint32_t n = u32(what);
-    need(n, what);
-    std::string s(data + off, n);
-    off += n;
-    return s;
-  }
-
-  /// Read `n` elements into `col`. The element count was produced by a
-  /// length field, so the remaining-bytes check also bounds the allocation.
-  template <typename T>
-  void column(std::vector<T>& col, std::size_t n, const char* what) {
-    need(n * sizeof(T), what);
-    col.resize(n);
-    if (n == 0) return;  // data() of an empty vector may be null
-    if constexpr (std::endian::native == std::endian::little) {
-      std::memcpy(col.data(), data + off, n * sizeof(T));
-      off += n * sizeof(T);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        if constexpr (sizeof(T) == 8)
-          col[i] = std::bit_cast<T>(u64(what));
-        else if constexpr (sizeof(T) == 4)
-          col[i] = std::bit_cast<T>(u32(what));
-        else
-          col[i] = std::bit_cast<T>(u8(what));
-      }
-    }
-  }
-};
+// Wire helpers and the CRC live in util (binio.h / crc32c.h), shared with
+// the experiment-record codec; the cursor is instantiated with this
+// format's error type so malformed input keeps throwing SnapshotError.
+using util::crc32c;
+using util::binio::put_column;
+using util::binio::put_f64;
+using util::binio::put_str;
+using util::binio::put_u32;
+using util::binio::put_u64;
+using Cursor = util::binio::Cursor<SnapshotError>;
 
 }  // namespace
 
@@ -452,7 +204,8 @@ void save_trace_snapshot(const ExecutionTrace& trace, const std::string& path) {
   util::write_file(path, encode_trace_snapshot(trace));
 }
 
-ExecutionTrace load_trace_snapshot(const std::string& path, TraceColumns* columns) {
+ExecutionTrace load_trace_snapshot(const std::string& path, TraceColumns* columns,
+                                   std::size_t offset) {
 #if defined(__unix__) || defined(__APPLE__)
   // Decode straight out of the page cache: copying a multi-megabyte
   // snapshot into a string first costs a third of the warm-load budget.
@@ -470,12 +223,16 @@ ExecutionTrace load_trace_snapshot(const std::string& path, TraceColumns* column
         std::size_t n;
         ~Unmap() { ::munmap(p, n); }
       } guard{map, static_cast<std::size_t>(st.st_size)};
+      if (guard.n < offset) throw SnapshotError("snapshot shorter than its header");
       return decode_trace_snapshot(
-          std::string_view(static_cast<const char*>(map), guard.n), columns);
+          std::string_view(static_cast<const char*>(map) + offset, guard.n - offset),
+          columns);
     }
   }
 #endif
-  return decode_trace_snapshot(util::read_file(path), columns);
+  const std::string data = util::read_file(path);
+  if (data.size() < offset) throw SnapshotError("snapshot shorter than its header");
+  return decode_trace_snapshot(std::string_view(data).substr(offset), columns);
 }
 
 }  // namespace histpc::simmpi

@@ -56,8 +56,11 @@ std::string encode_trace_snapshot(const ExecutionTrace& trace);
 /// decoded SoA interval columns (same data as the returned trace).
 ExecutionTrace decode_trace_snapshot(std::string_view bytes, TraceColumns* columns = nullptr);
 
-/// File convenience wrappers (atomic write, like the JSON ones).
+/// File convenience wrappers (atomic write, like the JSON ones). `offset`
+/// skips a caller-owned prefix (e.g. the trace cache's key header) before
+/// decoding; a file shorter than the offset is a SnapshotError.
 void save_trace_snapshot(const ExecutionTrace& trace, const std::string& path);
-ExecutionTrace load_trace_snapshot(const std::string& path, TraceColumns* columns = nullptr);
+ExecutionTrace load_trace_snapshot(const std::string& path, TraceColumns* columns = nullptr,
+                                   std::size_t offset = 0);
 
 }  // namespace histpc::simmpi

@@ -1,0 +1,139 @@
+// Little-endian binary wire helpers shared by HistPC's versioned columnar
+// formats (trace snapshots, experiment records).
+//
+// Writers append to a std::string: fixed-width integers and doubles in
+// little-endian byte order, strings length-prefixed (u32 byte count, then
+// bytes, no terminator), and whole SoA columns as one memcpy-style append
+// on little-endian targets.
+//
+// The reader is a bounds-checked cursor templated on the error type, so
+// each format keeps throwing its own exception class (SnapshotError,
+// ExpSnapshotError, ...) with messages that name the offending field and
+// offset.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace histpc::util::binio {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  out.append(b, 4);
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  out.append(b, 8);
+}
+
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Append a whole column. On little-endian targets the element bytes are
+/// already in wire order, so the column is one memcpy-style append.
+template <typename T>
+void put_column(std::string& out, const std::vector<T>& col) {
+  if (col.empty()) return;  // data() of an empty vector may be null
+  if constexpr (std::endian::native == std::endian::little) {
+    out.append(reinterpret_cast<const char*>(col.data()), col.size() * sizeof(T));
+  } else {
+    for (const T& v : col) {
+      if constexpr (sizeof(T) == 8)
+        put_u64(out, std::bit_cast<std::uint64_t>(v));
+      else if constexpr (sizeof(T) == 4)
+        put_u32(out, std::bit_cast<std::uint32_t>(v));
+      else
+        put_u8(out, std::bit_cast<std::uint8_t>(v));
+    }
+  }
+}
+
+/// Bounds-checked little-endian reader. `Error` is the exception type the
+/// owning format throws (must be constructible from std::string).
+template <typename Error>
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t off = 0;
+
+  /// Throws `Error` naming `what` if fewer than `n` bytes remain.
+  void need(std::size_t n, const char* what) const {
+    if (n > size - off)
+      throw Error("snapshot truncated reading " + std::string(what) + " at offset " +
+                  std::to_string(off));
+  }
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data[off++]);
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[off + i])) << (8 * i);
+    off += 4;
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[off + i])) << (8 * i);
+    off += 8;
+    return v;
+  }
+
+  std::int32_t i32(const char* what) { return static_cast<std::int32_t>(u32(what)); }
+  double f64(const char* what) { return std::bit_cast<double>(u64(what)); }
+
+  std::string str(const char* what) {
+    const std::uint32_t n = u32(what);
+    need(n, what);
+    std::string s(data + off, n);
+    off += n;
+    return s;
+  }
+
+  /// Read `n` elements into `col`. The element count was produced by a
+  /// length field, so the remaining-bytes check also bounds the allocation.
+  template <typename T>
+  void column(std::vector<T>& col, std::size_t n, const char* what) {
+    need(n * sizeof(T), what);
+    col.resize(n);
+    if (n == 0) return;  // data() of an empty vector may be null
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(col.data(), data + off, n * sizeof(T));
+      off += n * sizeof(T);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if constexpr (sizeof(T) == 8)
+          col[i] = std::bit_cast<T>(u64(what));
+        else if constexpr (sizeof(T) == 4)
+          col[i] = std::bit_cast<T>(u32(what));
+        else
+          col[i] = std::bit_cast<T>(u8(what));
+      }
+    }
+  }
+};
+
+}  // namespace histpc::util::binio

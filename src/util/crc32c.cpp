@@ -1,0 +1,152 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "util/cpu_features.h"
+
+namespace histpc::util {
+
+namespace {
+
+std::uint32_t crc32c_sw(const char* p, std::size_t n, std::uint32_t crc) {
+  // Slice-by-8 software fallback (~1 ns/byte vs ~3 ns/byte for the naive
+  // byte-at-a-time loop).
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (int s = 1; s < 8; ++s) t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+    return t;
+  }();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    if constexpr (std::endian::native != std::endian::little) {
+      // The slicing tables assume little-endian word loads.
+      auto bswap = [](std::uint32_t v) {
+        return (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) | (v << 24);
+      };
+      lo = bswap(lo);
+      hi = bswap(hi);
+    }
+    lo ^= crc;
+    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^ tables[3][hi & 0xFFu] ^
+          tables[2][(hi >> 8) & 0xFFu] ^ tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n)
+    crc = tables[0][(crc ^ static_cast<unsigned char>(*p)) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+#if defined(HISTPC_ENABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define HISTPC_HAVE_HW_CRC32C 1
+
+// CRC is linear over GF(2): appending `len` zero bytes to a message maps
+// its CRC through a fixed 32x32 bit matrix, so crc(A||B) =
+// shift_len(B)(crc(A)) ^ crc0(B). We precompute that operator for one
+// fixed block size as four 256-entry tables (Adler's matrix-squaring
+// trick from zlib's crc32_combine) and use it to merge independent lanes.
+struct CrcShift {
+  std::uint32_t t[4][256];
+};
+
+std::uint32_t gf2_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+CrcShift make_crc_shift(std::size_t zero_bytes) {
+  // Operator for one zero bit of a reflected CRC: bit 0 folds the
+  // polynomial in, every other bit shifts down by one.
+  std::uint32_t a[32], b[32];
+  a[0] = 0x82F63B78u;
+  for (int i = 1; i < 32; ++i) a[i] = 1u << (i - 1);
+  std::uint32_t* cur = a;
+  std::uint32_t* nxt = b;
+  for (std::size_t bits = 1; bits < 8 * zero_bytes; bits <<= 1) {
+    for (int i = 0; i < 32; ++i) nxt[i] = gf2_times(cur, cur[i]);  // square
+    std::swap(cur, nxt);
+  }
+  CrcShift s;
+  for (int k = 0; k < 4; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i) s.t[k][i] = gf2_times(cur, i << (8 * k));
+  return s;
+}
+
+std::uint32_t apply_crc_shift(const CrcShift& s, std::uint32_t crc) {
+  return s.t[0][crc & 0xFFu] ^ s.t[1][(crc >> 8) & 0xFFu] ^ s.t[2][(crc >> 16) & 0xFFu] ^
+         s.t[3][crc >> 24];
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const char* p, std::size_t n,
+                                                          std::uint32_t crc) {
+  // The crc32 instruction has multi-cycle latency but single-cycle
+  // throughput, so one dependency chain runs at a third of peak; run
+  // three independent lanes per block and merge them with the
+  // precomputed shift operator.
+  constexpr std::size_t kLane = 1024;
+  static const CrcShift shift_lane = make_crc_shift(kLane);
+  std::uint64_t c0 = crc;
+  while (n >= 3 * kLane) {
+    std::uint64_t c1 = 0, c2 = 0;
+    const char* p1 = p + kLane;
+    const char* p2 = p + 2 * kLane;
+    for (std::size_t i = 0; i < kLane; i += 8) {
+      std::uint64_t v0, v1, v2;
+      std::memcpy(&v0, p + i, 8);
+      std::memcpy(&v1, p1 + i, 8);
+      std::memcpy(&v2, p2 + i, 8);
+      c0 = __builtin_ia32_crc32di(c0, v0);
+      c1 = __builtin_ia32_crc32di(c1, v1);
+      c2 = __builtin_ia32_crc32di(c2, v2);
+    }
+    c0 = apply_crc_shift(shift_lane, static_cast<std::uint32_t>(c0)) ^ c1;
+    c0 = apply_crc_shift(shift_lane, static_cast<std::uint32_t>(c0)) ^ c2;
+    p += 3 * kLane;
+    n -= 3 * kLane;
+  }
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c0 = __builtin_ia32_crc32di(c0, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n--)
+    c0 = __builtin_ia32_crc32qi(static_cast<std::uint32_t>(c0),
+                                static_cast<unsigned char>(*p++));
+  return static_cast<std::uint32_t>(c0);
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view bytes) {
+#ifdef HISTPC_HAVE_HW_CRC32C
+  // Shared runtime dispatch (util/cpu_features): the same probe the metric
+  // kernels use, so HISTPC_NO_SIMD / HISTPC_SIMD also steer the CRC path.
+  static const bool hw = cpu_features().selected >= SimdLevel::Sse42;
+  if (hw) return crc32c_hw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
+#endif
+  return crc32c_sw(bytes.data(), bytes.size(), 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace histpc::util

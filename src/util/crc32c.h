@@ -1,0 +1,19 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78).
+//
+// The checksum every versioned binary format in HistPC trails its payload
+// with (trace snapshots, experiment records): it has a hardware instruction
+// on x86-64 (SSE4.2), and the checksum pass over a multi-megabyte snapshot
+// would otherwise dominate the warm-load path the caches exist to make
+// cheap. Dispatch is runtime via util::cpu_features(), so HISTPC_NO_SIMD /
+// HISTPC_SIMD steer this path too; the software fallback is slice-by-8.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace histpc::util {
+
+/// CRC-32C of `bytes` (initial value 0xFFFFFFFF, final xor-out).
+std::uint32_t crc32c(std::string_view bytes);
+
+}  // namespace histpc::util

@@ -6,6 +6,7 @@
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "history/store.h"
 #include "telemetry/event.h"
 #include "telemetry/perf_record.h"
 #include "util/json.h"
@@ -38,6 +39,18 @@ TEST(Args, ErrorsAreSpecific) {
   EXPECT_THROW(args.option_or("duration", 0.0), ArgsError);
   EXPECT_THROW(args.option_or("duration", 0), ArgsError);
   EXPECT_THROW(args.positional(5, "thing"), ArgsError);
+}
+
+TEST(Args, RejectsTrailingGarbageInNumbers) {
+  // "8x" silently parsed as 8 once; strict parsing must reject anything
+  // short of a full numeric token.
+  Args args = Args::parse({"--duration", "300x", "--window", "5x", "--bins", "1e2"},
+                          {"duration", "window", "bins"}, {});
+  EXPECT_THROW(args.option_or("duration", 0.0), ArgsError);
+  EXPECT_THROW(args.option_or("window", 0), ArgsError);
+  // "1e2" is a fine double but not an integer.
+  EXPECT_DOUBLE_EQ(args.option_or("bins", 0.0), 100.0);
+  EXPECT_THROW(args.option_or("bins", 0), ArgsError);
 }
 
 // --------------------------------------------------------------- commands
@@ -270,6 +283,67 @@ TEST_F(CliTest, HarvestMultipleRunsAndCombine) {
                ArgsError);
 }
 
+TEST_F(CliTest, HarvestWeightedAndSimilarTo) {
+  for (int i = 0; i < 3; ++i)
+    run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+
+  const std::string weighted =
+      run("harvest", {"poisson_C_1", "poisson_C_2", "poisson_C_3", "--store", store_dir_,
+                      "--combine", "weighted", "--half-life", "2"});
+  EXPECT_NE(weighted.find("priority "), std::string::npos);
+
+  // --similar-to pulls in stored runs automatically and reports each pick.
+  const std::string similar =
+      run("harvest", {"--store", store_dir_, "--similar-to", "poisson_C_3", "--combine",
+                      "weighted", "--max-runs", "2"});
+  EXPECT_NE(similar.find("# similar run poisson_C_1"), std::string::npos);
+  EXPECT_NE(similar.find("# similar run poisson_C_2"), std::string::npos);
+  EXPECT_EQ(similar.find("# similar run poisson_C_3"), std::string::npos);  // the reference
+
+  std::ostringstream sink;
+  EXPECT_THROW(run_command("harvest", {"--store", store_dir_, "--similar-to", "poisson_C_3",
+                                       "--min-similarity", "1.5x"},
+                           sink),
+               ArgsError);
+}
+
+TEST_F(CliTest, MigrateConvertsLegacyJsonStore) {
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+  // Demote the record to a legacy JSON-only store.
+  const std::string json = store_dir_ + "/legacy_C_1.json";
+  auto record = history::ExperimentStore(store_dir_).load("poisson_C_1");
+  ASSERT_TRUE(record.has_value());
+  record->run_id = "legacy_C_1";
+  util::write_file(json, record->to_json().dump(2));
+
+  const std::string out = run("migrate", {"--store", store_dir_});
+  EXPECT_NE(out.find("migrated 1 legacy JSON record(s)"), std::string::npos);
+  EXPECT_TRUE(fs::exists(store_dir_ + "/legacy_C_1.histexp"));
+
+  const std::string again = run("migrate", {"--store", store_dir_});
+  EXPECT_NE(again.find("migrated 0"), std::string::npos);
+}
+
+TEST_F(CliTest, ListFiltersByStoredFields) {
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C",
+              "--scenario", "strong"});
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "D",
+              "--scenario", "weak"});
+
+  const std::string all = run("list", {"--store", store_dir_});
+  EXPECT_NE(all.find("poisson_C_1"), std::string::npos);
+  EXPECT_NE(all.find("poisson_D_1"), std::string::npos);
+  EXPECT_NE(all.find("strong"), std::string::npos);
+
+  const std::string weak_only =
+      run("list", {"--store", store_dir_, "--scenario", "weak"});
+  EXPECT_EQ(weak_only.find("poisson_C_1"), std::string::npos);
+  EXPECT_NE(weak_only.find("poisson_D_1"), std::string::npos);
+
+  const std::string none = run("list", {"--store", store_dir_, "--version", "Z"});
+  EXPECT_NE(none.find("(no records)"), std::string::npos);
+}
+
 TEST_F(CliTest, ReportBinsRendersHistogram) {
   const std::string out = run("report", {"seismic", "--duration", "120", "--bins", "20"});
   EXPECT_NE(out.find("time histogram (20 bins"), std::string::npos);
@@ -495,11 +569,34 @@ TEST_F(CliTest, PerfDiffWithoutHistoryExitsTwo) {
   EXPECT_EQ(run_command("perf-report", {"--log", store_dir_ + "/nope.jsonl"}, out3), 2);
 }
 
+TEST_F(CliTest, PerfDiffWindowZeroIsNothingToCompare) {
+  fs::create_directories(store_dir_);
+  const std::string log_path = store_dir_ + "/perf.jsonl";
+  telemetry::PerfRecord rec;
+  rec.app = "synthetic";
+  rec.registry.add_seconds("t", 1e-3);
+  telemetry::PerfLog log(log_path);
+  log.append(rec);
+  log.append(rec);
+
+  // --window 0 selects no baseline records: exit 2, never "all clear" (the
+  // old behaviour clamped 0 to 1 and reported a healthy diff).
+  std::ostringstream out;
+  EXPECT_EQ(run_command("perf-diff", {"--log", log_path, "--window", "0"}, out), 2);
+  EXPECT_NE(out.str().find("nothing to compare"), std::string::npos);
+
+  std::ostringstream sink;
+  EXPECT_THROW(run_command("perf-diff", {"--log", log_path, "--window", "-1"}, sink),
+               ArgsError);
+  EXPECT_THROW(run_command("perf-diff", {"--log", log_path, "--window", "5x"}, sink),
+               ArgsError);
+}
+
 TEST(CliUsage, MentionsEveryCommand) {
   const std::string u = usage();
   for (const char* cmd :
        {"apps", "report", "run", "list", "show", "harvest", "map", "diff", "diagnose-trace",
-        "trace-report", "perf-report", "perf-diff"})
+        "trace-report", "perf-report", "perf-diff", "migrate"})
     EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
 }
 

@@ -6,6 +6,7 @@
 #include "history/combiner.h"
 #include "history/compare.h"
 #include "history/execution_map.h"
+#include "history/exp_snapshot.h"
 #include "history/experiment.h"
 #include "history/generator.h"
 #include "history/mapper.h"
@@ -140,8 +141,12 @@ TEST_F(StoreTest, SaveAfterRemovalNeverReusesIds) {
 TEST_F(StoreTest, CorruptedRecordThrowsOnLoad) {
   ExperimentStore store(dir_);
   const std::string id = store.save(sample_record());
-  util::write_file(dir_ + "/" + id + ".json", "{not json");
-  EXPECT_THROW(store.load(id), util::JsonError);
+  util::write_file(dir_ + "/" + id + ".histexp", "HPCEXB1\nnot a snapshot");
+  EXPECT_THROW(store.load(id), ExpSnapshotError);
+  // Legacy JSON records fail just as loudly.
+  const std::string json_id = "poisson_A_7";
+  util::write_file(dir_ + "/" + json_id + ".json", "{not json");
+  EXPECT_THROW(store.load(json_id), util::JsonError);
 }
 
 TEST_F(StoreTest, TruncatedRecordIsQuarantinedByLatest) {
@@ -149,7 +154,7 @@ TEST_F(StoreTest, TruncatedRecordIsQuarantinedByLatest) {
   store.save(sample_record());                          // poisson_A_1
   const std::string id2 = store.save(sample_record());  // poisson_A_2
   // Simulate a crash mid-write: chop the newest record in half.
-  const std::string path = dir_ + "/" + id2 + ".json";
+  const std::string path = dir_ + "/" + id2 + ".histexp";
   const std::string full = util::read_file(path);
   util::write_file(path, full.substr(0, full.size() / 2));
 
@@ -166,7 +171,7 @@ TEST_F(StoreTest, TruncatedRecordIsQuarantinedByLatest) {
   ASSERT_FALSE(warnings.empty());
   EXPECT_NE(warnings[0].find(path), std::string::npos) << warnings[0];
   // Naming the damaged record explicitly still fails loudly.
-  EXPECT_THROW(store.load(id2), util::JsonError);
+  EXPECT_THROW(store.load(id2), ExpSnapshotError);
 }
 
 TEST_F(StoreTest, ForeignFilesAreSkippedNotAssociated) {

@@ -261,7 +261,7 @@ TEST(TraceCacheTest, MissThenStoreThenHit) {
   telemetry::Registry reg;
   const TraceCache cache({temp_dir("miss_store_hit"), 64 << 20}, &reg);
   const ExecutionTrace t = golden_trace();
-  const std::uint64_t key = 42;
+  const simmpi::TraceKey key{42, 43};
 
   EXPECT_FALSE(cache.load(key).has_value());
   EXPECT_EQ(reg.counter("trace_cache.miss"), 1u);
@@ -282,7 +282,7 @@ TEST(TraceCacheTest, ContentKeyIsStableAndSensitive) {
   p.target_duration = 150.0;
   const simmpi::SimProgram program = apps::build_app("poisson_c", p);
   const simmpi::NetworkModel net = apps::network_for("poisson_c");
-  const std::uint64_t key = simmpi::trace_content_key(program, net);
+  const simmpi::TraceKey key = simmpi::trace_content_key(program, net);
   EXPECT_EQ(key, simmpi::trace_content_key(program, net));  // deterministic
 
   apps::AppParams longer = p;
@@ -297,7 +297,7 @@ TEST(TraceCacheTest, QuarantinesCorruptSnapshotAndRecovers) {
   telemetry::Registry reg;
   const std::string dir = temp_dir("quarantine");
   const TraceCache cache({dir, 64 << 20}, &reg);
-  const std::uint64_t key = 7;
+  const simmpi::TraceKey key{7, 8};
   cache.store(key, golden_trace());
 
   // Corrupt the stored snapshot in place.
@@ -323,6 +323,41 @@ TEST(TraceCacheTest, QuarantinesCorruptSnapshotAndRecovers) {
   EXPECT_TRUE(cache.load(key).has_value());
 }
 
+TEST(TraceCacheTest, KeyMismatchIsAMissNotAHit) {
+  telemetry::Registry reg;
+  const std::string dir = temp_dir("key_mismatch");
+  const TraceCache cache({dir, 64 << 20}, &reg);
+  const ExecutionTrace t = golden_trace();
+  cache.store({5, 500}, t);
+
+  // Same filename (primary digest), different check digest — a filename
+  // collision or a renamed file. Must not serve the stored trace.
+  std::vector<std::string> warnings;
+  util::set_log_sink([&](util::LogLevel level, const std::string& line) {
+    if (level == util::LogLevel::Warn) warnings.push_back(line);
+  });
+  EXPECT_FALSE(cache.load({5, 501}).has_value());
+  util::set_log_sink({});
+  EXPECT_EQ(reg.counter("trace_cache.key_mismatch"), 1u);
+  EXPECT_EQ(reg.counter("trace_cache.miss"), 1u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("key mismatch"), std::string::npos);
+  // The file survives the mismatch: the slot's true owner still hits.
+  EXPECT_TRUE(cache.load({5, 500}).has_value());
+  EXPECT_EQ(reg.counter("trace_cache.hit"), 1u);
+
+  // A raw snapshot without the key header (pre-TraceKey cache file) cannot
+  // be verified; it is quarantined like any other unvalidatable file.
+  cache.store({6, 600}, t);
+  util::write_file(cache.path_for({6, 600}), simmpi::encode_trace_snapshot(t));
+  util::set_log_sink([&](util::LogLevel level, const std::string& line) {
+    if (level == util::LogLevel::Warn) warnings.push_back(line);
+  });
+  EXPECT_FALSE(cache.load({6, 600}).has_value());
+  util::set_log_sink({});
+  EXPECT_TRUE(fs::exists(cache.path_for({6, 600}) + ".quarantined"));
+}
+
 TEST(TraceCacheTest, EvictsLeastRecentlyUsedPastByteCap) {
   telemetry::Registry reg;
   const std::string dir = temp_dir("evict");
@@ -331,19 +366,19 @@ TEST(TraceCacheTest, EvictsLeastRecentlyUsedPastByteCap) {
   // Room for two snapshots, not three.
   const TraceCache cache({dir, snapshot_bytes * 5 / 2}, &reg);
 
-  cache.store(1, t);
-  cache.store(2, t);
+  cache.store({1, 1}, t);
+  cache.store({2, 2}, t);
   // Age the first two so mtime order is unambiguous even on coarse clocks.
   const auto old = fs::file_time_type::clock::now() - std::chrono::hours(2);
-  fs::last_write_time(cache.path_for(1), old);
-  fs::last_write_time(cache.path_for(2), old + std::chrono::minutes(1));
+  fs::last_write_time(cache.path_for({1, 1}), old);
+  fs::last_write_time(cache.path_for({2, 2}), old + std::chrono::minutes(1));
   EXPECT_EQ(reg.counter("trace_cache.evicted"), 0u);
 
-  cache.store(3, t);
+  cache.store({3, 3}, t);
   EXPECT_EQ(reg.counter("trace_cache.evicted"), 1u);
-  EXPECT_FALSE(fs::exists(cache.path_for(1)));  // oldest gone
-  EXPECT_TRUE(fs::exists(cache.path_for(2)));
-  EXPECT_TRUE(fs::exists(cache.path_for(3)));
+  EXPECT_FALSE(fs::exists(cache.path_for({1, 1})));  // oldest gone
+  EXPECT_TRUE(fs::exists(cache.path_for({2, 2})));
+  EXPECT_TRUE(fs::exists(cache.path_for({3, 3})));
 }
 
 // ------------------------------------------------- session-level oracle
