@@ -64,6 +64,18 @@ REQUIRED = {
         "parallel_seconds",
         "speedup_vs_sequential",
     ],
+    "speculative_search": [
+        "threads",
+        "hardware_concurrency",
+        "serial_seconds",
+        "parallel_seconds",
+        "speedup_vs_serial",
+        "spec_launched",
+        "spec_hits",
+        "spec_discarded",
+        "spec_hit_rate",
+        "spec_wasted_seconds",
+    ],
     "trace_snapshot": [
         "intervals",
         "cold_simulate_ns",
@@ -129,6 +141,27 @@ def main() -> None:
         sys.exit(f"store_query: indexed latest() only "
                  f"{store_query['speedup_vs_json_scan']:.1f}x over JSON re-parse "
                  "(acceptance bar is 10x at 1000 runs)")
+
+    # Speculative search acceptance: the predictor must genuinely engage
+    # (launches with a non-zero hit rate — bit-identity is the property
+    # tests' job, efficiency is checked here), and on a multi-core host the
+    # parallel search must be no slower than the serial oracle (small
+    # tolerance for timer noise). Single-core hosts skip the wall-clock
+    # assertion: with no second core the offload cannot pay for itself.
+    spec = metrics["speculative_search"]
+    if spec["spec_launched"] < 1:
+        sys.exit("speculative_search: no candidates were ever speculated")
+    if not 0.0 < spec["spec_hit_rate"] <= 1.0:
+        sys.exit(f"speculative_search: spec_hit_rate {spec['spec_hit_rate']} "
+                 "outside (0, 1] — the admission predictor never came true")
+    if spec["spec_hits"] + spec["spec_discarded"] != spec["spec_launched"]:
+        sys.exit("speculative_search: hits + discarded != launched "
+                 "(speculation bookkeeping leaked entries)")
+    if spec["hardware_concurrency"] >= 2 and \
+            spec["parallel_seconds"] > spec["serial_seconds"] * 1.10:
+        sys.exit(f"speculative_search: {spec['threads']:.0f}-thread search took "
+                 f"{spec['parallel_seconds']:.3f}s vs {spec['serial_seconds']:.3f}s "
+                 "serial — speculation made the search slower on a multi-core host")
 
     snapshot = metrics["trace_snapshot"]
     if mode == "cold" and snapshot["cache_misses"] < 1:

@@ -96,6 +96,7 @@ telemetry::PerfRecord DiagnosisSession::make_perf_record(const std::string& vers
   rec.config["cost_limit"] = std::to_string(config_.cost_limit);
   rec.config["batched_eval"] = config_.batched_eval ? "1" : "0";
   rec.config["interned_foci"] = config_.interned_foci ? "1" : "0";
+  rec.config["search_threads"] = std::to_string(config_.search_threads);
   rec.config["trace_cache"] = config_.trace_cache_dir.empty() ? "0" : "1";
   rec.registry = registry_;
   return rec;

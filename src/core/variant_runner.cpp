@@ -1,13 +1,12 @@
 #include "core/variant_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
 #include <stdexcept>
-#include <thread>
 
 #include "history/generator.h"
+#include "util/thread_pool.h"
 
 namespace histpc::core {
 
@@ -33,6 +32,10 @@ pc::TelemetrySummary combine_telemetry(const std::vector<VariantOutcome>& outcom
     combined.prune_hits_pair += t.prune_hits_pair;
     combined.priority_seeds += t.priority_seeds;
     combined.cost_gate_engagements += t.cost_gate_engagements;
+    combined.spec_launched += t.spec_launched;
+    combined.spec_hits += t.spec_hits;
+    combined.spec_discarded += t.spec_discarded;
+    combined.spec_wasted_seconds += t.spec_wasted_seconds;
     combined.peak_cost = std::max(combined.peak_cost, t.peak_cost);
     const double weight = o.result.stats.end_time;
     weighted_cost += t.avg_cost * weight;
@@ -40,6 +43,11 @@ pc::TelemetrySummary combine_telemetry(const std::vector<VariantOutcome>& outcom
     for (const auto& [name, secs] : t.phase_seconds) combined.phase_seconds[name] += secs;
   }
   combined.avg_cost = total_weight > 0.0 ? weighted_cost / total_weight : 0.0;
+  combined.spec_hit_rate =
+      combined.spec_launched > 0
+          ? static_cast<double>(combined.spec_hits) /
+                static_cast<double>(combined.spec_launched)
+          : 0.0;
   return combined;
 }
 
@@ -49,42 +57,35 @@ VariantRunReport run_variants(const metrics::TraceView& view,
   VariantRunReport report;
   if (variants.empty()) return report;
 
-  int n = threads;
-  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
-  n = std::clamp(n, 1, static_cast<int>(variants.size()));
+  const int n = std::clamp(util::ThreadPool::resolve(threads), 1,
+                           static_cast<int>(variants.size()));
   report.threads = n;
 
   const auto bundle_start = std::chrono::steady_clock::now();
   report.outcomes.resize(variants.size());
   std::vector<std::exception_ptr> errors(variants.size());
-  std::atomic<std::size_t> next{0};
 
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= variants.size()) return;
-      const auto start = std::chrono::steady_clock::now();
-      try {
-        pc::PerformanceConsultant consultant(view, variants[i].config,
-                                             variants[i].directives);
-        report.outcomes[i].result = consultant.run();
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-      report.outcomes[i].name = variants[i].name;
-      report.outcomes[i].wall_seconds = seconds_since(start);
+  {
+    util::ThreadPool pool(n);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      pool.submit([&, i] {
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          pc::PerformanceConsultant consultant(view, variants[i].config,
+                                               variants[i].directives);
+          report.outcomes[i].result = consultant.run();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        report.outcomes[i].name = variants[i].name;
+        report.outcomes[i].wall_seconds = seconds_since(start);
+      });
     }
-  };
-
-  if (n == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    pool.wait_idle();
   }
 
+  // Rethrow in input order so failures are deterministic regardless of
+  // which worker hit them first.
   for (std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
 

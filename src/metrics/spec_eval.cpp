@@ -1,0 +1,112 @@
+#include "metrics/spec_eval.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "metrics/metric_batch.h"
+
+namespace histpc::metrics {
+
+double predict_conclude_tick(double activate_time, double insertion_latency,
+                             double min_observation, double tick, double horizon) {
+  // Mirror of the decision loop: same recurrence, same observed-window
+  // formula as MetricBatch::observed (cursor - start, floored at zero),
+  // same >= comparison as the conclusion check. The doubles produced here
+  // are bitwise the ones the loop will produce.
+  const double start = activate_time + insertion_latency;
+  double t = activate_time;
+  while (t < horizon) {
+    t = std::min(t + tick, horizon);
+    if (std::max(0.0, t - start) >= min_observation) return t;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+SpecGroup::SpecGroup(std::vector<Request> requests, double activate_time,
+                     double insertion_latency, double min_observation, double tick,
+                     double horizon)
+    : requests_(std::move(requests)),
+      activate_(activate_time),
+      latency_(insertion_latency),
+      tick_(tick),
+      horizon_(horizon),
+      conclude_(predict_conclude_tick(activate_time, insertion_latency,
+                                      min_observation, tick, horizon)) {}
+
+void SpecGroup::run(const TraceView& view) {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    // Still publish (empty) so a racing wait_sample can never hang; the
+    // scheduler guarantees cancelled groups are unclaimed, so nobody
+    // reads the samples.
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    cv_.notify_all();
+    return;
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Private single-threaded batch, no registry: the only shared state it
+  // reads (interval columns, block summaries, compiled filters) is
+  // immutable, so this is safe concurrently with the live engine.
+  MetricBatch batch(view, 0, nullptr);
+
+  // Consume the trace prefix before any slot exists. A slot added at time
+  // T in the live batch never sees contributions before T either, and the
+  // shared rank cursors end up at identical positions whether the prefix
+  // was consumed in one jump or tick by tick (both consume exactly the
+  // intervals with t1 <= T), so the replay below is bit-identical to the
+  // live slot's history.
+  batch.advance_all(activate_);
+
+  std::vector<MetricBatch::SlotId> slots;
+  slots.reserve(requests_.size());
+  for (const Request& r : requests_)
+    slots.push_back(batch.add(r.metric, *r.filter, activate_ + latency_));
+
+  // The consultant's exact recurrence. Stop once the wave's conclusion
+  // tick is reached — the decision loop reads a speculated probe's value
+  // only at conclusion, never later (non-persistent probes are removed
+  // when they conclude).
+  double t = activate_;
+  while (t < horizon_) {
+    t = std::min(t + tick_, horizon_);
+    batch.advance_all(t);
+    if (t >= conclude_) break;
+  }
+
+  std::vector<SpecSample> samples(requests_.size());
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    SpecSample& s = samples[i];
+    s.value = batch.value(slots[i]);
+    s.observed = batch.observed(slots[i]);
+    s.fraction = batch.fraction(slots[i]);
+    s.conclude_time = conclude_;
+    s.concluded = std::isfinite(conclude_);
+  }
+
+  eval_ns_.store(static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count()),
+                 std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = std::move(samples);
+  done_ = true;
+  cv_.notify_all();
+}
+
+bool SpecGroup::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+const SpecSample& SpecGroup::wait_sample(std::size_t i) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return samples_.at(i);
+}
+
+}  // namespace histpc::metrics

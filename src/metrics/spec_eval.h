@@ -1,0 +1,133 @@
+// Speculative probe evaluation: precompute the verdict a Performance
+// Consultant probe *would* reach if it were activated at a given future
+// tick, bit-identically to the live engine.
+//
+// The consultant's decision loop advances virtual time through the exact
+// recurrence `t = min(t + tick, horizon)` and concludes a probe at the
+// first tick where its observed window reaches min_observation. Both the
+// live engines (MetricBatch slot, MetricInstance) and this module clip
+// every interval per tick as lo = max(iv.t0, cursor, start),
+// hi = min(iv.t1, to) and accumulate in (tick, rank, interval) order, so a
+// speculative replay of the same tick sequence produces the same value to
+// the last bit (a property the metric-engine tests enforce). That is the
+// whole correctness story of the speculative search: a cache hit hands the
+// decision loop numbers indistinguishable from the ones the live engine
+// would have produced, so conclusions cannot depend on thread count,
+// scheduling, or prediction accuracy.
+//
+// A SpecGroup bundles the candidates of one predicted activation wave into
+// a single task: one private MetricBatch walks the trace once and fans out
+// to all slots, amortizing the interval walk the way the live batch does.
+// Everything a group touches is immutable shared state (TraceView columns,
+// BlockIndex summaries, compiled FocusFilters) or group-local, so any
+// number of groups may run concurrently with the decision loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "metrics/metric.h"
+#include "metrics/trace_view.h"
+
+namespace histpc::metrics {
+
+/// Tick arithmetic shared by the scheduler and the evaluator: the first
+/// tick of the consultant recurrence (starting from `activate_time`) at
+/// which a probe inserted at `activate_time` has observed at least
+/// `min_observation`, or +infinity if the horizon arrives first. Pure
+/// arithmetic — no trace data — so the decision loop can predict
+/// conclusion times of active probes without evaluating anything.
+double predict_conclude_tick(double activate_time, double insertion_latency,
+                             double min_observation, double tick, double horizon);
+
+/// The verdict one speculative evaluation precomputes: the probe's sample
+/// at its conclusion tick (or at the horizon when it never concludes).
+struct SpecSample {
+  double value = 0.0;
+  double observed = 0.0;
+  double fraction = 0.0;
+  /// First tick with observed >= min_observation; +inf if the horizon
+  /// cuts the window short (the probe would end as NeverRan).
+  double conclude_time = std::numeric_limits<double>::infinity();
+  bool concluded = false;
+};
+
+/// One activation wave's worth of speculative work: the metric-focus pairs
+/// predicted to activate together at `activate_time`, evaluated in a
+/// single shared-walk pass. Built and claimed by the decision thread;
+/// run() executes on a worker. The decision thread never mutates a group
+/// after launch, so the only cross-thread state is the done flag/condvar
+/// and the cancellation token.
+class SpecGroup {
+ public:
+  struct Request {
+    MetricKind metric = MetricKind::CpuTime;
+    /// Compiled filter owned by the TraceView cache (stable reference).
+    const FocusFilter* filter = nullptr;
+  };
+
+  SpecGroup(std::vector<Request> requests, double activate_time,
+            double insertion_latency, double min_observation, double tick,
+            double horizon);
+
+  /// Worker entry point: replay the consultant's tick recurrence from
+  /// activate_time over a private MetricBatch holding every request.
+  /// Returns immediately (publishing nothing) if cancel() won the race.
+  void run(const TraceView& view);
+
+  /// Abandon the group: a not-yet-started run() becomes a no-op. Safe to
+  /// call at any time from the decision thread.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool ready() const;
+
+  /// Block until run() has published, then return request i's sample.
+  const SpecSample& wait_sample(std::size_t i) const;
+
+  /// The shared conclusion tick (all requests in a wave share activation
+  /// time, hence conclusion time). Precomputed in the constructor with
+  /// predict_conclude_tick — available before run() executes, which is
+  /// what lets the instrumentation layer decide *whether* to wait without
+  /// waiting.
+  double conclude_time() const { return conclude_; }
+
+  double activate_time() const { return activate_; }
+  std::size_t size() const { return requests_.size(); }
+
+  /// Nanoseconds run() spent evaluating; 0 until ready or if cancelled
+  /// before starting. Used for wasted-work accounting of discarded groups.
+  std::uint64_t eval_ns() const { return eval_ns_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<Request> requests_;
+  double activate_;
+  double latency_;
+  double tick_;
+  double horizon_;
+  double conclude_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  std::vector<SpecSample> samples_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> eval_ns_{0};
+};
+
+/// A claimed slice of a SpecGroup: what the speculation cache hands the
+/// instrumentation layer when a predicted activation comes true. Holding
+/// the shared_ptr keeps the group alive for the probe's lifetime even
+/// after the cache drops it.
+struct SpecHandle {
+  std::shared_ptr<SpecGroup> group;
+  std::size_t index = 0;
+  explicit operator bool() const { return group != nullptr; }
+};
+
+}  // namespace histpc::metrics

@@ -1,0 +1,103 @@
+#include "pc/speculation.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace histpc::pc {
+
+SpeculationCache::SpeculationCache(const metrics::TraceView& view,
+                                   util::ThreadPool& pool, Params params)
+    : view_(view), pool_(pool), params_(params) {}
+
+SpeculationCache::Key SpeculationCache::make_key(metrics::MetricKind metric,
+                                                 resources::FocusId fid,
+                                                 double activate_time) {
+  // Exact-bits keying: the prediction is only valid if activation happens
+  // at the tick it was computed for, and the loop's tick values are exact
+  // doubles from a shared recurrence — no epsilon needed or wanted.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(activate_time));
+  std::memcpy(&bits, &activate_time, sizeof(bits));
+  return Key{static_cast<int>(metric), fid, bits};
+}
+
+bool SpeculationCache::contains(metrics::MetricKind metric, resources::FocusId fid,
+                                double activate_time) const {
+  return entries_.count(make_key(metric, fid, activate_time)) > 0;
+}
+
+void SpeculationCache::launch_wave(std::vector<Candidate> candidates,
+                                   double activate_time) {
+  if (candidates.empty() || finished_) return;
+  // Chunk the wave so each worker amortizes one trace walk over several
+  // slots, the same trick the live batch plays.
+  const std::size_t workers = static_cast<std::size_t>(pool_.size());
+  const std::size_t chunk =
+      (candidates.size() + workers - 1) / std::max<std::size_t>(1, workers);
+  for (std::size_t begin = 0; begin < candidates.size(); begin += chunk) {
+    const std::size_t end = std::min(candidates.size(), begin + chunk);
+    std::vector<metrics::SpecGroup::Request> requests;
+    requests.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i)
+      requests.push_back({candidates[i].metric, candidates[i].filter});
+    auto group = std::make_shared<metrics::SpecGroup>(
+        std::move(requests), activate_time, params_.insertion_latency,
+        params_.min_observation, params_.tick, params_.horizon);
+    const std::size_t gi = groups_.size();
+    groups_.push_back(group);
+    claimed_.push_back(0);
+    for (std::size_t i = begin; i < end; ++i)
+      entries_[make_key(candidates[i].metric, candidates[i].fid, activate_time)] =
+          Entry{gi, i - begin};
+    stats_.launched += end - begin;
+    ++stats_.groups;
+    pool_.submit([group, view = &view_] { group->run(*view); });
+  }
+}
+
+std::optional<metrics::SpecHandle> SpeculationCache::claim(metrics::MetricKind metric,
+                                                           resources::FocusId fid,
+                                                           double now) {
+  const auto it = entries_.find(make_key(metric, fid, now));
+  if (it == entries_.end()) return std::nullopt;
+  const Entry e = it->second;
+  entries_.erase(it);
+  ++claimed_[e.group];
+  ++stats_.hits;
+  return metrics::SpecHandle{groups_[e.group], e.slot};
+}
+
+void SpeculationCache::invalidate_stale(double now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::shared_ptr<metrics::SpecGroup>& g = groups_[it->second.group];
+    if (g->activate_time() <= now) {
+      // The assumed activation tick has passed; the key can never be
+      // claimed again. Cancelling is only useful (and only safe to treat
+      // as skippable) when nothing from the group was claimed.
+      if (claimed_[it->second.group] == 0) g->cancel();
+      ++stats_.discarded;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SpeculationCache::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const auto& [key, e] : entries_) {
+    if (claimed_[e.group] == 0) groups_[e.group]->cancel();
+    ++stats_.discarded;
+  }
+  entries_.clear();
+  // Wait for in-flight groups so eval_ns is final (cancelled unstarted
+  // groups return immediately).
+  pool_.wait_idle();
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    stats_.eval_ns += groups_[gi]->eval_ns();
+    if (claimed_[gi] == 0) stats_.wasted_ns += groups_[gi]->eval_ns();
+  }
+}
+
+}  // namespace histpc::pc

@@ -1,0 +1,128 @@
+// SpeculationCache: the Performance Consultant's speculative search layer
+// (FastDiagP-style pre-computation adapted to the paper's cost-gated
+// refinement loop).
+//
+// The decision loop stays serial and authoritative; a fixed worker pool
+// pre-evaluates the refinement candidates most likely to be admitted next
+// by the cost gate, so that when a candidate is activated its verdict is
+// already computed. The cache is the hand-off point:
+//
+//  * Work unit: one predicted activation wave — the pending candidates
+//    (priority order, persistent seeds excluded) assumed to activate at
+//    the earliest conclusion tick of the currently active probes (the
+//    moment the gate next frees cost). A wave is split into
+//    worker-count chunks, each evaluated by one metrics::SpecGroup over a
+//    private MetricBatch.
+//  * Versioning: the cache key is (metric, probe focus id, activation
+//    tick bits) — the activation tick IS the entry's version. A
+//    prediction that comes true is claimed by activate() with exactly
+//    that key; once the loop ticks past an entry's assumed activation the
+//    key can never match again and the sweep discards it.
+//  * Invalidation: invalidate_stale(now) drops every entry whose assumed
+//    activation tick is <= now and unclaimed (counted as discarded;
+//    groups none of whose entries were claimed are cancelled so queued
+//    work is skipped). finish() discards whatever remains at the end of
+//    the search and finalizes the wasted-work accounting.
+//
+// Determinism: a claim hands the instrumentation layer a sample that is
+// bit-identical to what the live engine would have produced (see
+// metrics/spec_eval.h), and a miss simply falls back to the live engine —
+// so the conclusion stream cannot depend on thread count, scheduling, or
+// how good the predictions were. Every member function here runs on the
+// decision thread; the only cross-thread traffic is inside SpecGroup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "metrics/spec_eval.h"
+#include "metrics/trace_view.h"
+#include "resources/focus_table.h"
+#include "util/thread_pool.h"
+
+namespace histpc::pc {
+
+class SpeculationCache {
+ public:
+  /// The consultant's tick arithmetic, fixed for the whole search.
+  struct Params {
+    double insertion_latency = 1.0;
+    double min_observation = 10.0;
+    double tick = 0.5;
+    double horizon = 0.0;
+  };
+
+  /// One refinement candidate of a wave. `filter` is the compiled filter
+  /// of the *probe* focus (scope-adjusted), owned by the TraceView cache.
+  struct Candidate {
+    metrics::MetricKind metric = metrics::MetricKind::CpuTime;
+    resources::FocusId fid = resources::kNoFocus;
+    const metrics::FocusFilter* filter = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t launched = 0;   ///< candidates handed to workers
+    std::uint64_t hits = 0;       ///< claimed at a matching activation
+    std::uint64_t discarded = 0;  ///< stale-swept or left over at finish()
+    std::uint64_t groups = 0;     ///< SpecGroup tasks submitted
+    /// Evaluation nanoseconds spent on groups none of whose candidates
+    /// were ever claimed — the price of wrong predictions. Finalized by
+    /// finish(); partially claimed groups count as useful.
+    std::uint64_t wasted_ns = 0;
+    /// Evaluation nanoseconds across every group, claimed or not — the
+    /// total work moved off the decision thread. Finalized by finish().
+    std::uint64_t eval_ns = 0;
+  };
+
+  SpeculationCache(const metrics::TraceView& view, util::ThreadPool& pool,
+                   Params params);
+
+  /// True if (metric, fid, activation tick) is already cached or in
+  /// flight — the scheduler's relaunch guard while the gate stalls.
+  bool contains(metrics::MetricKind metric, resources::FocusId fid,
+                double activate_time) const;
+
+  /// Launch one wave's candidates, chunked across the pool's workers.
+  /// Duplicate keys within the wave must be pre-filtered by the caller.
+  void launch_wave(std::vector<Candidate> candidates, double activate_time);
+
+  /// Activation came true: hand over the precomputed verdict, or nullopt
+  /// on a miss (never launched, or launched for a different tick). A hit
+  /// removes the entry — each prediction is consumable exactly once.
+  std::optional<metrics::SpecHandle> claim(metrics::MetricKind metric,
+                                           resources::FocusId fid, double now);
+
+  /// Discard entries whose assumed activation tick has passed unclaimed.
+  void invalidate_stale(double now);
+
+  /// End of search: discard everything left, cancel unstarted work, wait
+  /// for in-flight groups, and finalize Stats::wasted_ns.
+  void finish();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using Key = std::tuple<int, resources::FocusId, std::uint64_t>;
+  static Key make_key(metrics::MetricKind metric, resources::FocusId fid,
+                      double activate_time);
+
+  struct Entry {
+    std::size_t group = 0;  ///< index into groups_
+    std::size_t slot = 0;   ///< request index within the group
+  };
+
+  const metrics::TraceView& view_;
+  util::ThreadPool& pool_;
+  Params params_;
+  std::map<Key, Entry> entries_;
+  std::vector<std::shared_ptr<metrics::SpecGroup>> groups_;
+  std::vector<std::uint32_t> claimed_;  ///< per-group claim counts
+  Stats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace histpc::pc

@@ -1,0 +1,377 @@
+// Speculative parallel search: property tests that the multi-threaded
+// Performance Consultant is observably identical to the serial oracle.
+//
+// The speculation layer (PcConfig::search_threads >= 2) pre-evaluates
+// likely refinement candidates on a worker pool and serves their verdicts
+// from a cache when the cost gate admits them. Its correctness contract is
+// bit-identity: the conclusion stream, the full SHG, the stats, and the
+// stored experiment record must match the serial run exactly, for every
+// thread count, regardless of prediction accuracy or scheduling. These
+// tests run full diagnoses at search_threads 1, 2, and 4 over the same
+// randomized workloads and directive sets the focus-intern oracle uses and
+// require exact equality — plus unit tests for the tick predictor, the
+// SpecGroup replay (bit-identical to a live MetricBatch slot), and the
+// worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "history/experiment.h"
+#include "metrics/metric_batch.h"
+#include "metrics/spec_eval.h"
+#include "metrics/trace_view.h"
+#include "pc/consultant.h"
+#include "pc/directives.h"
+#include "pc/shg.h"
+#include "simmpi/program.h"
+#include "simmpi/simulator.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace histpc::pc {
+namespace {
+
+using metrics::TraceView;
+using simmpi::FunctionScope;
+using simmpi::Recorder;
+
+/// Same randomized bottleneck workload as the focus-intern oracle tests:
+/// the upper half of the ranks waits on the lower half inside "exchange",
+/// with rng-varied rank count, compute asymmetry, tag, and an optional
+/// extra hot function so different seeds exercise different SHG shapes —
+/// and hence different speculation waves, cache hits, and mispredictions.
+simmpi::ExecutionTrace random_trace(util::Rng& rng) {
+  const int pairs = 1 + static_cast<int>(rng.next_below(2));  // 2 or 4 ranks
+  const int ranks = 2 * pairs;
+  const int tag = 3 + static_cast<int>(rng.next_below(5));
+  const double fast = 0.1 + 0.1 * static_cast<double>(rng.next_below(3));
+  const bool extra_func = rng.next_below(2) == 0;
+  const int iters = 900;
+  simmpi::ProgramBuilder b(simmpi::MachineSpec::one_to_one(ranks, "node", "app"));
+  b.record([&](Recorder& r) {
+    FunctionScope fmain(r, "main", "main.c");
+    for (int i = 0; i < iters; ++i) {
+      {
+        FunctionScope f(r, "work", "work.c");
+        r.compute(r.rank() >= pairs ? fast : 1.0);
+      }
+      if (extra_func) {
+        FunctionScope f(r, "checkpoint", "io.c");
+        r.compute(0.05);
+      }
+      {
+        FunctionScope f(r, "exchange", "comm.c");
+        if (r.rank() >= pairs) {
+          r.recv(r.rank() - pairs, tag);
+        } else {
+          r.send(r.rank() + pairs, tag, 64);
+        }
+        r.barrier();
+      }
+    }
+  });
+  simmpi::NetworkModel net;
+  net.latency = 1e-4;
+  return simmpi::Simulator(net).run(b.build());
+}
+
+/// Random directive sets spanning every directive kind, so speculation is
+/// tested against prunes (candidates that never enter the queue),
+/// priorities (queue order changes shift the admission set), and threshold
+/// overrides (conclusion flips).
+DirectiveSet random_directives(util::Rng& rng) {
+  std::string text;
+  if (rng.next_below(2) == 0) text += "prune * /Machine\n";
+  if (rng.next_below(2) == 0) text += "prune CPUbound /SyncObject\n";
+  if (rng.next_below(2) == 0) text += "prune ExcessiveSyncWaitingTime /Code/work.c\n";
+  if (rng.next_below(2) == 0) text += "prune * /Process\n";
+  if (rng.next_below(2) == 0)
+    text += "prunepair CPUbound </Code/comm.c,/Machine,/Process,/SyncObject>\n";
+  if (rng.next_below(2) == 0)
+    text +=
+        "priority ExcessiveSyncWaitingTime "
+        "</Code/comm.c,/Machine,/Process,/SyncObject> high\n";
+  if (rng.next_below(2) == 0)
+    text += "priority CPUbound </Code/work.c,/Machine,/Process,/SyncObject> high\n";
+  if (rng.next_below(2) == 0)
+    text += "priority CPUbound </Code,/Machine,/Process,/SyncObject> low\n";
+  if (rng.next_below(2) == 0) text += "threshold ExcessiveSyncWaitingTime 0.15\n";
+  if (rng.next_below(2) == 0) text += "threshold * 0.25\n";
+  return DirectiveSet::parse(text);
+}
+
+PcConfig quick_config(int search_threads) {
+  PcConfig cfg;
+  cfg.min_observation = 10.0;
+  cfg.tick = 0.5;
+  cfg.insertion_latency = 1.0;
+  cfg.cost_limit = 0.05;
+  cfg.interned_foci = true;
+  cfg.search_threads = search_threads;
+  return cfg;
+}
+
+/// Everything conclusion-relevant must match exactly. Engine-internal
+/// telemetry (metrics.batch.* tick counts, pc.spec.* bookkeeping,
+/// phase_seconds wall clock) legitimately differs between serial and
+/// speculative runs — a speculated probe is evaluated in a private batch,
+/// not the live one — and is deliberately not compared here.
+void expect_identical(const DiagnosisResult& spec, const DiagnosisResult& serial) {
+  ASSERT_EQ(spec.bottlenecks.size(), serial.bottlenecks.size());
+  for (std::size_t i = 0; i < spec.bottlenecks.size(); ++i) {
+    const auto& a = spec.bottlenecks[i];
+    const auto& b = serial.bottlenecks[i];
+    EXPECT_EQ(a.hypothesis, b.hypothesis) << "bottleneck " << i;
+    EXPECT_EQ(a.focus, b.focus) << "bottleneck " << i;
+    EXPECT_DOUBLE_EQ(a.t_found, b.t_found) << "bottleneck " << i;
+    EXPECT_DOUBLE_EQ(a.fraction, b.fraction) << "bottleneck " << i;
+  }
+
+  ASSERT_EQ(spec.nodes.size(), serial.nodes.size());
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    const auto& a = spec.nodes[i];
+    const auto& b = serial.nodes[i];
+    EXPECT_EQ(a.hypothesis, b.hypothesis) << "node " << i;
+    EXPECT_EQ(a.focus, b.focus) << "node " << i;
+    EXPECT_EQ(a.status, b.status) << "node " << i;
+    EXPECT_EQ(a.priority, b.priority) << "node " << i;
+    EXPECT_DOUBLE_EQ(a.conclude_time, b.conclude_time) << "node " << i;
+    EXPECT_DOUBLE_EQ(a.fraction, b.fraction) << "node " << i;
+  }
+
+  EXPECT_EQ(spec.stats.nodes_created, serial.stats.nodes_created);
+  EXPECT_EQ(spec.stats.pairs_tested, serial.stats.pairs_tested);
+  EXPECT_EQ(spec.stats.pruned_candidates, serial.stats.pruned_candidates);
+  EXPECT_EQ(spec.stats.bottlenecks, serial.stats.bottlenecks);
+  EXPECT_DOUBLE_EQ(spec.stats.end_time, serial.stats.end_time);
+  EXPECT_DOUBLE_EQ(spec.stats.last_true_time, serial.stats.last_true_time);
+  EXPECT_DOUBLE_EQ(spec.stats.peak_cost, serial.stats.peak_cost);
+
+  EXPECT_EQ(spec.telemetry.pairs_tested, serial.telemetry.pairs_tested);
+  EXPECT_EQ(spec.telemetry.conclusions_true, serial.telemetry.conclusions_true);
+  EXPECT_EQ(spec.telemetry.conclusions_false, serial.telemetry.conclusions_false);
+  EXPECT_EQ(spec.telemetry.refinements, serial.telemetry.refinements);
+  EXPECT_EQ(spec.telemetry.prune_hits_subtree, serial.telemetry.prune_hits_subtree);
+  EXPECT_EQ(spec.telemetry.prune_hits_pair, serial.telemetry.prune_hits_pair);
+  EXPECT_EQ(spec.telemetry.priority_seeds, serial.telemetry.priority_seeds);
+  EXPECT_EQ(spec.telemetry.cost_gate_engagements,
+            serial.telemetry.cost_gate_engagements);
+  EXPECT_DOUBLE_EQ(spec.telemetry.peak_cost, serial.telemetry.peak_cost);
+  EXPECT_DOUBLE_EQ(spec.telemetry.avg_cost, serial.telemetry.avg_cost);
+}
+
+/// The tentpole acceptance property: for randomized workloads and
+/// directive sets, search_threads in {1, 2, 4} produce bit-identical
+/// conclusion streams, SHG snapshots, Figure-2 renderings, and stored
+/// experiment records.
+class SpeculationOracle : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpeculationOracle, ParallelSearchMatchesSerialOracleExactly) {
+  util::Rng rng(GetParam());
+  const simmpi::ExecutionTrace trace = random_trace(rng);
+  const TraceView view(trace);
+  const DirectiveSet directives = random_directives(rng);
+
+  PerformanceConsultant serial_pc(view, quick_config(1), directives);
+  const DiagnosisResult serial = serial_pc.run();
+  const std::string serial_shg = serial_pc.shg().render();
+  const std::string serial_record =
+      history::make_record("app", "1", view, serial, 0.20).to_json().dump();
+
+  for (const int threads : {2, 4}) {
+    PerformanceConsultant spec_pc(view, quick_config(threads), directives);
+    const DiagnosisResult spec = spec_pc.run();
+    SCOPED_TRACE("search_threads=" + std::to_string(threads));
+    expect_identical(spec, serial);
+    EXPECT_EQ(spec_pc.shg().render(), serial_shg);
+    EXPECT_EQ(history::make_record("app", "1", view, spec, 0.20).to_json().dump(),
+              serial_record);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpeculationOracle,
+                         testing::Range<std::uint64_t>(1, 13));
+
+/// Guard against the layer silently never engaging: the scheduler's
+/// launch/claim bookkeeping is decision-thread-deterministic (claims
+/// depend only on which keys were launched, never on worker timing), so a
+/// fixed seed must both launch and hit. The serial run reports all zeros.
+TEST(Speculation, SpeculativeRunLaunchesAndHits) {
+  util::Rng rng(5);
+  const simmpi::ExecutionTrace trace = random_trace(rng);
+  const TraceView view(trace);
+
+  PerformanceConsultant serial_pc(view, quick_config(1));
+  const DiagnosisResult serial = serial_pc.run();
+  EXPECT_EQ(serial.telemetry.spec_launched, 0u);
+  EXPECT_EQ(serial.telemetry.spec_hits, 0u);
+
+  PerformanceConsultant spec_pc(view, quick_config(2));
+  const DiagnosisResult spec = spec_pc.run();
+  EXPECT_GT(spec.telemetry.spec_launched, 0u);
+  EXPECT_GT(spec.telemetry.spec_hits, 0u);
+  EXPECT_GT(spec.telemetry.spec_hit_rate, 0.0);
+  EXPECT_LE(spec.telemetry.spec_hit_rate, 1.0);
+  EXPECT_EQ(spec.telemetry.spec_hits + spec.telemetry.spec_discarded,
+            spec.telemetry.spec_launched);
+}
+
+/// search_threads = 0 means "all hardware threads" — still bit-identical.
+TEST(Speculation, ZeroThreadsResolvesToHardwareAndStaysIdentical) {
+  util::Rng rng(7);
+  const simmpi::ExecutionTrace trace = random_trace(rng);
+  const TraceView view(trace);
+
+  PerformanceConsultant serial_pc(view, quick_config(1));
+  const DiagnosisResult serial = serial_pc.run();
+  PerformanceConsultant spec_pc(view, quick_config(0));
+  const DiagnosisResult spec = spec_pc.run();
+  expect_identical(spec, serial);
+  EXPECT_EQ(spec_pc.shg().render(), serial_pc.shg().render());
+}
+
+/// The tick predictor is the scheduler's whole theory of time: it must
+/// agree with a literal replay of the consultant recurrence.
+TEST(SpecEval, PredictConcludeTickMatchesLiteralReplay) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double tick = 0.1 + 0.1 * static_cast<double>(rng.next_below(10));
+    const double latency = 0.25 * static_cast<double>(rng.next_below(8));
+    const double min_obs = 0.5 + 0.5 * static_cast<double>(rng.next_below(40));
+    const double horizon = 5.0 + static_cast<double>(rng.next_below(40));
+    const double activate =
+        tick * static_cast<double>(rng.next_below(20));  // some earlier tick
+
+    const double predicted = metrics::predict_conclude_tick(
+        activate, latency, min_obs, tick, horizon);
+
+    const double start = activate + latency;
+    double expected = std::numeric_limits<double>::infinity();
+    double t = activate;
+    while (t < horizon) {
+      t = std::min(t + tick, horizon);
+      if (std::max(0.0, t - start) >= min_obs) {
+        expected = t;
+        break;
+      }
+    }
+    ASSERT_EQ(predicted, expected)
+        << "tick=" << tick << " latency=" << latency << " min_obs=" << min_obs
+        << " horizon=" << horizon << " activate=" << activate;
+    if (std::isfinite(predicted)) {
+      EXPECT_GT(predicted, activate);
+      EXPECT_LE(predicted, horizon);
+    }
+  }
+}
+
+TEST(SpecEval, PredictConcludeTickInfiniteWhenHorizonTooShort) {
+  EXPECT_TRUE(std::isinf(
+      metrics::predict_conclude_tick(0.0, 1.0, 100.0, 0.5, 10.0)));
+}
+
+/// The bit-identity core: a SpecGroup's replay from an activation tick
+/// must reproduce, to the last bit, what a slot added to the consultant's
+/// live batch at that tick observes at the conclusion tick — including the
+/// prefix consumed before the slot existed.
+TEST(SpecEval, GroupReplayMatchesLiveBatchSlotBitExactly) {
+  util::Rng rng(3);
+  const simmpi::ExecutionTrace trace = random_trace(rng);
+  const TraceView view(trace);
+  const double tick = 0.5;
+  const double latency = 1.0;
+  const double min_obs = 10.0;
+  const double horizon = trace.duration;
+
+  const resources::Focus whole = resources::Focus::whole_program(view.resources());
+  const metrics::FocusFilter& filter = view.compiled(whole);
+
+  for (const double activate : {0.0, 4.5, 42.0}) {
+    // Live path: batch ticked from 0 with the consultant recurrence, slot
+    // added mid-flight at the activation tick, read at the conclusion tick.
+    const double conclude =
+        metrics::predict_conclude_tick(activate, latency, min_obs, tick, horizon);
+    ASSERT_TRUE(std::isfinite(conclude));
+
+    metrics::MetricBatch live(view);
+    metrics::MetricBatch::SlotId slot = -1;
+    double t = 0.0;
+    live.advance_all(t);
+    if (activate == 0.0) slot = live.add(metrics::MetricKind::CpuTime, filter, latency);
+    while (t < conclude) {
+      t = std::min(t + tick, horizon);
+      if (slot < 0 && t >= activate)
+        slot = live.add(metrics::MetricKind::CpuTime, filter, activate + latency);
+      live.advance_all(t);
+    }
+
+    // Speculative path: private group replay from the activation tick.
+    metrics::SpecGroup group({{metrics::MetricKind::CpuTime, &filter}}, activate,
+                             latency, min_obs, tick, horizon);
+    ASSERT_EQ(group.conclude_time(), conclude);
+    group.run(view);
+    ASSERT_TRUE(group.ready());
+    const metrics::SpecSample& s = group.wait_sample(0);
+
+    SCOPED_TRACE("activate=" + std::to_string(activate));
+    EXPECT_EQ(s.value, live.value(slot));        // bitwise, not approximate
+    EXPECT_EQ(s.observed, live.observed(slot));
+    EXPECT_EQ(s.fraction, live.fraction(slot));
+    EXPECT_TRUE(s.concluded);
+    EXPECT_GT(group.eval_ns(), 0u);
+  }
+}
+
+TEST(SpecEval, CancelledGroupPublishesEmptyAndCountsNoWork) {
+  util::Rng rng(3);
+  const simmpi::ExecutionTrace trace = random_trace(rng);
+  const TraceView view(trace);
+  const metrics::FocusFilter& filter =
+      view.compiled(resources::Focus::whole_program(view.resources()));
+
+  metrics::SpecGroup group({{metrics::MetricKind::CpuTime, &filter}}, 0.0, 1.0,
+                           10.0, 0.5, trace.duration);
+  EXPECT_FALSE(group.ready());
+  group.cancel();
+  group.run(view);
+  EXPECT_TRUE(group.ready());  // publishes done even when cancelled
+  EXPECT_EQ(group.eval_ns(), 0u);
+}
+
+TEST(ThreadPool, RunsEveryTaskAndWaitsIdle) {
+  util::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitFromInsideTaskAndDestructorDrains) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&ran, &pool] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      });
+  }  // destructor drains the nested submissions
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(util::ThreadPool::resolve(0), 1);
+  EXPECT_GE(util::ThreadPool::resolve(-3), 1);
+  EXPECT_EQ(util::ThreadPool::resolve(4), 4);
+  EXPECT_EQ(util::ThreadPool::resolve(1), 1);
+}
+
+}  // namespace
+}  // namespace histpc::pc
