@@ -1,0 +1,196 @@
+// serve_load: what diagnosis-as-a-service buys over one-shot CLI runs.
+//
+// The paper's economics argument is that historical state amortizes: a
+// diagnosis gets cheaper when the expensive parts (trace, directives,
+// prior conclusions) already exist. `histpc serve` takes that to its
+// limit — one process keeps the store index folded, traces cached, foci
+// interned, and (because the search is deterministic) whole results
+// memoized, so a warm request pays none of the cold-start cost a CLI
+// invocation repeats every time.
+//
+// Measured here, all in-process against a real server on a loopback
+// socket:
+//   cold_oneshot_seconds        fresh session, empty trace cache — what
+//                               `histpc run` pays per invocation
+//   warm_request_seconds        served request, result cache hit (the
+//                               steady-state serve path)
+//   warm_nocache_request_seconds served request forced to re-search over
+//                               the warm session (no_result_cache)
+//   warm_speedup_vs_cold        cold / warm — the acceptance bar is >= 5x
+//   saturation                  3-point offered-vs-achieved curve with the
+//                               result cache off, so every request costs a
+//                               real search and the admission queue sheds
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/http.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace fs = std::filesystem;
+using namespace histpc;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+constexpr const char* kApp = "poisson_a";
+constexpr double kDuration = 1500.0;
+
+// Median of a few repetitions; one repetition can catch a scheduler
+// hiccup, and min would flatter the cached paths.
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("serve_load: diagnosis-as-a-service under load",
+                      "Section 6 discussion: amortizing historical state across diagnoses");
+
+  const fs::path scratch = fs::temp_directory_path() / "histpc_serve_load_bench";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  // --- cold one-shot: fresh session, fresh (empty) trace cache each time.
+  std::vector<double> cold_samples;
+  for (int i = 0; i < 3; ++i) {
+    const fs::path cache = scratch / ("cold-cache-" + std::to_string(i));
+    const auto t0 = std::chrono::steady_clock::now();
+    pc::PcConfig config;
+    config.trace_cache_dir = cache.string();
+    apps::AppParams params;
+    params.target_duration = kDuration;
+    core::DiagnosisSession session(kApp, params, config);
+    (void)session.diagnose();
+    cold_samples.push_back(seconds_since(t0));
+  }
+  const double cold_seconds = median(cold_samples);
+  std::printf("cold one-shot (fresh session + empty trace cache): %7.2f ms\n",
+              cold_seconds * 1e3);
+
+  // --- the server everything below talks to.
+  serve::ServeConfig cfg;
+  cfg.port = 0;  // ephemeral
+  cfg.threads = 4;
+  // Small queue so the top saturation point actually engages admission
+  // control: the load generator's concurrency (connections) must be able
+  // to exceed this for 429s to appear.
+  cfg.queue_depth = 16;
+  cfg.store_dir = (scratch / "store").string();
+  cfg.trace_cache_dir = (scratch / "trace-cache").string();
+  cfg.perf_log = false;  // measuring request latency, not log I/O
+  serve::DiagnosisServer server(cfg);
+  server.start();
+  std::printf("server on 127.0.0.1:%d (%d threads, queue depth %d)\n\n", server.port(),
+              cfg.threads, cfg.queue_depth);
+
+  const std::string body = "{\"app\": \"" + std::string(kApp) +
+                           "\", \"duration\": " + util::fmt_double(kDuration, 1) + "}";
+  const std::string body_nocache =
+      "{\"app\": \"" + std::string(kApp) + "\", \"duration\": " +
+      util::fmt_double(kDuration, 1) + ", \"no_result_cache\": true}";
+
+  // Prime: first request builds the session (simulate + view) and seeds
+  // the result cache.
+  if (auto r = serve::http_post("127.0.0.1", server.port(), "/diagnose", body);
+      !r || r->status != 200) {
+    std::printf("FATAL: priming request failed\n");
+    return 1;
+  }
+
+  auto timed_post = [&](const std::string& b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = serve::http_post("127.0.0.1", server.port(), "/diagnose", b);
+    const double dt = seconds_since(t0);
+    return (r && r->status == 200) ? dt : -1.0;
+  };
+
+  std::vector<double> warm_samples, warm_nocache_samples;
+  for (int i = 0; i < 7; ++i) {
+    if (const double dt = timed_post(body); dt > 0) warm_samples.push_back(dt);
+    if (const double dt = timed_post(body_nocache); dt > 0) warm_nocache_samples.push_back(dt);
+  }
+  if (warm_samples.empty() || warm_nocache_samples.empty()) {
+    std::printf("FATAL: warm requests failed\n");
+    return 1;
+  }
+  const double warm_seconds = median(warm_samples);
+  const double warm_nocache_seconds = median(warm_nocache_samples);
+  const double speedup = cold_seconds / warm_seconds;
+  std::printf("warm served request (result cache hit):            %7.2f ms\n",
+              warm_seconds * 1e3);
+  std::printf("warm served request (no result cache, re-search):  %7.2f ms\n",
+              warm_nocache_seconds * 1e3);
+  std::printf("warm speedup vs cold one-shot:                     %7.1fx\n\n", speedup);
+
+  // --- saturation: result cache off so each request is a real search.
+  util::Json saturation = util::Json::array();
+  std::printf("%-14s %-14s %-10s %-10s %s\n", "offered req/s", "achieved", "p99 ms",
+              "shed rate", "sent");
+  for (const double rps : {100.0, 400.0, 1600.0}) {
+    serve::LoadGenOptions opt;
+    opt.port = server.port();
+    opt.body = body_nocache;
+    opt.rps = rps;
+    opt.duration_seconds = 1.5;
+    opt.connections = 32;
+    opt.seed = 42;
+    const serve::LoadPoint point = serve::run_load(opt);
+    std::printf("%-14s %-14s %-10s %-10s %zu\n", util::fmt_double(rps, 0).c_str(),
+                util::fmt_double(point.achieved_rps, 1).c_str(),
+                util::fmt_double(point.p99_ms, 2).c_str(),
+                util::fmt_percent(point.shed_rate, 1).c_str(), point.sent);
+    saturation.push_back(point.to_json());
+  }
+
+  server.stop();
+  const serve::ServeStats stats = server.stats();
+  std::printf("\nserver totals: %zu served, %zu shed, %zu result-cache hits\n",
+              static_cast<std::size_t>(stats.served), static_cast<std::size_t>(stats.shed),
+              static_cast<std::size_t>(stats.result_cache_hits));
+
+  util::Json section = util::Json::object();
+  section["source"] = "serve_load";
+  section["app"] = kApp;
+  section["cold_oneshot_seconds"] = cold_seconds;
+  section["warm_request_seconds"] = warm_seconds;
+  section["warm_nocache_request_seconds"] = warm_nocache_seconds;
+  section["warm_speedup_vs_cold"] = speedup;
+  section["saturation"] = std::move(saturation);
+  // bench-client writes `points`; keep the same key so the validator can
+  // check either producer with one code path.
+  util::Json points = util::Json::array();
+  {
+    serve::LoadPoint warm_point;
+    warm_point.offered_rps = 0.0;
+    warm_point.sent = warm_samples.size();
+    warm_point.ok = warm_samples.size();
+    std::vector<double> sorted = warm_samples;
+    std::sort(sorted.begin(), sorted.end());
+    warm_point.p50_ms = median(warm_samples) * 1e3;
+    warm_point.p99_ms = sorted.back() * 1e3;
+    warm_point.max_ms = sorted.back() * 1e3;
+    warm_point.achieved_rps = 0.0;
+    warm_point.wall_seconds = 0.0;
+    points.push_back(warm_point.to_json());
+  }
+  section["points"] = std::move(points);
+  bench::write_bench_section("serve_load", std::move(section));
+  std::printf("wrote serve_load section to %s\n", bench::kBenchMetricsPath);
+
+  fs::remove_all(scratch);
+  if (speedup < 5.0) {
+    std::printf("WARNING: warm speedup %.1fx is below the 5x acceptance bar\n", speedup);
+    return 1;
+  }
+  return 0;
+}

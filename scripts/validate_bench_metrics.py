@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate BENCH_metrics.json written by bench/micro_core.
 
-Usage: validate_bench_metrics.py [cold|warm]
+Usage: validate_bench_metrics.py [cold|warm|serve]
 
 Checks that every expected section and key is present and not NaN. The
 optional mode argument asserts the trace-cache behaviour of the run that
@@ -9,6 +9,12 @@ just finished: a `cold` run (empty cache directory) must record a cache
 miss, a `warm` run must record a cache hit and no miss — so CI catches a
 regression in snapshot keying, decoding, or cache lookup, not just a
 missing metric.
+
+`serve` mode validates only the serve_load section (written by `histpc
+bench-client --out` or bench/serve_load, which don't produce the
+micro_core sections): load points must carry ordered positive latency
+percentiles, a low-RPS smoke run must shed nothing, and when the section
+reports warm_speedup_vs_cold it must clear the 5x acceptance bar.
 """
 
 import json
@@ -93,13 +99,49 @@ REQUIRED = {
 }
 
 
+def validate_serve(metrics: dict) -> None:
+    if "serve_load" not in metrics:
+        sys.exit("BENCH_metrics.json: missing section 'serve_load'")
+    serve = metrics["serve_load"]
+    points = serve.get("points")
+    if not points:
+        sys.exit("serve_load: no load points recorded")
+    for i, point in enumerate(points):
+        for key in ("offered_rps", "achieved_rps", "sent", "ok", "shed", "errors",
+                    "p50_ms", "p99_ms", "shed_rate"):
+            if key not in point:
+                sys.exit(f"serve_load: point {i} missing {key!r}")
+        if not point["p50_ms"] > 0:
+            sys.exit(f"serve_load: point {i} p50_ms {point['p50_ms']} not positive — "
+                     "no successful request was ever timed")
+        if point["p99_ms"] < point["p50_ms"]:
+            sys.exit(f"serve_load: point {i} p99_ms {point['p99_ms']} < "
+                     f"p50_ms {point['p50_ms']}")
+        if point["errors"] != 0:
+            sys.exit(f"serve_load: point {i} saw {point['errors']} transport errors")
+    # The smoke run drives well under capacity: admission control must not
+    # have engaged (first point only; saturation points are meant to shed).
+    if points[0]["shed_rate"] != 0:
+        sys.exit(f"serve_load: shed_rate {points[0]['shed_rate']} at low load — "
+                 "admission control shed requests a healthy server should absorb")
+    if "warm_speedup_vs_cold" in serve and serve["warm_speedup_vs_cold"] < 5:
+        sys.exit(f"serve_load: warm served request only "
+                 f"{serve['warm_speedup_vs_cold']:.1f}x over a cold one-shot "
+                 "(acceptance bar is 5x)")
+    print("BENCH_metrics.json serve_load OK:", len(points), "load point(s)")
+
+
 def main() -> None:
     mode = sys.argv[1] if len(sys.argv) > 1 else None
-    if mode not in (None, "cold", "warm"):
-        sys.exit(f"unknown mode {mode!r}: expected 'cold' or 'warm'")
+    if mode not in (None, "cold", "warm", "serve"):
+        sys.exit(f"unknown mode {mode!r}: expected 'cold', 'warm', or 'serve'")
 
     with open("BENCH_metrics.json") as f:
         metrics = json.load(f)
+
+    if mode == "serve":
+        validate_serve(metrics)
+        return
 
     for section, keys in REQUIRED.items():
         if section not in metrics:

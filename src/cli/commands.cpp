@@ -20,6 +20,9 @@
 #include "history/report.h"
 #include "history/similarity.h"
 #include "history/store.h"
+#include "serve/http.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "simmpi/trace_io.h"
 #include "telemetry/event.h"
 #include "telemetry/perf_diff.h"
@@ -312,10 +315,126 @@ int cmd_list(const Args& args, std::ostream& out) {
 
 int cmd_migrate(const Args& args, std::ostream& out) {
   ExperimentStore store(args.option_or("store", std::string(kDefaultStoreDir)));
-  const std::size_t migrated = store.migrate_all();
+  // --jobs N parallelizes the parse/encode work on a thread pool (0 = all
+  // hardware threads). The summary below is identical for every N — the
+  // store folds the results in sorted order regardless of which worker
+  // finished first.
+  const int jobs = args.option_or("jobs", 1);
+  if (jobs < 0)
+    throw ArgsError("option --jobs expects a non-negative integer (0 = all hardware threads)");
+  const std::size_t migrated = store.migrate_all(jobs);
   out << "migrated " << migrated << " legacy JSON record(s) to binary in "
       << store.directory() << "\n";
   return 0;
+}
+
+// ------------------------------------------------------- serve / bench-client
+
+int cmd_serve(const Args& args, std::ostream& out) {
+  serve::ServeConfig cfg;
+  cfg.host = args.option_or("host", cfg.host);
+  cfg.port = args.option_or("port", 7777);
+  cfg.threads = args.option_or("threads", cfg.threads);
+  cfg.queue_depth = args.option_or("queue-depth", cfg.queue_depth);
+  if (cfg.threads < 0) throw ArgsError("option --threads expects a non-negative integer");
+  if (cfg.queue_depth < 1) throw ArgsError("option --queue-depth expects a positive integer");
+  cfg.store_dir = args.option_or("store", std::string(kDefaultStoreDir));
+  cfg.trace_cache_dir = args.option_or("trace-cache", std::string(kDefaultTraceCacheDir));
+  if (args.has_flag("no-trace-cache")) cfg.trace_cache_dir.clear();
+  const int max_body_kb = args.option_or("max-body-kb", 1024);
+  if (max_body_kb < 1) throw ArgsError("option --max-body-kb expects a positive integer");
+  cfg.max_body_bytes = static_cast<std::size_t>(max_body_kb) * 1024;
+  cfg.result_cache = !args.has_flag("no-result-cache");
+  cfg.perf_log = !args.has_flag("no-perf-log");
+  if (auto log = args.option("perf-log")) cfg.perf_log_path = *log;
+
+  serve::DiagnosisServer server(std::move(cfg));
+  server.start();
+  out << "histpc serve listening on http://" << server.config().host << ":" << server.port()
+      << "\n  store " << server.config().store_dir << ", "
+      << util::ThreadPool::resolve(server.config().threads) << " worker thread(s), queue depth "
+      << server.config().queue_depth << "\n  endpoints: POST /diagnose /list /perf-report "
+      << "/shutdown, GET /healthz /stats\n";
+  out.flush();
+  server.wait();  // returns on POST /shutdown
+  server.stop();
+  const serve::ServeStats s = server.stats();
+  out << "shut down after " << s.served << " request(s) served, " << s.shed << " shed, "
+      << s.result_cache_hits << " result-cache hit(s)\n";
+  return 0;
+}
+
+int cmd_bench_client(const Args& args, std::ostream& out) {
+  serve::LoadGenOptions opt;
+  opt.host = args.option_or("host", opt.host);
+  opt.port = args.option_or("port", 7777);
+  opt.rps = args.option_or("rps", 20.0);
+  opt.duration_seconds = args.option_or("duration", 2.0);
+  opt.connections = args.option_or("connections", 4);
+  opt.seed = static_cast<std::uint64_t>(args.option_or("seed", 1));
+  if (opt.rps <= 0.0) throw ArgsError("option --rps expects a positive number");
+  if (opt.duration_seconds <= 0.0) throw ArgsError("option --duration expects a positive number");
+  if (opt.connections < 1) throw ArgsError("option --connections expects a positive integer");
+
+  util::Json body = util::Json::object();
+  body["app"] = args.option_or("app", std::string("poisson_a"));
+  body["duration"] = args.option_or("app-duration", 1500.0);
+  if (args.has_flag("no-result-cache")) body["no_result_cache"] = true;
+  if (const double deadline = args.option_or("deadline-ms", 0.0); deadline > 0.0)
+    body["deadline_ms"] = deadline;
+  opt.body = body.dump();
+
+  // Readiness: the server may still be binding (CI starts it in the
+  // background); retry /healthz briefly before declaring it unreachable.
+  const double connect_wait = args.option_or("connect-wait", 10.0);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(connect_wait);
+  bool ready = false;
+  while (!ready && std::chrono::steady_clock::now() < give_up) {
+    if (auto health = serve::http_get(opt.host, opt.port, "/healthz", 2.0);
+        health && health->status == 200) {
+      ready = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  if (!ready) {
+    out << "no server reachable at " << opt.host << ":" << opt.port << " within "
+        << util::fmt_double(connect_wait, 1) << "s\n";
+    return 1;
+  }
+
+  out << "driving " << opt.host << ":" << opt.port << " at " << util::fmt_double(opt.rps, 1)
+      << " req/s for " << util::fmt_double(opt.duration_seconds, 1) << "s ("
+      << opt.connections << " connection(s), open-loop Poisson arrivals)\n";
+  const serve::LoadPoint point = serve::run_load(opt);
+  out << "sent " << point.sent << ": " << point.ok << " ok, " << point.shed << " shed, "
+      << point.errors << " error(s)\n"
+      << "achieved " << util::fmt_double(point.achieved_rps, 1) << " req/s, p50 "
+      << util::fmt_double(point.p50_ms, 2) << "ms, p99 " << util::fmt_double(point.p99_ms, 2)
+      << "ms, shed rate " << util::fmt_percent(point.shed_rate, 1) << "\n";
+
+  if (auto out_path = args.option("out")) {
+    // Merge a serve_load section into the metrics file (read-modify-write,
+    // same contract as the bench binaries' BENCH_metrics.json sections).
+    util::Json root = util::Json::object();
+    try {
+      root = util::Json::parse(util::read_file(*out_path));
+      if (!root.is_object()) root = util::Json::object();
+    } catch (const std::exception&) {
+      root = util::Json::object();
+    }
+    util::Json section = util::Json::object();
+    section["source"] = "bench-client";
+    section["app"] = body.at("app").as_string();
+    util::Json points = util::Json::array();
+    points.push_back(point.to_json());
+    section["points"] = std::move(points);
+    root["serve_load"] = std::move(section);
+    util::write_file(*out_path, root.dump(2) + "\n");
+    out << "wrote serve_load section to " << *out_path << "\n";
+  }
+  return point.errors > 0 ? 1 : 0;
 }
 
 int cmd_show(const Args& args, std::ostream& out) {
@@ -741,7 +860,17 @@ const Command kCommands[] = {
       "search-threads"},
      {"string-foci", "no-trace-cache"}},
     {"list", cmd_list, {"store", "app", "version", "machine", "scenario"}, {}},
-    {"migrate", cmd_migrate, {"store"}, {}},
+    {"migrate", cmd_migrate, {"store", "jobs"}, {}},
+    {"serve",
+     cmd_serve,
+     {"host", "port", "threads", "queue-depth", "store", "trace-cache", "max-body-kb",
+      "perf-log"},
+     {"no-result-cache", "no-perf-log", "no-trace-cache"}},
+    {"bench-client",
+     cmd_bench_client,
+     {"host", "port", "rps", "duration", "connections", "seed", "app", "app-duration",
+      "deadline-ms", "out", "connect-wait"},
+     {"no-result-cache"}},
     {"show", cmd_show, {"store"}, {"report"}},
     {"harvest",
      cmd_harvest,
@@ -775,6 +904,8 @@ std::string usage() {
         "  variants <app>               run the table-1 directive variants in parallel\n"
         "  list                         list stored experiment records\n"
         "  migrate                      convert legacy JSON records to binary\n"
+        "  serve                        long-running diagnosis service (HTTP/JSON)\n"
+        "  bench-client                 open-loop load generator for serve\n"
         "  show <run_id>                print one record\n"
         "  harvest <run_id>             extract search directives from a record\n"
         "  map <from_id> <to_id>        suggest resource mappings between two runs\n"
@@ -808,7 +939,20 @@ std::string usage() {
         "(--log FILE, or --app NAME [--store DIR]); perf-diff compares the\n"
         "newest record against a --window K baseline (or --baseline FILE)\n"
         "with a MAD band (--sigma/--min-rel/--min-abs) and exits non-zero\n"
-        "when a metric regressed.\n";
+        "when a metric regressed.\n"
+        "\nmigrate --jobs N parses/encodes legacy records on N threads (0 =\n"
+        "all hardware threads); the resulting index and summary line are\n"
+        "identical for every N.\n"
+        "serve [--port N] answers POST /diagnose /list /perf-report (and\n"
+        "GET /healthz /stats, POST /shutdown) concurrently over one shared\n"
+        "read-mostly store + trace cache; --threads/--queue-depth size the\n"
+        "worker pool and admission queue (excess requests are shed with\n"
+        "429), --no-result-cache disables warm-result memoization, and each\n"
+        "request appends a kind=serve PerfRecord readable by perf-report\n"
+        "--app serve. bench-client --port N --rps R --duration S drives a\n"
+        "running server with open-loop Poisson arrivals and prints p50/p99\n"
+        "latency and shed rate; --out FILE merges a serve_load section into\n"
+        "a BENCH_metrics.json-style file.\n";
   return os.str();
 }
 

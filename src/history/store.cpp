@@ -4,10 +4,12 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <mutex>
 
 #include "history/exp_snapshot.h"
 #include "util/log.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace histpc::history {
 
@@ -155,7 +157,7 @@ void ExperimentStore::rewrite_index(const IndexState& state) const {
   }
 }
 
-ExperimentStore::IndexState& ExperimentStore::index() const {
+ExperimentStore::IndexState& ExperimentStore::ensure_index_locked() const {
   if (index_) return *index_;
   IndexState st;
   const std::set<std::string> stems = record_stems();
@@ -196,7 +198,9 @@ ExperimentStore::IndexState& ExperimentStore::index() const {
   std::vector<util::Json> appended;
   for (const std::string& stem : stems) {
     if (st.entries.contains(stem)) continue;
-    auto rec = try_load(stem);
+    // load_file, not try_load: the lock is already held, and the heal pass
+    // does its own index bookkeeping right here.
+    auto rec = load_file(stem, nullptr);
     if (!rec) {
       st.unloadable.insert(stem);
       continue;
@@ -219,6 +223,9 @@ ExperimentStore::IndexState& ExperimentStore::index() const {
 }
 
 std::string ExperimentStore::save(ExperimentRecord record) {
+  // Exclusive for the whole call: run-id assignment (scan + max+1) must
+  // not race another save, and the index append must not interleave.
+  std::unique_lock lock(index_mu_);
   if (record.run_id.empty()) {
     // The id embeds *escaped* app/version — '_' inside either field cannot
     // change how the id splits — and the next sequence number is taken
@@ -251,11 +258,31 @@ std::optional<ExperimentRecord> ExperimentStore::load(const std::string& run_id)
   const std::string json = json_path_for(run_id);
   if (!fs::exists(json)) return std::nullopt;
   ExperimentRecord rec = ExperimentRecord::from_json(util::Json::parse(util::read_file(json)));
-  migrate_to_binary(rec);
+  // Best-effort migration: a failed write (read-only store, disk full)
+  // costs speed, never data. The legacy JSON is left in place.
+  try {
+    save_experiment_record(rec, bin);
+    HISTPC_LOG(Debug) << "migrated legacy JSON record " << run_id << " to binary snapshot";
+    std::unique_lock lock(index_mu_);
+    note_migrated_locked(rec, run_id);
+  } catch (const std::exception& e) {
+    HISTPC_LOG(Warn) << "cannot migrate record " << run_id << " to binary: " << e.what();
+  }
   return rec;
 }
 
 std::optional<ExperimentRecord> ExperimentStore::try_load(const std::string& run_id) const {
+  bool migrated = false;
+  auto rec = load_file(run_id, &migrated);
+  if (migrated) {
+    std::unique_lock lock(index_mu_);
+    note_migrated_locked(*rec, run_id);
+  }
+  return rec;
+}
+
+std::optional<ExperimentRecord> ExperimentStore::load_file(const std::string& run_id,
+                                                           bool* migrated) const {
   const std::string bin = bin_path_for(run_id);
   const std::string json = json_path_for(run_id);
   if (fs::exists(bin)) {
@@ -270,7 +297,17 @@ std::optional<ExperimentRecord> ExperimentStore::try_load(const std::string& run
   try {
     ExperimentRecord rec =
         ExperimentRecord::from_json(util::Json::parse(util::read_file(json)));
-    migrate_to_binary(rec);
+    // Best-effort migration at the file level only (the caller owns index
+    // bookkeeping): writes the binary *under the requested id*, so the
+    // record load() answers to is the one that gets fast next time even
+    // when a hand-copied file disagrees with its embedded run_id.
+    try {
+      save_experiment_record(rec, bin);
+      HISTPC_LOG(Debug) << "migrated legacy JSON record " << run_id << " to binary snapshot";
+      if (migrated) *migrated = true;
+    } catch (const std::exception& e) {
+      HISTPC_LOG(Warn) << "cannot migrate record " << run_id << " to binary: " << e.what();
+    }
     return rec;
   } catch (const std::exception& e) {
     HISTPC_LOG(Warn) << "quarantining unreadable store record " << json << ": " << e.what();
@@ -278,23 +315,15 @@ std::optional<ExperimentRecord> ExperimentStore::try_load(const std::string& run
   }
 }
 
-void ExperimentStore::migrate_to_binary(const ExperimentRecord& record) const {
-  // Best-effort by design: the record was already loaded successfully, so
-  // a failed migration (read-only store, disk full) costs speed, never
-  // data. The legacy JSON is left in place; the binary wins next load.
-  try {
-    save_experiment_record(record, bin_path_for(record.run_id));
-    IndexEntry e = make_index_entry(record);
-    if (!index_ || !index_->entries.contains(e.run_id)) append_index_line(entry_to_json(e));
-    if (index_) {
-      index_->unloadable.erase(e.run_id);
-      index_->entries[e.run_id] = std::move(e);
-    }
-    HISTPC_LOG(Debug) << "migrated legacy JSON record " << record.run_id
-                      << " to binary snapshot";
-  } catch (const std::exception& e) {
-    HISTPC_LOG(Warn) << "cannot migrate record " << record.run_id
-                     << " to binary: " << e.what();
+void ExperimentStore::note_migrated_locked(const ExperimentRecord& record,
+                                           const std::string& run_id) const {
+  IndexEntry e = make_index_entry(record);
+  e.run_id = run_id;
+  e.seq = parse_seq(run_id).value_or(0);
+  if (!index_ || !index_->entries.contains(run_id)) append_index_line(entry_to_json(e));
+  if (index_) {
+    index_->unloadable.erase(run_id);
+    index_->entries[run_id] = std::move(e);
   }
 }
 
@@ -315,10 +344,24 @@ std::vector<std::string> ExperimentStore::list(const std::string& app,
 }
 
 std::vector<IndexEntry> ExperimentStore::summaries(const StoreQuery& query) const {
-  const IndexState& st = index();
   std::vector<IndexEntry> out;
-  for (const auto& [id, e] : st.entries)
-    if (matches(query, e)) out.push_back(e);
+  const auto collect = [&](const IndexState& st) {
+    for (const auto& [id, e] : st.entries)
+      if (matches(query, e)) out.push_back(e);
+  };
+  // Fast path: fold already done, read under a shared lock — this is what
+  // lets every serve worker answer list/latest queries concurrently.
+  {
+    std::shared_lock lock(index_mu_);
+    if (index_) collect(*index_);
+  }
+  if (out.empty()) {
+    // Slow path: the fold may not have happened yet (or genuinely matched
+    // nothing — rebuilding an already-built index is a cheap no-op).
+    std::unique_lock lock(index_mu_);
+    out.clear();
+    collect(ensure_index_locked());
+  }
   std::sort(out.begin(), out.end(), [](const IndexEntry& a, const IndexEntry& b) {
     return run_id_natural_less(a.run_id, b.run_id);
   });
@@ -326,24 +369,42 @@ std::vector<IndexEntry> ExperimentStore::summaries(const StoreQuery& query) cons
 }
 
 std::optional<ExperimentRecord> ExperimentStore::latest(const StoreQuery& query) const {
-  IndexState& st = index();
   // Highest sequence first (ties toward the naturally-larger id); load
   // only the winner. A record that fails to load is skipped with a warning
   // (try_load) and dropped from this instance's view, and the next
-  // candidate wins — one damaged file cannot abort the query.
-  std::vector<const IndexEntry*> candidates;
-  for (const auto& [id, e] : st.entries)
-    if (matches(query, e)) candidates.push_back(&e);
-  std::sort(candidates.begin(), candidates.end(), [](const IndexEntry* a, const IndexEntry* b) {
-    if (a->seq != b->seq) return a->seq > b->seq;
-    return run_id_natural_less(b->run_id, a->run_id);
+  // candidate wins — one damaged file cannot abort the query. Candidates
+  // are copied out so no index reference outlives the lock.
+  struct Candidate {
+    std::string run_id;
+    long seq;
+  };
+  std::vector<Candidate> candidates;
+  bool folded = false;
+  {
+    std::shared_lock lock(index_mu_);
+    if (index_) {
+      folded = true;
+      for (const auto& [id, e] : index_->entries)
+        if (matches(query, e)) candidates.push_back({e.run_id, e.seq});
+    }
+  }
+  if (!folded) {
+    std::unique_lock lock(index_mu_);
+    for (const auto& [id, e] : ensure_index_locked().entries)
+      if (matches(query, e)) candidates.push_back({e.run_id, e.seq});
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.seq != b.seq) return a.seq > b.seq;
+    return run_id_natural_less(b.run_id, a.run_id);
   });
-  for (const IndexEntry* e : candidates) {
-    auto rec = try_load(e->run_id);
+  for (const Candidate& c : candidates) {
+    auto rec = try_load(c.run_id);
     if (rec) return rec;
-    const std::string id = e->run_id;  // e dies with the erase below
-    st.unloadable.insert(id);
-    st.entries.erase(id);
+    std::unique_lock lock(index_mu_);
+    if (index_) {
+      index_->unloadable.insert(c.run_id);
+      index_->entries.erase(c.run_id);
+    }
   }
   return std::nullopt;
 }
@@ -393,6 +454,7 @@ bool ExperimentStore::remove(const std::string& run_id) {
   util::Json tomb = util::Json::object();
   tomb["run_id"] = run_id;
   tomb["removed"] = true;
+  std::unique_lock lock(index_mu_);
   append_index_line(tomb);
   if (index_) {
     index_->entries.erase(run_id);
@@ -401,20 +463,44 @@ bool ExperimentStore::remove(const std::string& run_id) {
   return true;
 }
 
-std::size_t ExperimentStore::migrate_all() {
-  // Snapshot the JSON-only stems before touching the index: the heal pass
-  // inside index() migrates unindexed records as a side effect, and those
-  // must count toward this call's total.
-  std::set<std::string> pending;
+std::size_t ExperimentStore::migrate_all(int jobs) {
+  // Snapshot the JSON-only stems before touching the index; sorted order
+  // (set iteration) is what makes the bookkeeping below deterministic.
+  std::vector<std::string> pending;
   for (const std::string& stem : record_stems())
     if (!fs::exists(bin_path_for(stem)) && fs::exists(json_path_for(stem)))
-      pending.insert(stem);
-  index();  // adopt + index everything readable
-  std::size_t migrated = 0;
-  for (const std::string& stem : pending) {
-    if (!fs::exists(bin_path_for(stem))) try_load(stem);
-    if (fs::exists(bin_path_for(stem))) ++migrated;
+      pending.push_back(stem);
+
+  // Parallel phase: parse the JSON and encode the binary for each pending
+  // stem. Pure file work — load_file touches no shared state, and every
+  // worker writes a distinct stem — so the workers share only the pool.
+  std::vector<std::optional<ExperimentRecord>> converted(pending.size());
+  const auto convert = [&](std::size_t i) {
+    bool migrated = false;
+    auto rec = load_file(pending[i], &migrated);
+    if (rec && migrated) converted[i] = std::move(rec);
+  };
+  const int workers = std::max(
+      1, std::min(util::ThreadPool::resolve(jobs), static_cast<int>(pending.size())));
+  if (workers > 1) {
+    util::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < pending.size(); ++i) pool.submit([&convert, i] { convert(i); });
+    pool.wait_idle();
+  } else {
+    for (std::size_t i = 0; i < pending.size(); ++i) convert(i);
   }
+
+  // Sequential phase: fold the results into the index in sorted-stem
+  // order under one exclusive lock, so the index file and the in-memory
+  // view come out identical for every thread count.
+  std::size_t migrated = 0;
+  std::unique_lock lock(index_mu_);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!converted[i]) continue;
+    ++migrated;
+    note_migrated_locked(*converted[i], pending[i]);
+  }
+  ensure_index_locked();  // adopt + index everything readable
   return migrated;
 }
 

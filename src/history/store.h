@@ -24,11 +24,22 @@
 // rebuilt. An ExperimentStore instance snapshots the index at first use;
 // construct a fresh instance to observe records written by other
 // processes.
+//
+// Concurrency. One ExperimentStore instance may be shared by concurrent
+// readers (the `histpc serve` session pool answers every request from one
+// instance): the in-memory IndexState is guarded by a shared_mutex — the
+// index is folded once under an exclusive lock, queries then read under
+// shared locks — and index-file appends are serialized by the same lock.
+// Record-file I/O itself is lock-free; every write is atomic
+// (temp+rename), so readers never observe a partial record. Writers
+// (save / remove / migrate) are safe too, but the instance-snapshot
+// semantics above still apply across *processes*.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -131,8 +142,13 @@ class ExperimentStore {
 
   /// Force migration of every readable legacy JSON record to binary and
   /// bring the index fully up to date. Returns the number of records
-  /// migrated (binary file newly written).
-  std::size_t migrate_all();
+  /// migrated (binary file newly written). `jobs` > 1 parses and encodes
+  /// records on a util::ThreadPool of that size (0 = hardware
+  /// concurrency); the migrated set, the returned count, and the index
+  /// contents are identical for every thread count — only the file-level
+  /// parse/encode work runs in parallel, all bookkeeping is folded in
+  /// sorted stem order afterwards.
+  std::size_t migrate_all(int jobs = 1);
 
  private:
   struct IndexState {
@@ -147,16 +163,30 @@ class ExperimentStore {
   std::string index_path() const;
   /// Record stems present in the directory (either extension, deduped).
   std::set<std::string> record_stems() const;
-  /// Load-or-build the cached index (fold JSONL, drop stale entries, heal
-  /// unindexed stems, rewrite when compaction is due).
-  IndexState& index() const;
+  /// Build the cached index if absent (fold JSONL, drop stale entries,
+  /// heal unindexed stems, rewrite when compaction is due). Caller must
+  /// hold `index_mu_` exclusively.
+  IndexState& ensure_index_locked() const;
+  /// Caller must hold `index_mu_` exclusively (serializes appends).
   void append_index_line(const util::Json& line) const;
   void rewrite_index(const IndexState& state) const;
-  /// Best-effort: write the binary snapshot for a JSON-loaded record and
-  /// index it. Never throws.
-  void migrate_to_binary(const ExperimentRecord& record) const;
+  /// Pure file-level load with quarantine-on-corrupt semantics (warn and
+  /// return nullopt; a corrupt binary falls back to intact legacy JSON).
+  /// When the record was read from legacy JSON, best-effort writes the
+  /// binary beside it and sets *migrated. No index access, no locks —
+  /// safe from any thread, including the heal pass itself.
+  std::optional<ExperimentRecord> load_file(const std::string& run_id, bool* migrated) const;
+  /// Fold a freshly-migrated record into the in-memory index and the
+  /// index file, keyed by `run_id` (the stem the caller asked for, which
+  /// wins over a hand-copied file's embedded id). Caller must hold
+  /// `index_mu_` exclusively.
+  void note_migrated_locked(const ExperimentRecord& record, const std::string& run_id) const;
 
   std::string dir_;
+  /// Guards index_ and serializes index-file appends/rewrites. Record
+  /// *file* I/O is deliberately outside it: writes are atomic
+  /// (temp+rename), so holding a lock across them buys nothing.
+  mutable std::shared_mutex index_mu_;
   mutable std::optional<IndexState> index_;
 };
 

@@ -1,6 +1,7 @@
 #include "pc/consultant.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -633,11 +634,22 @@ DiagnosisResult PerformanceConsultant::run() {
 
   const double horizon = std::min(config_.max_time, view_.trace().duration);
   init_speculation(horizon);
+  const auto wall_start = std::chrono::steady_clock::now();
   double t = 0.0;
   activate_pending(t);
   if (spec_) speculate(t);
   while (t < horizon) {
     if (search_finished()) break;
+    // Deadline propagation: a served request's wall budget ends the search
+    // at a tick boundary, so the partial result is a well-formed prefix
+    // (every reported conclusion used the normal observation window).
+    if (config_.wall_budget_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+                .count() >= config_.wall_budget_seconds) {
+      deadline_hit_ = true;
+      tracer_.registry().add("pc.deadline_hit");
+      break;
+    }
     const double t_prev = t;
     t = std::min(t + config_.tick, horizon);
     cost_integral_ += instr_.total_cost() * (t - t_prev);
@@ -723,6 +735,7 @@ DiagnosisResult PerformanceConsultant::build_result(double end_time) {
   result.stats.last_true_time =
       result.bottlenecks.empty() ? 0.0 : result.bottlenecks.back().t_found;
   result.stats.peak_cost = instr_.peak_cost();
+  result.stats.deadline_hit = deadline_hit_;
 
   const telemetry::Registry& reg = tracer_.registry();
   TelemetrySummary& tel = result.telemetry;

@@ -62,6 +62,14 @@ struct PcConfig {
   double threshold_override = -1.0;
   /// Hard stop; the search also stops when the trace ends.
   double max_time = std::numeric_limits<double>::infinity();
+  /// Wall-clock budget for one run() in seconds; <= 0 (default) means
+  /// unlimited. When the budget expires the search stops at the end of the
+  /// current tick and the result carries stats.deadline_hit — this is how
+  /// `histpc serve` propagates a request's deadline into the consultant
+  /// loop. A deadline makes the *extent* of the search timing-dependent,
+  /// so deadline-limited results are never bit-identity oracles (and the
+  /// server never caches them).
+  double wall_budget_seconds = 0.0;
   /// Keep high-priority pairs instrumented for the whole run (paper
   /// behaviour). Off = treat them as ordinary one-shot tests (ablation).
   bool persistent_high_priority = true;
@@ -144,6 +152,10 @@ struct DiagnosisStats {
   double end_time = 0.0;           ///< virtual time the search stopped
   double last_true_time = 0.0;     ///< time the final bottleneck was found
   double peak_cost = 0.0;
+  /// True when PcConfig::wall_budget_seconds expired before the search
+  /// finished on its own — the reported bottlenecks are a prefix of what
+  /// an unbounded search would have found.
+  bool deadline_hit = false;
 };
 
 /// Search-telemetry rollup, filled for every diagnosis (tracing on or
@@ -335,6 +347,7 @@ class PerformanceConsultant {
   /// pair is priced once per search.
   std::map<std::pair<int, resources::FocusId>, double> spec_cost_;
   bool ran_ = false;
+  bool deadline_hit_ = false;  ///< wall_budget_seconds expired mid-search
 };
 
 }  // namespace histpc::pc

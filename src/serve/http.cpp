@@ -1,0 +1,230 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace histpc::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+/// Append whatever is available; false on EOF, error, or timeout.
+bool recv_some(int fd, std::string& buf) {
+  char tmp[4096];
+  const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+  if (n <= 0) return false;
+  buf.append(tmp, static_cast<std::size_t>(n));
+  return true;
+}
+
+/// Locate the blank line ending the header block; supports CRLF and LF.
+/// Returns npos when incomplete; `body_start` is set past the separator.
+std::size_t find_header_end(const std::string& buf, std::size_t* body_start) {
+  const std::size_t crlf = buf.find("\r\n\r\n");
+  const std::size_t lf = buf.find("\n\n");
+  if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+    *body_start = crlf + 4;
+    return crlf;
+  }
+  if (lf != std::string::npos) {
+    *body_start = lf + 2;
+    return lf;
+  }
+  return std::string::npos;
+}
+
+bool fail(int code, std::string message, int* status, std::string* error) {
+  if (status) *status = code;
+  if (error) *error = std::move(message);
+  return false;
+}
+
+/// Parse "METHOD SP target SP HTTP/x.y" + header lines out of the header
+/// block. False (with status/error filled) on malformed framing.
+bool parse_head(std::string_view head, HttpRequest* out, int* status, std::string* error) {
+  const std::size_t line_end = std::min(head.find('\n'), head.size());
+  std::string_view line = trim(head.substr(0, line_end));
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos)
+    return fail(400, "malformed request line", status, error);
+  out->method = std::string(line.substr(0, sp1));
+  std::transform(out->method.begin(), out->method.end(), out->method.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  out->target = std::string(trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  if (out->target.empty() || out->target[0] != '/')
+    return fail(400, "request target must be an absolute path", status, error);
+
+  std::size_t pos = line_end == head.size() ? head.size() : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t next = head.find('\n', pos);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view raw = trim(head.substr(pos, next - pos));
+    pos = next + 1;
+    if (raw.empty()) continue;
+    const std::size_t colon = raw.find(':');
+    if (colon == std::string_view::npos)
+      return fail(400, "malformed header line", status, error);
+    out->headers[lower(trim(raw.substr(0, colon)))] = std::string(trim(raw.substr(colon + 1)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<HttpRequest> read_http_request(int fd, std::size_t max_body, int* status,
+                                             std::string* error) {
+  std::string buf;
+  std::size_t body_start = 0;
+  std::size_t head_end = std::string::npos;
+  while ((head_end = find_header_end(buf, &body_start)) == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) {
+      fail(400, "request header block too large", status, error);
+      return std::nullopt;
+    }
+    if (!recv_some(fd, buf)) {
+      fail(408, buf.empty() ? "empty request" : "connection closed mid-request", status,
+           error);
+      return std::nullopt;
+    }
+  }
+
+  HttpRequest req;
+  if (!parse_head(std::string_view(buf).substr(0, head_end), &req, status, error))
+    return std::nullopt;
+
+  std::size_t content_length = 0;
+  if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    try {
+      content_length = static_cast<std::size_t>(std::stoull(it->second));
+    } catch (const std::exception&) {
+      fail(400, "unparseable Content-Length", status, error);
+      return std::nullopt;
+    }
+  }
+  if (content_length > max_body) {
+    fail(413,
+         "request body of " + std::to_string(content_length) + " bytes exceeds the " +
+             std::to_string(max_body) + "-byte limit",
+         status, error);
+    return std::nullopt;
+  }
+  while (buf.size() - body_start < content_length) {
+    if (!recv_some(fd, buf)) {
+      fail(408, "connection closed mid-body", status, error);
+      return std::nullopt;
+    }
+  }
+  req.body = buf.substr(body_start, content_length);
+  return req;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += status_reason(response.status);
+  out += "\r\nContent-Type: " + response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::optional<HttpClientResult> http_request(const std::string& host, int port,
+                                             const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body,
+                                             double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = host == "localhost" || host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  std::string req = method + " " + target + " HTTP/1.1\r\nHost: " + numeric +
+                    "\r\nContent-Type: application/json\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  if (!write_all(fd, req)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  // Connection: close framing — the response is everything until EOF.
+  std::string buf;
+  while (recv_some(fd, buf)) {
+  }
+  ::close(fd);
+
+  // Status line: "HTTP/1.1 NNN Reason".
+  const std::size_t sp = buf.find(' ');
+  if (sp == std::string::npos || buf.size() < sp + 4) return std::nullopt;
+  HttpClientResult result;
+  try {
+    result.status = std::stoi(buf.substr(sp + 1, 3));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  std::size_t body_start = 0;
+  if (find_header_end(buf, &body_start) == std::string::npos) return std::nullopt;
+  result.body = buf.substr(body_start);
+  return result;
+}
+
+}  // namespace histpc::serve

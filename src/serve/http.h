@@ -1,0 +1,82 @@
+// Minimal HTTP/1.1 framing over POSIX sockets for `histpc serve`.
+//
+// The server speaks just enough of the protocol for a JSON request/response
+// service with no external dependencies: one request per connection
+// (`Connection: close` both ways), a request line + headers + optional
+// Content-Length body in, a status line + JSON body out. Deliberately not
+// a general HTTP implementation — no chunked encoding, no keep-alive, no
+// TLS — because the serving story it supports (localhost diagnosis
+// requests, load-generator clients) never needs them, and every line of
+// protocol code here is a line the tests must pin down.
+//
+// The tiny client half (http_get / http_post) exists for `histpc
+// bench-client`, the load generator, and the tests; it talks to numeric
+// IPv4 addresses ("localhost" is rewritten to 127.0.0.1).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace histpc::serve {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (uppercased by the parser)
+  std::string target;  ///< path as sent, e.g. "/diagnose"
+  std::string body;
+  /// Header names lowercased; values trimmed of surrounding whitespace.
+  std::map<std::string, std::string> headers;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+  std::string content_type = "application/json";
+};
+
+/// Read one request from a connected socket. On failure returns nullopt
+/// and fills `status` (400 malformed framing, 408 read timeout/EOF before
+/// a complete request, 413 declared body over `max_body`) and `error`
+/// (one human-readable line). Accepts both CRLF and bare-LF line endings.
+std::optional<HttpRequest> read_http_request(int fd, std::size_t max_body, int* status,
+                                             std::string* error);
+
+/// Serialize status line + headers + body, ready for write_all().
+std::string serialize_response(const HttpResponse& response);
+
+/// The canonical reason phrase ("OK", "Too Many Requests", ...).
+std::string_view status_reason(int status);
+
+/// Loop send() until everything is written (MSG_NOSIGNAL: a dead peer
+/// yields false, never SIGPIPE). False on any error.
+bool write_all(int fd, std::string_view data);
+
+struct HttpClientResult {
+  int status = 0;
+  std::string body;
+};
+
+/// One-shot client request: connect, send, read to EOF, parse. nullopt on
+/// connect/IO/parse failure. `timeout_seconds` bounds both send and recv.
+std::optional<HttpClientResult> http_request(const std::string& host, int port,
+                                             const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body,
+                                             double timeout_seconds = 30.0);
+
+inline std::optional<HttpClientResult> http_get(const std::string& host, int port,
+                                                const std::string& target,
+                                                double timeout_seconds = 30.0) {
+  return http_request(host, port, "GET", target, "", timeout_seconds);
+}
+
+inline std::optional<HttpClientResult> http_post(const std::string& host, int port,
+                                                 const std::string& target,
+                                                 const std::string& body,
+                                                 double timeout_seconds = 30.0) {
+  return http_request(host, port, "POST", target, body, timeout_seconds);
+}
+
+}  // namespace histpc::serve

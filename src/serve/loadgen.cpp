@@ -1,0 +1,126 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "serve/http.h"
+#include "util/rng.h"
+
+namespace histpc::serve {
+
+namespace {
+
+/// Exact quantile over a sorted sample (linear interpolation between
+/// order statistics). 0 on empty input.
+double quantile_ms(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+util::Json LoadPoint::to_json() const {
+  util::Json j = util::Json::object();
+  j["offered_rps"] = offered_rps;
+  j["achieved_rps"] = achieved_rps;
+  j["sent"] = sent;
+  j["ok"] = ok;
+  j["shed"] = shed;
+  j["errors"] = errors;
+  j["p50_ms"] = p50_ms;
+  j["p99_ms"] = p99_ms;
+  j["max_ms"] = max_ms;
+  j["shed_rate"] = shed_rate;
+  j["wall_seconds"] = wall_seconds;
+  return j;
+}
+
+LoadPoint run_load(const LoadGenOptions& options) {
+  // The whole arrival schedule is drawn before the first request:
+  // exponential gaps at the offered rate, deterministic per seed.
+  util::Rng rng(options.seed);
+  std::vector<double> arrivals;
+  double t = 0.0;
+  while (true) {
+    double u = rng.next_double();
+    if (u >= 1.0) u = 0.0;
+    t += -std::log(1.0 - u) / options.rps;
+    if (t >= options.duration_seconds) break;
+    arrivals.push_back(t);
+  }
+
+  const int threads = std::max(1, options.connections);
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> sent(static_cast<std::size_t>(threads), 0);
+  std::vector<std::uint64_t> ok(static_cast<std::size_t>(threads), 0);
+  std::vector<std::uint64_t> shed(static_cast<std::size_t>(threads), 0);
+  std::vector<std::uint64_t> errors(static_cast<std::size_t>(threads), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> senders;
+  senders.reserve(static_cast<std::size_t>(threads));
+  for (int k = 0; k < threads; ++k) {
+    senders.emplace_back([&, k] {
+      const auto idx = static_cast<std::size_t>(k);
+      // Deterministic round-robin partition of the schedule: sender k owns
+      // arrivals k, k+threads, ... A sender running late fires its overdue
+      // arrivals back to back (open loop), and the delay lands in the
+      // measured latency.
+      for (std::size_t i = idx; i < arrivals.size(); i += static_cast<std::size_t>(threads)) {
+        const auto scheduled =
+            start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrivals[i]));
+        std::this_thread::sleep_until(scheduled);
+        ++sent[idx];
+        const auto res = http_post(options.host, options.port, options.target, options.body,
+                                   options.timeout_seconds);
+        const double ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      scheduled)
+                .count();
+        if (!res) {
+          ++errors[idx];
+        } else if (res->status == 429) {
+          ++shed[idx];
+        } else if (res->status == 200) {
+          ++ok[idx];
+          latencies[idx].push_back(ms);
+        } else {
+          ++errors[idx];
+        }
+      }
+    });
+  }
+  for (std::thread& s : senders) s.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  LoadPoint point;
+  point.offered_rps = options.rps;
+  point.wall_seconds = wall;
+  std::vector<double> all;
+  for (std::size_t k = 0; k < latencies.size(); ++k) {
+    point.sent += sent[k];
+    point.ok += ok[k];
+    point.shed += shed[k];
+    point.errors += errors[k];
+    all.insert(all.end(), latencies[k].begin(), latencies[k].end());
+  }
+  std::sort(all.begin(), all.end());
+  point.achieved_rps = wall > 0.0 ? static_cast<double>(point.ok) / wall : 0.0;
+  point.p50_ms = quantile_ms(all, 0.50);
+  point.p99_ms = quantile_ms(all, 0.99);
+  point.max_ms = all.empty() ? 0.0 : all.back();
+  point.shed_rate =
+      point.sent > 0 ? static_cast<double>(point.shed) / static_cast<double>(point.sent) : 0.0;
+  return point;
+}
+
+}  // namespace histpc::serve

@@ -1,0 +1,58 @@
+// Open-loop Poisson load generator for `histpc serve`.
+//
+// Arrivals are drawn once, up front, from an exponential inter-arrival
+// distribution at the offered rate (deterministic per seed — util::Rng),
+// and each sender thread fires its share of the schedule at the scheduled
+// wall-clock instants regardless of how the previous requests fared.
+// Latency is measured from the *scheduled* arrival, not the actual send,
+// so queueing delay at an overloaded server shows up in the tail instead
+// of being silently absorbed (the coordinated-omission mistake a
+// closed-loop "send, wait, repeat" generator makes).
+//
+// Concurrency is bounded by `connections` sender threads, each opening one
+// connection per request — at extreme offered rates the generator itself
+// saturates, which the achieved-vs-offered gap in the LoadPoint makes
+// visible rather than hiding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+
+namespace histpc::serve {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string target = "/diagnose";
+  std::string body;  ///< JSON body sent with every request
+  double rps = 50.0;
+  double duration_seconds = 2.0;
+  int connections = 4;  ///< sender threads (concurrency bound)
+  std::uint64_t seed = 1;
+  double timeout_seconds = 30.0;
+};
+
+/// One measured operating point of the saturation curve.
+struct LoadPoint {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;  ///< 200s per wall second
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;      ///< 200 responses
+  std::uint64_t shed = 0;    ///< 429 responses
+  std::uint64_t errors = 0;  ///< connect failures + other statuses
+  double p50_ms = 0.0;       ///< over ok responses, scheduled-arrival-to-done
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double shed_rate = 0.0;  ///< shed / sent
+  double wall_seconds = 0.0;
+
+  util::Json to_json() const;
+};
+
+/// Drive one operating point against a live server. Blocks for roughly
+/// `duration_seconds` plus the tail of in-flight requests.
+LoadPoint run_load(const LoadGenOptions& options);
+
+}  // namespace histpc::serve

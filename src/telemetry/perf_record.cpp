@@ -1,6 +1,8 @@
 #include "telemetry/perf_record.h"
 
 #include <filesystem>
+#include <fstream>
+#include <stdexcept>
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -70,14 +72,14 @@ PerfLog::PerfLog(std::string path) : path_(std::move(path)) {
 }
 
 void PerfLog::append(const PerfRecord& record) {
-  std::string content;
-  if (fs::exists(path_)) {
-    content = util::read_file(path_);
-    if (!content.empty() && content.back() != '\n') content += '\n';
-  }
-  content += record.to_json().dump();
-  content += '\n';
-  util::write_file(path_, content);
+  // True O(1) append. The old read-whole-file-and-rewrite implementation
+  // was quadratic in log length — harmless for a CLI run per day, ruinous
+  // for `histpc serve` appending one record per request. A single
+  // one-line append is effectively atomic; a crash mid-write leaves one
+  // corrupt tail line, which read_all() quarantines like any other.
+  std::ofstream out(path_, std::ios::app | std::ios::binary);
+  if (!out) throw std::runtime_error("cannot append to perf log " + path_);
+  out << record.to_json().dump() << '\n';
 }
 
 std::vector<PerfRecord> PerfLog::read_all() const {

@@ -52,12 +52,14 @@ struct PerfRecord {
   static PerfRecord from_json(const util::Json& j);
 };
 
-/// Append-only JSONL file of PerfRecords, newest last. Writes go through
-/// the store's atomic temp+rename pattern (util::write_file), so a crash
-/// mid-append can truncate at worst the file being replaced, never leave a
-/// half-written line; reads quarantine corrupt lines (one Warn naming the
-/// path and line, then skip) instead of aborting — the same
-/// quarantine-on-corrupt contract as ExperimentStore::try_load.
+/// Append-only JSONL file of PerfRecords, newest last. Appends are O(1)
+/// (one line written in append mode — `histpc serve` appends a record per
+/// request, so rewriting the file would be quadratic); a crash mid-append
+/// leaves at worst one corrupt tail line, and reads quarantine corrupt
+/// lines (one Warn naming the path and line, then skip) instead of
+/// aborting — the same quarantine-on-corrupt contract as
+/// ExperimentStore::try_load. Concurrent appenders must serialize
+/// externally (the server holds one mutex across its workers).
 class PerfLog {
  public:
   explicit PerfLog(std::string path);

@@ -324,6 +324,29 @@ TEST_F(CliTest, MigrateConvertsLegacyJsonStore) {
   EXPECT_NE(again.find("migrated 0"), std::string::npos);
 }
 
+TEST_F(CliTest, MigrateJobsIsDeterministic) {
+  // --jobs N only parallelizes the parse/encode work; the summary line and
+  // resulting store are identical for every thread count.
+  run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C"});
+  auto record = history::ExperimentStore(store_dir_).load("poisson_C_1");
+  ASSERT_TRUE(record.has_value());
+  for (int i = 1; i <= 4; ++i) {
+    record->run_id = "legacy_C_" + std::to_string(i);
+    util::write_file(store_dir_ + "/" + record->run_id + ".json", record->to_json().dump(2));
+  }
+
+  const std::string out = run("migrate", {"--store", store_dir_, "--jobs", "4"});
+  EXPECT_NE(out.find("migrated 4 legacy JSON record(s)"), std::string::npos);
+  for (int i = 1; i <= 4; ++i)
+    EXPECT_TRUE(fs::exists(store_dir_ + "/legacy_C_" + std::to_string(i) + ".histexp"));
+  EXPECT_NE(run("migrate", {"--store", store_dir_, "--jobs", "4"}).find("migrated 0"),
+            std::string::npos);
+
+  std::ostringstream sink;
+  EXPECT_THROW(run_command("migrate", {"--store", store_dir_, "--jobs", "-1"}, sink),
+               ArgsError);
+}
+
 TEST_F(CliTest, ListFiltersByStoredFields) {
   run("run", {"poisson_c", "--duration", "300", "--store", store_dir_, "--version", "C",
               "--scenario", "strong"});
@@ -596,7 +619,7 @@ TEST(CliUsage, MentionsEveryCommand) {
   const std::string u = usage();
   for (const char* cmd :
        {"apps", "report", "run", "list", "show", "harvest", "map", "diff", "diagnose-trace",
-        "trace-report", "perf-report", "perf-diff", "migrate"})
+        "trace-report", "perf-report", "perf-diff", "migrate", "serve", "bench-client"})
     EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
 }
 

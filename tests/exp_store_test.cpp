@@ -5,10 +5,12 @@
 // its to_json().dump() is bit-identical.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "history/combiner.h"
@@ -544,6 +546,101 @@ TEST(SimilarityTest, SelectionIsDeterministicAndOldestFirst) {
   // The foreign app scored 0 and can never clear min_similarity.
   const auto all = select_similar_runs(candidates, ref, 99, 0.0);
   for (const auto& p : all) EXPECT_NE(p.run_id, "fft_A_1");
+}
+
+// -------------------------------------------------- concurrent readers
+//
+// `histpc serve` points many worker threads at one ExperimentStore. These
+// run under the tsan preset (see CMakePresets.json's test filter): a data
+// race in the shared_mutex discipline fails the job even when the
+// assertions below happen to pass.
+
+class ExpStoreConcurrency : public ExpStoreTest {};
+
+TEST_F(ExpStoreConcurrency, ParallelReadersMatchTheSerialOracle) {
+  ExperimentStore store(dir_);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 8; ++i) {
+    ExperimentRecord r = base_record();
+    r.version = i % 2 ? "A" : "B";
+    ids.push_back(store.save(r));
+  }
+  const auto oracle_summaries = store.summaries();
+  const auto oracle_latest = store.latest("poisson", "A");
+  ASSERT_TRUE(oracle_latest.has_value());
+
+  // A fresh instance so the first readers also race on index build.
+  ExperimentStore shared(dir_);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 20; ++iter) {
+        if (shared.summaries().size() != oracle_summaries.size()) ++failures;
+        const auto rec = shared.try_load(ids[(t + iter) % ids.size()]);
+        if (!rec.has_value()) ++failures;
+        const auto latest = shared.latest("poisson", "A");
+        if (!latest.has_value() || latest->run_id != oracle_latest->run_id) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ExpStoreConcurrency, ConcurrentLazyMigrationIsRaceFree) {
+  // Legacy JSON records migrate to binary on first read; many threads
+  // hitting the same cold records must each get the full record and leave
+  // one coherent index behind.
+  fs::create_directories(dir_);
+  std::vector<std::string> ids;
+  for (int i = 1; i <= 6; ++i) {
+    ExperimentRecord r = base_record();
+    r.run_id = "poisson_A_" + std::to_string(i);
+    write_file(dir_ + "/" + r.run_id + ".json", r.to_json().dump(2));
+    ids.push_back(r.run_id);
+  }
+
+  ExperimentStore store(dir_);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        const auto rec = store.try_load(ids[(t + i) % ids.size()]);
+        if (!rec.has_value() || rec->app != "poisson") ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (const auto& id : ids) EXPECT_TRUE(fs::exists(dir_ + "/" + id + ".histexp"));
+  // A cold instance sees every migrated record through the index.
+  EXPECT_EQ(ExperimentStore(dir_).summaries().size(), ids.size());
+}
+
+TEST_F(ExpStoreConcurrency, ParallelMigrateAllIsDeterministic) {
+  // migrate_all(jobs) parallelizes the parse/encode, then folds
+  // sequentially in sorted order: count and resulting index must be
+  // identical for every thread count.
+  for (const int jobs : {1, 2, 4}) {
+    const std::string dir = dir_ + "_jobs" + std::to_string(jobs);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    for (int i = 1; i <= 5; ++i) {
+      ExperimentRecord r = base_record();
+      r.run_id = "poisson_A_" + std::to_string(i);
+      write_file(dir + "/" + r.run_id + ".json", r.to_json().dump(2));
+    }
+    write_file(dir + "/broken.json", "{not json");
+
+    LogCapture logs;
+    ExperimentStore store(dir);
+    EXPECT_EQ(store.migrate_all(jobs), 5u) << "jobs=" << jobs;
+    EXPECT_EQ(store.summaries().size(), 5u) << "jobs=" << jobs;
+    EXPECT_EQ(ExperimentStore(dir).migrate_all(jobs), 0u) << "jobs=" << jobs;
+    fs::remove_all(dir);
+  }
 }
 
 }  // namespace

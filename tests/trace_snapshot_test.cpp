@@ -381,6 +381,30 @@ TEST(TraceCacheTest, EvictsLeastRecentlyUsedPastByteCap) {
   EXPECT_TRUE(fs::exists(cache.path_for({3, 3})));
 }
 
+TEST(TraceCacheTest, HitTouchKeepsHotEntryThroughEviction) {
+  // True LRU, not FIFO: a load() must refresh the entry's recency, so a
+  // hot old entry outlives a cold newer one when the cap forces eviction.
+  telemetry::Registry reg;
+  const std::string dir = temp_dir("touch");
+  const ExecutionTrace t = golden_trace();
+  const std::uint64_t snapshot_bytes = simmpi::encode_trace_snapshot(t).size();
+  const TraceCache cache({dir, snapshot_bytes * 5 / 2}, &reg);
+
+  cache.store({1, 1}, t);
+  cache.store({2, 2}, t);
+  // Make 1 the older entry, then heat it with a hit.
+  const auto old = fs::file_time_type::clock::now() - std::chrono::hours(2);
+  fs::last_write_time(cache.path_for({1, 1}), old);
+  fs::last_write_time(cache.path_for({2, 2}), old + std::chrono::hours(1));
+  ASSERT_TRUE(cache.load({1, 1}).has_value());
+
+  cache.store({3, 3}, t);  // over cap: evicts the least recently USED
+  EXPECT_EQ(reg.counter("trace_cache.evicted"), 1u);
+  EXPECT_TRUE(fs::exists(cache.path_for({1, 1})));   // hot survives
+  EXPECT_FALSE(fs::exists(cache.path_for({2, 2})));  // cold goes
+  EXPECT_TRUE(fs::exists(cache.path_for({3, 3})));
+}
+
 // ------------------------------------------------- session-level oracle
 
 void expect_results_identical(const pc::DiagnosisResult& a, const pc::DiagnosisResult& b) {
